@@ -1,0 +1,83 @@
+//! # ibis-baseline
+//!
+//! The comparators the paper measures against or cites, all built from
+//! scratch:
+//!
+//! * [`RTree`] — a classic dynamic R-tree (quadratic split), the
+//!   hierarchical multi-dimensional index of the paper's **Fig. 1**
+//!   motivating experiment. [`RTreeIncomplete`] wraps it with the paper's
+//!   sentinel mapping (missing → a distinguished value outside the domain)
+//!   and the `2^k`-subquery expansion needed for *missing-is-match*
+//!   semantics — the combination whose breakdown motivates the whole paper;
+//! * [`BPlusTree`] — an order-configurable in-memory B+-tree over one
+//!   attribute, the substrate for MOSAIC;
+//! * [`Mosaic`] — the MOSAIC technique of Ooi, Goh, Tan (paper ref. \[12\]):
+//!   one B+-tree per attribute, missing mapped to a distinguished key, and
+//!   result sets combined with the intersection/union set operations whose
+//!   cost the paper's bitmap approach avoids;
+//! * [`BitstringAugmented`] — the bitstring-augmented method of the same
+//!   paper: missing values completed with the attribute mean, a per-record
+//!   missingness bitstring, and `2^k` subqueries under match semantics;
+//! * [`SequentialScan`] — the index-free baseline.
+//!
+//! Every structure returns exact answers under both
+//! [`MissingPolicy`](ibis_core::MissingPolicy) variants and exposes
+//! machine-independent work counters ([`AccessStats`]) so the benchmark
+//! harness can report shapes that survive hardware changes.
+//!
+//! ```
+//! use ibis_baseline::RTreeIncomplete;
+//! use ibis_core::{Cell, Dataset, MissingPolicy, Predicate, RangeQuery};
+//!
+//! let data = Dataset::from_rows(
+//!     &[("x", 10), ("y", 10)],
+//!     &[vec![Cell::present(5), Cell::present(5)],
+//!       vec![Cell::MISSING, Cell::present(5)]],
+//! )?;
+//! let rtree = RTreeIncomplete::build(&data);
+//! let q = RangeQuery::new(
+//!     vec![Predicate::range(0, 4, 6), Predicate::range(1, 4, 6)],
+//!     MissingPolicy::IsMatch,
+//! )?;
+//! let (rows, stats) = rtree.execute_with_stats(&q)?;
+//! assert_eq!(rows.rows(), &[0, 1]);
+//! assert_eq!(stats.subqueries, 2); // 2^1: only x has missing data
+//! # Ok::<(), ibis_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitstring;
+mod bptree;
+mod mosaic;
+mod rtree;
+mod seqscan;
+
+pub use bitstring::BitstringAugmented;
+pub use bptree::BPlusTree;
+pub use mosaic::Mosaic;
+pub use rtree::{RTree, RTreeIncomplete, Rect};
+pub use seqscan::SequentialScan;
+
+/// Work counters shared by the baseline structures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Tree nodes visited (R-tree or B+-tree).
+    pub nodes_visited: usize,
+    /// Leaf/data entries examined.
+    pub entries_scanned: usize,
+    /// Subqueries executed (the `2^k` blow-up shows up here).
+    pub subqueries: usize,
+    /// Row-id set operations performed (MOSAIC's intersection/union work).
+    pub set_ops: usize,
+}
+
+impl std::ops::AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        self.nodes_visited += rhs.nodes_visited;
+        self.entries_scanned += rhs.entries_scanned;
+        self.subqueries += rhs.subqueries;
+        self.set_ops += rhs.set_ops;
+    }
+}

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the bit-vector substrate: logical operations per
+//! backend on runny (compressible) and dense (incompressible) bitmaps.
+//! This quantifies the paper's §4.4 rationale for WAH — fast compressed
+//! operations — against plain vectors and the byte-aligned code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_bitvec::{Bbc, BitStore, BitVec64, Wah};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+const N_BITS: usize = 1_000_000;
+
+/// A bitmap whose set bits cluster in runs — the shape WAH/BBC love.
+fn runny(seed: u64, density: f64) -> BitVec64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = BitVec64::zeros(N_BITS);
+    let mut pos = 0usize;
+    while pos < N_BITS {
+        let run = rng.gen_range(64..4096usize);
+        if rng.gen::<f64>() < density {
+            for i in pos..(pos + run).min(N_BITS) {
+                v.set(i, true);
+            }
+        }
+        pos += run;
+    }
+    v
+}
+
+/// Independently random bits — incompressible.
+fn dense(seed: u64) -> BitVec64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = BitVec64::zeros(N_BITS);
+    for i in 0..N_BITS {
+        if rng.gen::<bool>() {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+fn bench_backend<B: BitStore>(c: &mut Criterion, name: &str) {
+    let (ra, rb) = (runny(1, 0.05), runny(2, 0.05));
+    let (da, db) = (dense(3), dense(4));
+    let (xa, xb) = (B::from_bitvec(&ra), B::from_bitvec(&rb));
+    let (ya, yb) = (B::from_bitvec(&da), B::from_bitvec(&db));
+
+    let mut g = c.benchmark_group("bitvec_ops");
+    g.bench_function(BenchmarkId::new(format!("{name}/and"), "runny"), |b| {
+        b.iter(|| black_box(xa.and(&xb)))
+    });
+    g.bench_function(BenchmarkId::new(format!("{name}/or"), "runny"), |b| {
+        b.iter(|| black_box(xa.or(&xb)))
+    });
+    g.bench_function(BenchmarkId::new(format!("{name}/and"), "dense"), |b| {
+        b.iter(|| black_box(ya.and(&yb)))
+    });
+    g.bench_function(BenchmarkId::new(format!("{name}/not"), "runny"), |b| {
+        b.iter(|| black_box(xa.not()))
+    });
+    g.bench_function(BenchmarkId::new(format!("{name}/count"), "runny"), |b| {
+        b.iter(|| black_box(xa.count_ones()))
+    });
+    g.bench_function(BenchmarkId::new(format!("{name}/encode"), "runny"), |b| {
+        b.iter(|| black_box(B::from_bitvec(&ra)))
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_backend::<BitVec64>(c, "plain");
+    bench_backend::<Wah>(c, "wah");
+    bench_backend::<Bbc>(c, "bbc");
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(30);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,37 @@
+//! Index construction cost per structure, over a 20-attribute slice of the
+//! synthetic mix. Bitmap build time grows with cardinality (more bitmaps);
+//! the VA-file build is one quantization pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_baseline::Mosaic;
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::Wah;
+use ibis_vafile::VaFile;
+use std::hint::black_box;
+
+const N_ROWS: usize = 20_000;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    for card in [10u16, 100] {
+        let d = uniform_group(N_ROWS, 20, card, 0.2, 11 + card as u64);
+        g.bench_function(BenchmarkId::new("bee_wah", card), |b| {
+            b.iter(|| black_box(EqualityBitmapIndex::<Wah>::build(&d)))
+        });
+        g.bench_function(BenchmarkId::new("bre_wah", card), |b| {
+            b.iter(|| black_box(RangeBitmapIndex::<Wah>::build(&d)))
+        });
+        g.bench_function(BenchmarkId::new("vafile", card), |b| {
+            b.iter(|| black_box(VaFile::build(&d)))
+        });
+        g.bench_function(BenchmarkId::new("mosaic", card), |b| {
+            b.iter(|| black_box(Mosaic::build(&d)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

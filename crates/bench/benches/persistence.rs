@@ -1,0 +1,62 @@
+//! Persistence throughput: serialize/deserialize cost per index family —
+//! the "time to initially load the index structures" the paper's size
+//! metric stands in for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::Wah;
+use ibis_core::Dataset;
+use ibis_vafile::VaFile;
+use std::hint::black_box;
+
+const N_ROWS: usize = 50_000;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persistence");
+    g.sample_size(20);
+    let d = uniform_group(N_ROWS, 10, 50, 0.2, 37);
+
+    let bee = EqualityBitmapIndex::<Wah>::build(&d);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let va = VaFile::build(&d);
+
+    let mut bee_bytes = Vec::new();
+    bee.write_to(&mut bee_bytes).unwrap();
+    let mut bre_bytes = Vec::new();
+    bre.write_to(&mut bre_bytes).unwrap();
+    let mut va_bytes = Vec::new();
+    va.write_to(&mut va_bytes).unwrap();
+    let mut data_bytes = Vec::new();
+    d.write_to(&mut data_bytes).unwrap();
+
+    g.bench_function(BenchmarkId::new("write", "bee"), |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(bee_bytes.len());
+            bee.write_to(&mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    g.bench_function(BenchmarkId::new("read", "bee"), |b| {
+        b.iter(|| {
+            black_box(EqualityBitmapIndex::<Wah>::read_from(&mut bee_bytes.as_slice()).unwrap())
+        })
+    });
+    g.bench_function(BenchmarkId::new("read", "bre"), |b| {
+        b.iter(|| black_box(RangeBitmapIndex::<Wah>::read_from(&mut bre_bytes.as_slice()).unwrap()))
+    });
+    g.bench_function(BenchmarkId::new("read", "vafile"), |b| {
+        b.iter(|| black_box(VaFile::read_from(&mut va_bytes.as_slice()).unwrap()))
+    });
+    g.bench_function(BenchmarkId::new("read", "dataset"), |b| {
+        b.iter(|| black_box(Dataset::read_from(&mut data_bytes.as_slice()).unwrap()))
+    });
+    // Load-then-build (the cold-start alternative to loading an index).
+    g.bench_function(BenchmarkId::new("rebuild", "bre_from_dataset"), |b| {
+        b.iter(|| black_box(RangeBitmapIndex::<Wah>::build(&d)))
+    });
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

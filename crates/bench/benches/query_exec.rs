@@ -1,0 +1,94 @@
+//! Full multi-dimensional query execution (the Fig. 5 inner loop): one
+//! 8-dimensional, 1%-selectivity query per iteration, per index family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_baseline::Mosaic;
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_bitmap::{
+    DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+};
+use ibis_bitvec::Wah;
+use ibis_core::gen::{workload, QuerySpec};
+use ibis_core::MissingPolicy;
+use ibis_vafile::VaFile;
+use std::hint::black_box;
+
+const N_ROWS: usize = 50_000;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_exec");
+    g.sample_size(30);
+    let d = uniform_group(N_ROWS, 16, 10, 0.3, 17);
+    let bee = EqualityBitmapIndex::<Wah>::build(&d);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let bie = IntervalBitmapIndex::<Wah>::build(&d);
+    let dec = DecomposedBitmapIndex::<Wah>::build(&d);
+    let va = VaFile::build(&d);
+    let mosaic = Mosaic::build(&d);
+    for policy in MissingPolicy::ALL {
+        let tag = match policy {
+            MissingPolicy::IsMatch => "match",
+            MissingPolicy::IsNotMatch => "notmatch",
+        };
+        let spec = QuerySpec {
+            n_queries: 16,
+            k: 8,
+            global_selectivity: 0.01,
+            policy,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&d, &spec, 19);
+        g.bench_function(BenchmarkId::new("bee", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(bee.execute(q).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("bre", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(bre.execute(q).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("bie", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(bie.execute(q).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("decomposed", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(dec.execute(q).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("vafile", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(va.execute(&d, q).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("mosaic", tag), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(mosaic.execute(q).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,70 @@
+//! VA-file scan cost versus query dimensionality and code width: the scan
+//! reads `≤ k` packed fields per record with early exit, so time grows
+//! sub-linearly in `k`; lossy codes trade scan width for refinement work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_core::gen::{workload, QuerySpec};
+use ibis_core::MissingPolicy;
+use ibis_vafile::{VaFile, VaPlusFile};
+use std::hint::black_box;
+
+const N_ROWS: usize = 50_000;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vafile_scan");
+    g.sample_size(25);
+    let d = uniform_group(N_ROWS, 16, 50, 0.2, 23);
+    let va = VaFile::build(&d);
+    for k in [2usize, 8, 16] {
+        let spec = QuerySpec {
+            n_queries: 8,
+            k,
+            global_selectivity: 0.01,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&d, &spec, 29);
+        g.bench_function(BenchmarkId::new("scan_k", k), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(va.execute(&d, q).unwrap())
+            })
+        });
+    }
+    // Lossy vs lossless vs equi-depth at k = 4.
+    let spec = QuerySpec {
+        n_queries: 8,
+        k: 4,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, 31);
+    let lossy = VaFile::with_bits(&d, &vec![3u8; d.n_attrs()]);
+    let lossy_plus = VaPlusFile::with_bits(&d, &vec![3u8; d.n_attrs()]);
+    for (name, file) in [("lossless", &va), ("lossy3", &lossy)] {
+        g.bench_function(BenchmarkId::new("codes", name), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(file.execute(&d, q).unwrap())
+            })
+        });
+    }
+    g.bench_function(BenchmarkId::new("codes", "lossy3_equidepth"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(lossy_plus.execute(&d, q).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

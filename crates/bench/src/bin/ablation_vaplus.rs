@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_vaplus` experiment (see DESIGN.md §3). Honours
+//! IBIS_ROWS / IBIS_CENSUS_ROWS / IBIS_QUERIES / IBIS_RTREE_ROWS / IBIS_SEED.
+
+fn main() {
+    ibis_bench::run_experiment_main("ablation_vaplus");
+}

@@ -1,0 +1,26 @@
+//! Runs EVERY experiment in DESIGN.md §3 in sequence, printing each table
+//! and writing CSVs under `results/`. This is the one-shot reproduction
+//! entry point:
+//!
+//! ```text
+//! cargo run --release -p ibis-bench --bin figures            # paper scale
+//! IBIS_ROWS=10000 IBIS_CENSUS_ROWS=20000 \
+//!     cargo run --release -p ibis-bench --bin figures        # laptop scale
+//! ```
+
+use ibis_bench::config::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running all experiments at scale {scale:?}");
+    for (name, runner) in ibis_bench::experiments::all() {
+        eprintln!("--- {name}");
+        let (tables, ms) = ibis_bench::time_ms(|| runner(&scale));
+        for table in tables {
+            table
+                .emit(std::path::Path::new("results"))
+                .expect("write results/");
+        }
+        eprintln!("    ({ms:.0} ms)");
+    }
+}

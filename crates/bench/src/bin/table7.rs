@@ -1,0 +1,6 @@
+//! Regenerates the `table7` experiment (see DESIGN.md §3). Honours
+//! IBIS_ROWS / IBIS_CENSUS_ROWS / IBIS_QUERIES / IBIS_RTREE_ROWS / IBIS_SEED.
+
+fn main() {
+    ibis_bench::run_experiment_main("table7");
+}

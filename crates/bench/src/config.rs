@@ -1,0 +1,82 @@
+//! Experiment scale configuration.
+
+/// Dataset/workload sizes for one harness run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Rows for synthetic datasets (paper: 100,000).
+    pub rows: usize,
+    /// Rows for the census-like dataset (paper: 463,733).
+    pub census_rows: usize,
+    /// Queries per timing point (paper: 100).
+    pub queries: usize,
+    /// Rows for the Fig. 1 R-tree experiment; R-tree insertion is the
+    /// slowest build in the suite, so it gets its own knob.
+    pub rtree_rows: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full scale.
+    pub fn paper() -> Scale {
+        Scale {
+            rows: 100_000,
+            census_rows: 463_733,
+            queries: 100,
+            rtree_rows: 100_000,
+            seed: 42,
+        }
+    }
+
+    /// A small scale for smoke tests (seconds, not minutes).
+    pub fn smoke() -> Scale {
+        Scale {
+            rows: 5_000,
+            census_rows: 5_000,
+            queries: 20,
+            rtree_rows: 3_000,
+            seed: 42,
+        }
+    }
+
+    /// Paper scale with `IBIS_ROWS`, `IBIS_CENSUS_ROWS`, `IBIS_QUERIES`,
+    /// `IBIS_RTREE_ROWS`, and `IBIS_SEED` overrides from the environment.
+    pub fn from_env() -> Scale {
+        let get = |key: &str, default: usize| -> usize {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let base = Scale::paper();
+        Scale {
+            rows: get("IBIS_ROWS", base.rows),
+            census_rows: get("IBIS_CENSUS_ROWS", base.census_rows),
+            queries: get("IBIS_QUERIES", base.queries),
+            rtree_rows: get(
+                "IBIS_RTREE_ROWS",
+                base.rtree_rows.min(get("IBIS_ROWS", base.rows)),
+            ),
+            seed: get("IBIS_SEED", base.seed as usize) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let s = Scale::paper();
+        assert_eq!(s.rows, 100_000);
+        assert_eq!(s.census_rows, 463_733);
+        assert_eq!(s.queries, 100);
+    }
+
+    #[test]
+    fn smoke_is_smaller() {
+        let s = Scale::smoke();
+        assert!(s.rows < Scale::paper().rows);
+    }
+}

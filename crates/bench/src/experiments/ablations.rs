@@ -1,0 +1,542 @@
+//! Ablations for the design choices DESIGN.md §7 calls out. None of these
+//! figures appear in the paper; they test the paper's *stated reasons* for
+//! its choices (WAH over alternatives, the extra `B_0` bitmap, uniform
+//! quantization) and its future-work hypotheses (row reordering, BBC, VA+).
+
+use crate::config::Scale;
+use crate::experiments::harness::{time_trio, uniform_group};
+use crate::report::{fmt_ms, fmt_ratio, Table};
+use crate::time_ms;
+use ibis_baseline::{BitstringAugmented, Mosaic, RTreeIncomplete, SequentialScan};
+use ibis_bitmap::{reorder, EqualityBitmapIndex, IntervalBitmapIndex, QueryCost, RangeBitmapIndex};
+use ibis_bitvec::{Bbc, BitStore, BitVec64, Wah};
+use ibis_core::gen::{census_scaled, workload, QuerySpec};
+use ibis_core::{Dataset, MissingPolicy, RangeQuery};
+use ibis_vafile::{VaFile, VaPlusFile};
+
+/// abl1 — bit-vector backend sweep: size and query time for plain, WAH and
+/// BBC storage under both bitmap encodings.
+pub fn compression(scale: &Scale) -> Vec<Table> {
+    let d = census_scaled(scale.census_rows.min(50_000), scale.seed + 1);
+    let spec = QuerySpec {
+        n_queries: scale.queries,
+        k: 4,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, scale.seed + 2);
+
+    let mut table = Table::new(
+        "ablation_compression",
+        "bit-vector backend: index size and query time (census stand-in)",
+        &[
+            "encoding", "backend", "size_kb", "ratio", "build_ms", "query_ms",
+        ],
+    );
+
+    fn row_bee<B: BitStore>(d: &Dataset, queries: &[RangeQuery]) -> (usize, f64, f64, f64) {
+        let (idx, build_ms) = crate::time_ms(|| EqualityBitmapIndex::<B>::build(d));
+        let report = idx.size_report();
+        let (_, query_ms) = crate::time_ms(|| {
+            for q in queries {
+                let _ = idx.execute(q).expect("valid");
+            }
+        });
+        (
+            report.total_bytes(),
+            report.compression_ratio(),
+            build_ms,
+            query_ms,
+        )
+    }
+    fn row_bre<B: BitStore>(d: &Dataset, queries: &[RangeQuery]) -> (usize, f64, f64, f64) {
+        let (idx, build_ms) = crate::time_ms(|| RangeBitmapIndex::<B>::build(d));
+        let report = idx.size_report();
+        let (_, query_ms) = crate::time_ms(|| {
+            for q in queries {
+                let _ = idx.execute(q).expect("valid");
+            }
+        });
+        (
+            report.total_bytes(),
+            report.compression_ratio(),
+            build_ms,
+            query_ms,
+        )
+    }
+
+    let mut push = |enc: &str, backend: &str, r: (usize, f64, f64, f64)| {
+        table.push(vec![
+            enc.into(),
+            backend.into(),
+            format!("{:.0}", r.0 as f64 / 1024.0),
+            fmt_ratio(r.1),
+            fmt_ms(r.2),
+            fmt_ms(r.3),
+        ]);
+    };
+    push("bee", "plain", row_bee::<BitVec64>(&d, &queries));
+    push("bee", "wah", row_bee::<Wah>(&d, &queries));
+    push("bee", "bbc", row_bee::<Bbc>(&d, &queries));
+    push("bre", "plain", row_bre::<BitVec64>(&d, &queries));
+    push("bre", "wah", row_bre::<Wah>(&d, &queries));
+    push("bre", "bbc", row_bre::<Bbc>(&d, &queries));
+    vec![table]
+}
+
+/// abl6 — the encoding matrix completed: equality (BEE), range (BRE) and
+/// interval (BIE, Chan & Ioannidis's third classic encoding, which the
+/// paper cites in §2 but does not adapt) with `B_0` missing handling, over
+/// size and per-dimension bitmap work.
+pub fn encoding(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "ablation_encoding",
+        "equality vs range vs interval encoding (uniform data, 20% missing, k=8, GS=1%)",
+        &[
+            "card",
+            "bee_kb",
+            "bre_kb",
+            "bie_kb",
+            "bee_ms",
+            "bre_ms",
+            "bie_ms",
+            "bee_bitmaps",
+            "bre_bitmaps",
+            "bie_bitmaps",
+        ],
+    );
+    for card in [10u16, 50, 100] {
+        let d = uniform_group(scale.rows, 16, card, 0.20, scale.seed + 40 + card as u64);
+        let spec = QuerySpec {
+            n_queries: scale.queries,
+            k: 8,
+            global_selectivity: 0.01,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&d, &spec, scale.seed + 41);
+        let bee = EqualityBitmapIndex::<Wah>::build(&d);
+        let bre = RangeBitmapIndex::<Wah>::build(&d);
+        let bie = IntervalBitmapIndex::<Wah>::build(&d);
+        let run = |exec: &dyn Fn(&RangeQuery) -> (ibis_core::RowSet, QueryCost)| {
+            let mut bitmaps = 0usize;
+            let mut results = Vec::new();
+            let (_, ms) = time_ms(|| {
+                for q in &queries {
+                    let (rows, c) = exec(q);
+                    bitmaps += c.bitmaps_accessed;
+                    results.push(rows);
+                }
+            });
+            (ms, bitmaps, results)
+        };
+        let (bee_ms, bee_b, r1) = run(&|q| bee.execute_with_cost(q).expect("valid"));
+        let (bre_ms, bre_b, r2) = run(&|q| bre.execute_with_cost(q).expect("valid"));
+        let (bie_ms, bie_b, r3) = run(&|q| bie.execute_with_cost(q).expect("valid"));
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        table.push(vec![
+            card.to_string(),
+            format!("{:.0}", bee.size_bytes() as f64 / 1024.0),
+            format!("{:.0}", bre.size_bytes() as f64 / 1024.0),
+            format!("{:.0}", bie.size_bytes() as f64 / 1024.0),
+            fmt_ms(bee_ms),
+            fmt_ms(bre_ms),
+            fmt_ms(bie_ms),
+            bee_b.to_string(),
+            bre_b.to_string(),
+            bie_b.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// abl7 — attribute-value decomposition (Chan & Ioannidis's space/time
+/// knob, paper ref. \[4\]) under missing data: base sweep from bit-sliced
+/// (base 2) through √C to single-component (≡ BRE).
+pub fn decomposition(scale: &Scale) -> Vec<Table> {
+    use ibis_bitmap::DecomposedBitmapIndex;
+    let d = uniform_group(scale.rows, 10, 100, 0.20, scale.seed + 50);
+    let spec = QuerySpec {
+        n_queries: scale.queries,
+        k: 6,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, scale.seed + 51);
+    let mut table = Table::new(
+        "ablation_decomposition",
+        "value decomposition base sweep (card 100, 20% missing, k=6): storage vs bitmap work",
+        &[
+            "base",
+            "components",
+            "bitmaps",
+            "size_kb",
+            "query_ms",
+            "bitmap_reads",
+        ],
+    );
+    let mut reference: Option<Vec<ibis_core::RowSet>> = None;
+    for base in [2u16, 4, 10, 101] {
+        let idx = DecomposedBitmapIndex::<Wah>::with_base(&d, base);
+        let mut reads = 0usize;
+        let mut results = Vec::new();
+        let (_, ms) = time_ms(|| {
+            for q in &queries {
+                let (rows, c) = idx.execute_with_cost(q).expect("valid");
+                reads += c.bitmaps_accessed;
+                results.push(rows);
+            }
+        });
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results, "bases must agree"),
+        }
+        let components = if base >= 100 {
+            1
+        } else {
+            (100f64.ln() / (base as f64).ln()).ceil() as usize
+        };
+        table.push(vec![
+            base.to_string(),
+            components.to_string(),
+            idx.n_bitmaps().to_string(),
+            format!("{:.0}", idx.size_bytes() as f64 / 1024.0),
+            fmt_ms(ms),
+            reads.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// abl2 — row reordering (the paper's future-work item): compressed index
+/// size before/after lexicographic and Gray-reflected row orders.
+pub fn reorder(scale: &Scale) -> Vec<Table> {
+    let d = census_scaled(scale.census_rows.min(50_000), scale.seed + 3);
+    let order = reorder::cardinality_ascending_order(&d);
+    let sort_attrs = &order[..order.len().min(10)];
+    let lex = d.permute_rows(&reorder::lexicographic(&d, sort_attrs));
+    let gray = d.permute_rows(&reorder::gray(&d, sort_attrs));
+
+    let mut table = Table::new(
+        "ablation_reorder",
+        "row reordering: WAH-compressed index size (KB); paper future work §6",
+        &["ordering", "bee_kb", "bee_ratio", "bre_kb", "bre_ratio"],
+    );
+    for (name, data) in [("original", &d), ("lexicographic", &lex), ("gray", &gray)] {
+        let bee = EqualityBitmapIndex::<Wah>::build(data).size_report();
+        let bre = RangeBitmapIndex::<Wah>::build(data).size_report();
+        table.push(vec![
+            name.into(),
+            format!("{:.0}", bee.total_bytes() as f64 / 1024.0),
+            fmt_ratio(bee.compression_ratio()),
+            format!("{:.0}", bre.total_bytes() as f64 / 1024.0),
+            fmt_ratio(bre.compression_ratio()),
+        ]);
+    }
+    vec![table]
+}
+
+/// abl3 — uniform vs equi-depth quantization (VA vs VA+) at equal bit
+/// budgets on skewed data.
+pub fn vaplus(scale: &Scale) -> Vec<Table> {
+    let d = census_scaled(scale.census_rows.min(50_000), scale.seed + 4);
+    let bits: Vec<u8> = d
+        .columns()
+        .iter()
+        .map(|c| {
+            // Full precision is ceil(log2(C+1)) bits; drop 3 to force lossy
+            // codes so the quantizer choice matters.
+            let full = (32 - (c.cardinality() as u32).leading_zeros()) as u8;
+            full.saturating_sub(3).max(1)
+        })
+        .collect();
+    let va = VaFile::with_bits(&d, &bits);
+    let vap = VaPlusFile::with_bits(&d, &bits);
+    let spec = QuerySpec {
+        n_queries: scale.queries,
+        k: 3,
+        global_selectivity: 0.02,
+        policy: MissingPolicy::IsNotMatch,
+        candidate_attrs: (0..d.n_attrs())
+            .filter(|&a| d.column(a).cardinality() >= 20)
+            .collect(),
+    };
+    let queries = workload(&d, &spec, scale.seed + 5);
+
+    let mut table = Table::new(
+        "ablation_vaplus",
+        "uniform (VA) vs equi-depth (VA+) quantization at the same lossy bit budget",
+        &[
+            "variant",
+            "size_kb",
+            "candidates",
+            "refined",
+            "false_pos",
+            "query_ms",
+        ],
+    );
+    let run_one = |name: &str, exec: &dyn Fn(&RangeQuery) -> (usize, usize, usize)| {
+        let mut cand = 0usize;
+        let mut refined = 0usize;
+        let mut fp = 0usize;
+        let (_, ms) = time_ms(|| {
+            for q in &queries {
+                let (c, r, f) = exec(q);
+                cand += c;
+                refined += r;
+                fp += f;
+            }
+        });
+        (name.to_string(), cand, refined, fp, ms)
+    };
+    let (n1, c1, r1, f1, ms1) = run_one("va_uniform", &|q| {
+        let (_, c) = va.execute_with_cost(&d, q).expect("valid");
+        (c.candidates, c.refined, c.false_positives)
+    });
+    table.push(vec![
+        n1,
+        format!("{:.0}", va.size_bytes() as f64 / 1024.0),
+        c1.to_string(),
+        r1.to_string(),
+        f1.to_string(),
+        fmt_ms(ms1),
+    ]);
+    let (n2, c2, r2, f2, ms2) = run_one("va_plus", &|q| {
+        let (_, c) = vap.execute_with_cost(&d, q).expect("valid");
+        (c.candidates, c.refined, c.false_positives)
+    });
+    table.push(vec![
+        n2,
+        format!("{:.0}", vap.size_bytes() as f64 / 1024.0),
+        c2.to_string(),
+        r2.to_string(),
+        f2.to_string(),
+        fmt_ms(ms2),
+    ]);
+    vec![table]
+}
+
+/// abl4 — match vs not-match semantics: the paper claims the missing-data
+/// machinery costs at most "two times slower" and 1 extra bitmap access per
+/// dimension; this measures both policies on the same search keys.
+pub fn semantics(scale: &Scale) -> Vec<Table> {
+    let d = uniform_group(scale.rows, 16, 10, 0.30, scale.seed + 6);
+    let mut table = Table::new(
+        "ablation_semantics",
+        "missing-is-match vs missing-is-not-match on identical search keys (card 10, 30% missing, k=8)",
+        &["policy", "bee_ms", "bre_ms", "va_ms", "bee_bitmaps", "bre_bitmaps"],
+    );
+    // Same keys under both policies: generate once, flip the policy.
+    let spec = QuerySpec {
+        n_queries: scale.queries,
+        k: 8,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let base = workload(&d, &spec, scale.seed + 7);
+    for policy in MissingPolicy::ALL {
+        let queries: Vec<RangeQuery> = base.iter().map(|q| q.with_policy(policy)).collect();
+        let t = time_trio(&d, &queries);
+        table.push(vec![
+            policy.to_string(),
+            fmt_ms(t.bee_ms),
+            fmt_ms(t.bre_ms),
+            fmt_ms(t.va_ms),
+            t.bee_bitmaps.to_string(),
+            t.bre_bitmaps.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// abl5 — the related-work comparison (§2): proposed indexes vs MOSAIC,
+/// the bitstring-augmented index, the sentinel R-tree, and sequential scan,
+/// across query dimensionality under match semantics.
+pub fn related_work(scale: &Scale) -> Vec<Table> {
+    // R-tree insertion and 2^k subqueries dominate; keep this experiment at
+    // a size where the exponential contenders still finish.
+    let n = scale.rows.min(20_000);
+    let d = uniform_group(n, 8, 20, 0.20, scale.seed + 8);
+    let bee = EqualityBitmapIndex::<Wah>::build(&d);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let va = VaFile::build(&d);
+    let mosaic = Mosaic::build(&d);
+    let bitstring = BitstringAugmented::build(&d);
+    let rtree = RTreeIncomplete::build(&d);
+
+    let mut table = Table::new(
+        "ablation_relatedwork",
+        "query time (ms) vs dimensionality, missing-is-match: proposed vs related work (20k rows)",
+        &[
+            "k",
+            "bre_ms",
+            "bee_ms",
+            "va_ms",
+            "mosaic_ms",
+            "bitstring_ms",
+            "rtree_ms",
+            "scan_ms",
+            "rtree_subqueries",
+        ],
+    );
+    for k in [1usize, 2, 4, 6, 8] {
+        let spec = QuerySpec {
+            n_queries: scale.queries.min(30),
+            k,
+            global_selectivity: 0.01,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&d, &spec, scale.seed + 9 + k as u64);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| ibis_core::scan::execute(&d, q))
+            .collect();
+        let check = |rows: Vec<ibis_core::RowSet>| {
+            for (got, want) in rows.iter().zip(&expected) {
+                assert_eq!(got, want, "contender disagrees with scan");
+            }
+        };
+
+        let (rows, bre_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| bre.execute(q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let (rows, bee_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| bee.execute(q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let (rows, va_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| va.execute(&d, q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let (rows, mosaic_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| mosaic.execute(q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let (rows, bitstring_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| bitstring.execute(q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let mut subqueries = 0usize;
+        let (rows, rtree_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| {
+                    let (rows, s) = rtree.execute_with_stats(q).expect("ok");
+                    subqueries += s.subqueries;
+                    rows
+                })
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+        let (rows, scan_ms) = time_ms(|| {
+            queries
+                .iter()
+                .map(|q| SequentialScan.execute(&d, q).expect("ok"))
+                .collect::<Vec<_>>()
+        });
+        check(rows);
+
+        table.push(vec![
+            k.to_string(),
+            fmt_ms(bre_ms),
+            fmt_ms(bee_ms),
+            fmt_ms(va_ms),
+            fmt_ms(mosaic_ms),
+            fmt_ms(bitstring_ms),
+            fmt_ms(rtree_ms),
+            fmt_ms(scan_ms),
+            subqueries.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_backends_ordered_by_size() {
+        let scale = Scale {
+            census_rows: 8_000,
+            queries: 5,
+            ..Scale::smoke()
+        };
+        let t = &compression(&scale)[0];
+        let kb = |r: usize| -> f64 { t.rows[r][2].parse().unwrap() };
+        // BEE: compressed backends beat plain on skewed data.
+        assert!(kb(1) < kb(0), "wah {} < plain {}", kb(1), kb(0));
+        assert!(kb(2) < kb(0), "bbc {} < plain {}", kb(2), kb(0));
+        // BBC compresses at least as well as WAH (byte granularity).
+        assert!(kb(2) <= kb(1) * 1.1, "bbc {} vs wah {}", kb(2), kb(1));
+    }
+
+    #[test]
+    fn reorder_shrinks_indexes() {
+        let scale = Scale {
+            census_rows: 6_000,
+            ..Scale::smoke()
+        };
+        let t = &reorder(&scale)[0];
+        let bee_orig: f64 = t.rows[0][2].parse().unwrap();
+        let bee_lex: f64 = t.rows[1][2].parse().unwrap();
+        assert!(bee_lex <= bee_orig, "lex ratio {bee_lex} vs {bee_orig}");
+    }
+
+    #[test]
+    fn semantics_cost_bounded() {
+        let scale = Scale {
+            rows: 3_000,
+            queries: 10,
+            ..Scale::smoke()
+        };
+        let t = &semantics(&scale)[0];
+        let match_bitmaps: f64 = t.rows[0][5].parse().unwrap();
+        let not_bitmaps: f64 = t.rows[1][5].parse().unwrap();
+        // Match semantics reads more bitmaps (the B_0 ORs), but bounded:
+        // ≤ 3/2 of not-match per the 1–3 vs 1–2 bounds.
+        assert!(
+            match_bitmaps >= not_bitmaps,
+            "{match_bitmaps} vs {not_bitmaps}"
+        );
+        assert!(
+            match_bitmaps <= 2.0 * not_bitmaps,
+            "{match_bitmaps} vs {not_bitmaps}"
+        );
+    }
+
+    #[test]
+    fn related_work_subqueries_exponential() {
+        let scale = Scale {
+            rows: 2_000,
+            queries: 4,
+            ..Scale::smoke()
+        };
+        let t = &related_work(&scale)[0];
+        let sub: Vec<usize> = t.rows.iter().map(|r| r[8].parse().unwrap()).collect();
+        // k=1 → 2 subqueries per query; k=8 → 256 per query.
+        assert_eq!(sub[0], 4 * 2);
+        assert_eq!(sub[4], 4 * 256);
+    }
+}

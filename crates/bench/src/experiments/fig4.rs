@@ -1,0 +1,154 @@
+//! **Fig. 4** — index size versus (a) attribute cardinality and (b) percent
+//! of missing data.
+//!
+//! The paper's findings this harness reproduces:
+//!
+//! * 4(a): BEE size grows linearly with cardinality (WAH claws some back at
+//!   high cardinality); BRE "does not benefit from WAH compression" on
+//!   uniform data; the VA-file grows only logarithmically;
+//! * 4(b): more missing data ⇒ sparser value bitmaps ⇒ better BEE
+//!   compression; BRE stays incompressible; VA size is independent of
+//!   missing data.
+
+use crate::config::Scale;
+use crate::experiments::harness::uniform_group;
+use crate::report::{fmt_kb, fmt_ratio, Table};
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::{BitVec64, Wah};
+use ibis_core::Dataset;
+use ibis_vafile::VaFile;
+
+/// Per-attribute sizes of every contender over one dataset.
+struct Sizes {
+    bee_wah: usize,
+    bre_wah: usize,
+    bee_plain: usize,
+    bre_plain: usize,
+    va: usize,
+    bee_ratio: f64,
+    bre_ratio: f64,
+}
+
+fn sizes(dataset: &Dataset) -> Sizes {
+    let n_attrs = dataset.n_attrs();
+    let bee = EqualityBitmapIndex::<Wah>::build(dataset);
+    let bre = RangeBitmapIndex::<Wah>::build(dataset);
+    let bee_plain = EqualityBitmapIndex::<BitVec64>::build(dataset);
+    let bre_plain = RangeBitmapIndex::<BitVec64>::build(dataset);
+    let va = VaFile::build(dataset);
+    Sizes {
+        bee_wah: bee.size_bytes() / n_attrs,
+        bre_wah: bre.size_bytes() / n_attrs,
+        bee_plain: bee_plain.size_bytes() / n_attrs,
+        bre_plain: bre_plain.size_bytes() / n_attrs,
+        va: va.size_bytes() / n_attrs,
+        bee_ratio: bee.size_report().compression_ratio(),
+        bre_ratio: bre.size_report().compression_ratio(),
+    }
+}
+
+const HEADERS: [&str; 8] = [
+    "x",
+    "bee_wah_kb",
+    "bre_wah_kb",
+    "va_kb",
+    "bee_plain_kb",
+    "bre_plain_kb",
+    "bee_ratio",
+    "bre_ratio",
+];
+
+fn push_sizes(table: &mut Table, x: String, s: &Sizes) {
+    table.push(vec![
+        x,
+        fmt_kb(s.bee_wah),
+        fmt_kb(s.bre_wah),
+        fmt_kb(s.va),
+        fmt_kb(s.bee_plain),
+        fmt_kb(s.bre_plain),
+        fmt_ratio(s.bee_ratio),
+        fmt_ratio(s.bre_ratio),
+    ]);
+}
+
+/// Fig. 4(a): size vs cardinality at 10% missing.
+pub fn run_4a(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig4a",
+        "per-attribute index size (KB) vs cardinality, 10% missing",
+        &HEADERS,
+    );
+    for card in [2u16, 5, 10, 20, 50, 100] {
+        let d = uniform_group(scale.rows, 2, card, 0.10, scale.seed + card as u64);
+        push_sizes(&mut table, card.to_string(), &sizes(&d));
+    }
+    vec![table]
+}
+
+/// Fig. 4(b): size vs % missing at cardinality 50.
+pub fn run_4b(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig4b",
+        "per-attribute index size (KB) vs % missing, cardinality 50",
+        &HEADERS,
+    );
+    for pct in [10u8, 20, 30, 40, 50] {
+        let d = uniform_group(
+            scale.rows,
+            2,
+            50,
+            pct as f64 / 100.0,
+            scale.seed + 200 + pct as u64,
+        );
+        push_sizes(&mut table, pct.to_string(), &sizes(&d));
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn fig4a_shapes() {
+        let t = &run_4a(&Scale::smoke())[0];
+        assert_eq!(t.rows.len(), 6);
+        // BEE grows with cardinality; VA grows only logarithmically.
+        let bee2 = kb(&t.rows[0][1]);
+        let bee100 = kb(&t.rows[5][1]);
+        assert!(
+            bee100 > 5.0 * bee2,
+            "BEE must grow ~linearly: {bee2} → {bee100}"
+        );
+        let va2 = kb(&t.rows[0][3]);
+        let va100 = kb(&t.rows[5][3]);
+        assert!(va100 < 6.0 * va2, "VA must grow ~log: {va2} → {va100}");
+        // VA is much smaller than either bitmap at card 100.
+        assert!(va100 < kb(&t.rows[5][2]) / 4.0);
+        // BRE barely compresses on uniform data (paper: "BRE does not
+        // benefit from WAH compression").
+        let bre_ratio: f64 = t.rows[5][7].parse().unwrap();
+        assert!(bre_ratio > 0.8, "BRE ratio {bre_ratio}");
+    }
+
+    #[test]
+    fn fig4b_shapes() {
+        let t = &run_4b(&Scale::smoke())[0];
+        assert_eq!(t.rows.len(), 5);
+        // More missing data → smaller BEE index (better compression).
+        let bee10 = kb(&t.rows[0][1]);
+        let bee50 = kb(&t.rows[4][1]);
+        assert!(
+            bee50 < bee10,
+            "BEE at 50% ({bee50}) should be below 10% ({bee10})"
+        );
+        // VA size is independent of missing rate.
+        let va10 = kb(&t.rows[0][3]);
+        let va50 = kb(&t.rows[4][3]);
+        assert!((va10 - va50).abs() < 0.2, "VA {va10} vs {va50}");
+    }
+}

@@ -1,0 +1,162 @@
+//! **Fig. 5** — query execution time of 100 queries (1% global
+//! selectivity, missing-is-match) versus (a) attribute cardinality,
+//! (b) percent of missing data, and (c) query dimensionality.
+//!
+//! Paper shapes reproduced here:
+//!
+//! * 5(a): BRE and VA stay flat across cardinality, BRE fastest; BEE grows
+//!   linearly because the bitmaps it ORs scale with `AS·C`;
+//! * 5(b): BEE *improves* as missing grows (fixed GS forces narrower
+//!   intervals), BRE and VA stay flat;
+//! * 5(c): all three grow linearly in `k` — the paper's headline claim
+//!   versus the `2^k` behaviour of hierarchical indexes — with BRE growing
+//!   slowest.
+
+use crate::config::Scale;
+use crate::experiments::harness::{time_trio, uniform_group};
+use crate::report::{fmt_ms, fmt_ratio, Table};
+use ibis_core::gen::{workload, QuerySpec};
+use ibis_core::MissingPolicy;
+
+const HEADERS: [&str; 8] = [
+    "x",
+    "bee_ms",
+    "bre_ms",
+    "va_ms",
+    "bee_bitmaps",
+    "bre_bitmaps",
+    "va_fields",
+    "realized_gs",
+];
+
+fn run_point(
+    table: &mut Table,
+    x: String,
+    scale: &Scale,
+    cardinality: u16,
+    missing: f64,
+    k: usize,
+    seed: u64,
+) {
+    // Enough columns to draw k distinct attributes per query.
+    let n_cols = (2 * k).max(10);
+    let d = uniform_group(scale.rows, n_cols, cardinality, missing, seed);
+    let spec = QuerySpec {
+        n_queries: scale.queries,
+        k,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, seed ^ 0x5eed);
+    let t = time_trio(&d, &queries);
+    table.push(vec![
+        x,
+        fmt_ms(t.bee_ms),
+        fmt_ms(t.bre_ms),
+        fmt_ms(t.va_ms),
+        t.bee_bitmaps.to_string(),
+        t.bre_bitmaps.to_string(),
+        t.va_fields.to_string(),
+        fmt_ratio(t.realized_selectivity),
+    ]);
+}
+
+/// Fig. 5(a): time vs cardinality (10% missing, k = 8).
+pub fn run_5a(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig5a",
+        "query time (ms, 100 queries) vs cardinality — 10% missing, k=8, GS=1%, missing-is-match",
+        &HEADERS,
+    );
+    for card in [2u16, 5, 10, 20, 50, 100] {
+        run_point(
+            &mut table,
+            card.to_string(),
+            scale,
+            card,
+            0.10,
+            8,
+            scale.seed + 300 + card as u64,
+        );
+    }
+    vec![table]
+}
+
+/// Fig. 5(b): time vs % missing (cardinality 10, k = 8).
+pub fn run_5b(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig5b",
+        "query time (ms, 100 queries) vs % missing — cardinality 10, k=8, GS=1%, missing-is-match",
+        &HEADERS,
+    );
+    for pct in [10u8, 20, 30, 40, 50] {
+        run_point(
+            &mut table,
+            pct.to_string(),
+            scale,
+            10,
+            pct as f64 / 100.0,
+            8,
+            scale.seed + 400 + pct as u64,
+        );
+    }
+    vec![table]
+}
+
+/// Fig. 5(c): time vs query dimensionality (cardinality 10, 30% missing).
+pub fn run_5c(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig5c",
+        "query time (ms, 100 queries) vs dimensionality — cardinality 10, 30% missing, GS=1%, missing-is-match",
+        &HEADERS,
+    );
+    for k in [2usize, 4, 6, 8, 10, 12, 16] {
+        run_point(
+            &mut table,
+            k.to_string(),
+            scale,
+            10,
+            0.30,
+            k,
+            scale.seed + 500 + k as u64,
+        );
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_bee_work_grows_with_cardinality() {
+        let t = &run_5a(&Scale::smoke())[0];
+        assert_eq!(t.rows.len(), 6);
+        let bee: Vec<usize> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let bre: Vec<usize> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        // BEE bitmap accesses grow strongly from card 2 to card 100; BRE
+        // stays bounded by 3 per dimension regardless of cardinality.
+        assert!(bee[5] > 3 * bee[0], "BEE work: {bee:?}");
+        let bre_max = *bre.iter().max().unwrap() as f64;
+        let bre_min = *bre.iter().min().unwrap() as f64;
+        assert!(
+            bre_max < 2.5 * bre_min,
+            "BRE work should stay flat: {bre:?}"
+        );
+    }
+
+    #[test]
+    fn fig5c_work_is_linear_not_exponential() {
+        let t = &run_5c(&Scale::smoke())[0];
+        let ks: Vec<f64> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();
+        let bre: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        // Work per unit k must stay roughly constant (linear growth).
+        let per_k_first = bre[0] / ks[0];
+        let per_k_last = bre[bre.len() - 1] / ks[ks.len() - 1];
+        assert!(
+            per_k_last < 2.0 * per_k_first,
+            "BRE work/k should be flat: first {per_k_first}, last {per_k_last}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared helpers: purpose-built datasets and index timing runners.
+
+use crate::time_ms;
+use ibis_bitmap::{EqualityBitmapIndex, QueryCost, RangeBitmapIndex};
+use ibis_bitvec::Wah;
+use ibis_core::gen::uniform_column;
+use ibis_core::{Dataset, RangeQuery};
+use ibis_vafile::{VaCost, VaFile};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A dataset of `n_cols` uniform columns sharing one cardinality and
+/// missing rate — the building block of the Fig. 4/5 sweeps (the paper
+/// varies one parameter at a time over homogeneous attribute groups).
+pub fn uniform_group(
+    n_rows: usize,
+    n_cols: usize,
+    cardinality: u16,
+    missing_rate: f64,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::new(
+        (0..n_cols)
+            .map(|i| {
+                uniform_column(
+                    &format!("a{i}"),
+                    n_rows,
+                    cardinality,
+                    missing_rate,
+                    &mut rng,
+                )
+            })
+            .collect(),
+    )
+    .expect("homogeneous columns")
+}
+
+/// Timing and work counters for the three contenders over one workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrioTiming {
+    /// Milliseconds for the whole workload, per contender.
+    pub bee_ms: f64,
+    /// BRE total ms.
+    pub bre_ms: f64,
+    /// VA-file total ms.
+    pub va_ms: f64,
+    /// Total bitmaps accessed by BEE.
+    pub bee_bitmaps: usize,
+    /// Total bitmaps accessed by BRE.
+    pub bre_bitmaps: usize,
+    /// Total approximation fields scanned by the VA-file.
+    pub va_fields: usize,
+    /// Mean realized global selectivity across the workload.
+    pub realized_selectivity: f64,
+}
+
+/// Builds BEE (WAH), BRE (WAH) and the VA-file over `dataset` and times
+/// `queries` over each, asserting all three agree (the suite never reports
+/// numbers from disagreeing implementations).
+pub fn time_trio(dataset: &Dataset, queries: &[RangeQuery]) -> TrioTiming {
+    let bee = EqualityBitmapIndex::<Wah>::build(dataset);
+    let bre = RangeBitmapIndex::<Wah>::build(dataset);
+    let va = VaFile::build(dataset);
+    let mut t = TrioTiming::default();
+    let mut matched = 0usize;
+
+    let (bee_results, bee_ms) = time_ms(|| {
+        let mut cost = QueryCost::zero();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (rows, c) = bee.execute_with_cost(q).expect("valid workload");
+            cost += c;
+            results.push(rows);
+        }
+        (results, cost)
+    });
+    t.bee_ms = bee_ms;
+    t.bee_bitmaps = bee_results.1.bitmaps_accessed;
+
+    let (bre_results, bre_ms) = time_ms(|| {
+        let mut cost = QueryCost::zero();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (rows, c) = bre.execute_with_cost(q).expect("valid workload");
+            cost += c;
+            results.push(rows);
+        }
+        (results, cost)
+    });
+    t.bre_ms = bre_ms;
+    t.bre_bitmaps = bre_results.1.bitmaps_accessed;
+
+    let (va_results, va_ms) = time_ms(|| {
+        let mut cost = VaCost::default();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (rows, c) = va.execute_with_cost(dataset, q).expect("valid workload");
+            cost.approx_fields_read += c.approx_fields_read;
+            results.push(rows);
+        }
+        (results, cost)
+    });
+    t.va_ms = va_ms;
+    t.va_fields = va_results.1.approx_fields_read;
+
+    for ((a, b), c) in bee_results.0.iter().zip(&bre_results.0).zip(&va_results.0) {
+        assert_eq!(a, b, "BEE and BRE disagree");
+        assert_eq!(a, c, "bitmaps and VA-file disagree");
+        matched += a.len();
+    }
+    t.realized_selectivity = if queries.is_empty() || dataset.n_rows() == 0 {
+        0.0
+    } else {
+        matched as f64 / (queries.len() * dataset.n_rows()) as f64
+    };
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_core::gen::{workload, QuerySpec};
+    use ibis_core::MissingPolicy;
+
+    #[test]
+    fn trio_agrees_and_times() {
+        let d = uniform_group(1_500, 10, 10, 0.2, 7);
+        let spec = QuerySpec {
+            n_queries: 10,
+            k: 4,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let qs = workload(&d, &spec, 9);
+        let t = time_trio(&d, &qs);
+        assert!(t.bee_ms >= 0.0 && t.bre_ms >= 0.0 && t.va_ms >= 0.0);
+        assert!(t.bee_bitmaps > 0 && t.bre_bitmaps > 0);
+        // The scan short-circuits per row, so fields read lies between one
+        // per (row, query) and the full k per (row, query).
+        assert!(t.va_fields >= 10 * 1_500 && t.va_fields <= 10 * 4 * 1_500);
+        assert!(t.realized_selectivity > 0.0);
+    }
+}

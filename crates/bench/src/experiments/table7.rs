@@ -1,0 +1,92 @@
+//! **Table 7** — dataset composition: the synthetic column mix and the
+//! census-like cross-tab, regenerated from the actual generators so any
+//! drift between spec and data shows up here.
+
+use crate::config::Scale;
+use crate::report::Table;
+use ibis_core::gen::{census_scaled, SyntheticSpec};
+use ibis_core::stats::CompositionTable;
+
+/// Emits both halves of Table 7.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    // Left half: synthetic spec, columns per (cardinality, missing level).
+    let spec = SyntheticSpec::paper_scaled(scale.rows);
+    let mut syn = Table::new(
+        "table7_synthetic",
+        "synthetic dataset composition (columns per cardinality × % missing)",
+        &["card", "m10", "m20", "m30", "m40", "m50", "total"],
+    );
+    for card in [2u16, 5, 10, 20, 50, 100] {
+        let mut row = vec![card.to_string()];
+        let mut total = 0usize;
+        for pct in [10u8, 20, 30, 40, 50] {
+            let n: usize = spec
+                .groups
+                .iter()
+                .filter(|g| {
+                    g.cardinality == card && ((g.missing_rate * 100.0).round() as u8) == pct
+                })
+                .map(|g| g.n_cols)
+                .sum();
+            total += n;
+            row.push(n.to_string());
+        }
+        row.push(total.to_string());
+        syn.push(row);
+    }
+    let col_totals: Vec<usize> = (0..5)
+        .map(|i| {
+            syn.rows
+                .iter()
+                .map(|r| r[i + 1].parse::<usize>().unwrap())
+                .sum()
+        })
+        .collect();
+    let grand: usize = col_totals.iter().sum();
+    let mut trow = vec!["total".to_string()];
+    trow.extend(col_totals.iter().map(|n| n.to_string()));
+    trow.push(grand.to_string());
+    syn.push(trow);
+
+    // Right half: census cross-tab measured from generated data.
+    let d = census_scaled(scale.census_rows.min(20_000), scale.seed);
+    let ct = CompositionTable::census_buckets(&d);
+    let mut cen = Table::new(
+        "table7_census",
+        "census-like dataset composition (measured from generated data)",
+        &["card", "m0", "m<=10", "m<=40", "m<=70", "m<=100", "total"],
+    );
+    let labels = ["<10", "10-50", "51-100", ">100"];
+    for (ci, row) in ct.counts.iter().enumerate() {
+        let mut r = vec![labels[ci].to_string()];
+        r.extend(row.iter().map(|n| n.to_string()));
+        r.push(row.iter().sum::<usize>().to_string());
+        cen.push(r);
+    }
+    let mut trow = vec!["total".to_string()];
+    for m in 0..5 {
+        trow.push(ct.counts.iter().map(|r| r[m]).sum::<usize>().to_string());
+    }
+    trow.push(ct.total().to_string());
+    cen.push(trow);
+
+    vec![syn, cen]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let tables = run(&Scale::smoke());
+        let syn = &tables[0];
+        // Grand total 450 columns, 90 per missing level.
+        assert_eq!(syn.rows.last().unwrap().last().unwrap(), "450");
+        for i in 1..=5 {
+            assert_eq!(syn.rows.last().unwrap()[i], "90");
+        }
+        let cen = &tables[1];
+        assert_eq!(cen.rows.last().unwrap().last().unwrap(), "48");
+    }
+}

@@ -1,0 +1,63 @@
+//! # ibis-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation (§5), plus the ablations listed in DESIGN.md §3.
+//!
+//! Each experiment is a library function in [`experiments`] returning
+//! [`report::Table`]s, so the same code drives:
+//!
+//! * one binary per experiment (`fig1`, `fig4a`, …, `ablation_reorder`) that
+//!   prints the paper-style table and writes a CSV under `results/`;
+//! * the `figures` binary that runs everything in sequence;
+//! * the Criterion micro-benches under `benches/`.
+//!
+//! ## Scale
+//!
+//! Experiments default to the paper's dataset sizes (100,000 synthetic
+//! rows; 463,733 census-like rows) but honour environment variables so CI
+//! and laptops can shrink them without touching code:
+//!
+//! * `IBIS_ROWS` — synthetic row count (default 100000);
+//! * `IBIS_CENSUS_ROWS` — census-like row count (default 463733);
+//! * `IBIS_QUERIES` — queries per timing point (default 100, the paper's
+//!   choice).
+//!
+//! Absolute milliseconds differ from the paper's 2005 hardware, so tables
+//! also carry the machine-independent work counters (bitmaps touched,
+//! approximation fields scanned, tree nodes visited) that determine the
+//! curve *shapes*.
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+
+use std::time::Instant;
+
+/// The shared `main` of every single-experiment binary: resolve the named
+/// experiment, run it at the environment-configured scale, print each table
+/// and write it to `results/<name>.csv`.
+///
+/// # Panics
+/// Panics if `name` is not registered in [`experiments::all`] or the
+/// results directory is unwritable.
+pub fn run_experiment_main(name: &str) {
+    let scale = config::Scale::from_env();
+    eprintln!("running {name} at scale {scale:?}");
+    let runner = experiments::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("experiment {name:?} not registered"))
+        .1;
+    for table in runner(&scale) {
+        table
+            .emit(std::path::Path::new("results"))
+            .expect("write results/");
+    }
+}
+
+/// Times a closure, returning its result and elapsed milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}

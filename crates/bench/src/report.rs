@@ -1,0 +1,175 @@
+//! Result tables: aligned console output plus CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment's output table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Experiment identifier, e.g. `fig5a`.
+    pub name: String,
+    /// Human caption printed above the table.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: &str, caption: &str, headers: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header count.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the aligned console form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} — {}", self.name, self.caption);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(s, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            s,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", line(row, &widths));
+        }
+        s
+    }
+
+    /// CSV form.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        s
+    }
+
+    /// Prints to stdout and writes `results/<name>.csv` under `out_dir`.
+    pub fn emit(&self, out_dir: &Path) -> std::io::Result<()> {
+        println!("{}", self.render());
+        std::fs::create_dir_all(out_dir)?;
+        std::fs::write(out_dir.join(format!("{}.csv", self.name)), self.to_csv())
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals for table cells.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a ratio (e.g. compression or normalized time).
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a byte count as KB with one decimal (the paper plots KB/MB).
+pub fn fmt_kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", "caption", &["a", "bee"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["33".into(), "4444".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("caption"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows right-aligned to the widest cell.
+        assert!(lines[1].ends_with("bee") || lines[1].ends_with("bee ".trim_end()));
+        assert!(lines.last().unwrap().contains("4444"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", "c", &["x"]);
+        t.push(vec!["a,b".into()]);
+        t.push(vec!["q\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", "c", &["x", "y"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(12.345), "12.35");
+        assert_eq!(fmt_ms(0.1234), "0.1234");
+        assert_eq!(fmt_ratio(0.1699), "0.170");
+        assert_eq!(fmt_kb(2048), "2.0");
+    }
+}

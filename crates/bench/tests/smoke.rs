@@ -1,0 +1,34 @@
+//! Harness smoke test: every registered experiment runs end to end at a
+//! tiny scale and produces non-empty, well-formed tables. Keeps the
+//! `figures` pipeline from rotting between full-scale runs.
+
+use ibis_bench::config::Scale;
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let scale = Scale {
+        rows: 2_000,
+        census_rows: 3_000,
+        queries: 5,
+        rtree_rows: 1_200,
+        seed: 99,
+    };
+    for (name, runner) in ibis_bench::experiments::all() {
+        let tables = runner(&scale);
+        assert!(!tables.is_empty(), "{name} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{name}/{} has no rows", t.name);
+            for row in &t.rows {
+                assert_eq!(
+                    row.len(),
+                    t.headers.len(),
+                    "{name}/{} row width mismatch",
+                    t.name
+                );
+            }
+            // Render and CSV paths must not panic.
+            let _ = t.render();
+            let _ = t.to_csv();
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Bitmap Equality Encoding (BEE) — §4.2 of the paper.
+
+use crate::cost::QueryCost;
+use crate::size::{AttrSize, SizeReport};
+use ibis_bitvec::BitStore;
+use ibis_core::{Dataset, Interval, MissingPolicy, RangeQuery, Result, RowSet};
+
+/// Equality-encoded bitmap index over an incomplete relation.
+///
+/// For attribute `A_i` with cardinality `C_i`, bitmap `B_{i,j}` (`1 ≤ j ≤
+/// C_i`) flags the rows whose value is exactly `j`. Attributes that contain
+/// missing data get one extra bitmap `B_{i,0}` flagging the missing rows —
+/// the paper's chosen design, kept because WAH compresses the (typically
+/// sparse or very dense) missing bitmap well, and because the in-band
+/// alternatives break the NOT operator and cardinality-1 attributes (see
+/// [`crate::rejected`]).
+///
+/// Query evaluation follows Fig. 2: each interval is answered by ORing the
+/// cheaper of the in-range or out-of-range bitmap sets (complementing in the
+/// latter case), giving the paper's worst-case bound of
+/// `min(AS, 1−AS)·C + 1` bitmap reads per dimension.
+#[derive(Clone, Debug)]
+pub struct EqualityBitmapIndex<B: BitStore> {
+    attrs: Vec<BeeAttr<B>>,
+    n_rows: usize,
+}
+
+#[derive(Clone, Debug)]
+struct BeeAttr<B> {
+    cardinality: u16,
+    /// `B_{i,0}`; `None` when the column has no missing rows (the paper only
+    /// adds the extra bitmap "for each attribute with missing data").
+    missing: Option<B>,
+    /// `values[v-1]` = `B_{i,v}`.
+    values: Vec<B>,
+}
+
+impl<B: BitStore> EqualityBitmapIndex<B> {
+    /// Builds the index over every column of `dataset`.
+    pub fn build(dataset: &Dataset) -> Self {
+        let attrs = dataset.columns().iter().map(Self::build_attr).collect();
+        EqualityBitmapIndex {
+            attrs,
+            n_rows: dataset.n_rows(),
+        }
+    }
+
+    fn build_attr(col: &ibis_core::Column) -> BeeAttr<B> {
+        let mut bitvecs = crate::equality_bitvecs(col);
+        let values_bv = bitvecs.split_off(1);
+        let missing_bv = bitvecs.pop().expect("index 0 is the missing bitmap");
+        BeeAttr {
+            cardinality: col.cardinality(),
+            missing: (missing_bv.count_ones() > 0).then(|| B::from_bitvec(&missing_bv)),
+            values: values_bv.iter().map(B::from_bitvec).collect(),
+        }
+    }
+
+    /// Like [`Self::build`], but fanning columns over `n_threads` OS
+    /// threads (the paper's synthetic set has 450 independent attributes).
+    pub fn build_parallel(dataset: &Dataset, n_threads: usize) -> Self
+    where
+        B: Send,
+    {
+        let attrs = ibis_core::parallel::parallel_map(
+            dataset.columns().iter().collect(),
+            n_threads,
+            Self::build_attr,
+        );
+        EqualityBitmapIndex {
+            attrs,
+            n_rows: dataset.n_rows(),
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Appends one record in place: every stored bitmap grows by one bit
+    /// (`O(Σ C_i)` pushes; with the WAH backend each push is amortized
+    /// O(1)). The first missing value on a previously-complete attribute
+    /// materializes its `B_0`.
+    ///
+    /// # Errors
+    /// Rejects rows of the wrong width or with out-of-domain values,
+    /// leaving the index unchanged.
+    pub fn append_row(&mut self, row: &[ibis_core::Cell]) -> Result<()> {
+        ibis_core::validate_row(row, |a| self.attrs[a].cardinality, self.attrs.len())?;
+        for (&cell, a) in row.iter().zip(&mut self.attrs) {
+            let raw = cell.raw();
+            if raw == 0 && a.missing.is_none() {
+                a.missing = Some(B::zeros(self.n_rows));
+            }
+            if let Some(m) = &mut a.missing {
+                m.push_bit(raw == 0);
+            }
+            for (j, b) in a.values.iter_mut().enumerate() {
+                b.push_bit(raw as usize == j + 1);
+            }
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of indexed attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Total number of stored bitmaps (`Σ_i C_i` plus one per attribute with
+    /// missing data).
+    pub fn n_bitmaps(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|a| a.values.len() + usize::from(a.missing.is_some()))
+            .sum()
+    }
+
+    /// Per-attribute and total size accounting.
+    pub fn size_report(&self) -> SizeReport {
+        let per_attr = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(attr, a)| {
+                let n_bitmaps = a.values.len() + usize::from(a.missing.is_some());
+                let bytes = a.values.iter().map(B::size_bytes).sum::<usize>()
+                    + a.missing.as_ref().map_or(0, B::size_bytes);
+                AttrSize::new(attr, n_bitmaps, bytes, self.n_rows)
+            })
+            .collect();
+        SizeReport { per_attr }
+    }
+
+    /// Total bytes of all stored bitmaps.
+    pub fn size_bytes(&self) -> usize {
+        self.size_report().total_bytes()
+    }
+
+    /// Evaluates one interval over one attribute (Fig. 2), accumulating
+    /// work counters into `cost`.
+    ///
+    /// # Panics
+    /// Panics if `attr` or the interval is out of range; [`Self::execute`]
+    /// validates first.
+    pub fn evaluate_interval(
+        &self,
+        attr: usize,
+        iv: Interval,
+        policy: MissingPolicy,
+        cost: &mut QueryCost,
+    ) -> B {
+        let a = &self.attrs[attr];
+        let c = a.cardinality as usize;
+        let (v1, v2) = (iv.lo as usize, iv.hi as usize);
+        assert!(
+            v1 >= 1 && v2 <= c,
+            "interval [{v1},{v2}] outside domain 1..={c}"
+        );
+
+        // Fig. 2: OR the in-range bitmaps when the range spans at most half
+        // the domain; otherwise OR the out-of-range bitmaps and complement.
+        // Choose the smaller bitmap set (the paper's prose: complement when
+        // the range "includes more than half of the cardinality"; Fig. 2's
+        // span test v2−v1 ≤ ⌊C/2⌋ can pick the larger side for even C —
+        // comparing set sizes keeps the min(AS, 1−AS)·C + 1 bound tight).
+        let width = v2 - v1 + 1;
+        if width <= c - width {
+            let mut acc = crate::or_all(a.values[v1 - 1..v2].iter(), cost)
+                .expect("in-range set is non-empty");
+            if policy == MissingPolicy::IsMatch {
+                if let Some(m) = &a.missing {
+                    cost.read_bitmap();
+                    cost.op();
+                    acc = acc.or(m);
+                }
+            }
+            acc
+        } else {
+            let outside = a.values[..v1 - 1].iter().chain(a.values[v2..].iter());
+            let mut acc = crate::or_all(outside, cost);
+            if policy == MissingPolicy::IsNotMatch {
+                // Missing rows are 0 in every value bitmap, so the plain
+                // complement would (re-)include them; OR `B_0` in first.
+                if let Some(m) = &a.missing {
+                    cost.read_bitmap();
+                    acc = Some(match acc {
+                        Some(x) => {
+                            cost.op();
+                            x.or(m)
+                        }
+                        None => m.clone(),
+                    });
+                }
+            }
+            match acc {
+                Some(x) => {
+                    cost.op();
+                    x.not()
+                }
+                None => B::ones(self.n_rows), // full-domain range, no exclusions
+            }
+        }
+    }
+
+    /// Executes a query, returning matching row ids.
+    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        Ok(self.execute_with_cost(query)?.0)
+    }
+
+    /// Counts matching rows without materializing their ids — a COUNT(*)
+    /// aggregation straight off the final bitmap's population count.
+    pub fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
+        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
+        let mut cost = QueryCost::zero();
+        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
+            self.evaluate_interval(attr, iv, query.policy(), cost)
+        });
+        Ok(match acc {
+            None => self.n_rows,
+            Some(b) => b.count_ones(),
+        })
+    }
+
+    /// Executes a query, also returning the work counters.
+    pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
+        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
+        let mut cost = QueryCost::zero();
+        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
+            self.evaluate_interval(attr, iv, query.policy(), cost)
+        });
+        let rows = match acc {
+            None => RowSet::all(self.n_rows as u32),
+            Some(b) => RowSet::from_sorted(b.ones_positions()),
+        };
+        Ok((rows, cost))
+    }
+}
+
+impl<B: BitStore> EqualityBitmapIndex<B> {
+    const MAGIC: &'static [u8; 4] = b"IBEE";
+    const VERSION: u16 = 1;
+
+    /// Serializes the index (paper metric: "size of the requisite index
+    /// files on disk").
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        use ibis_core::wire::*;
+        write_header(w, Self::MAGIC, Self::VERSION)?;
+        write_str(w, B::backend_name())?;
+        write_len(w, self.n_rows)?;
+        write_len(w, self.attrs.len())?;
+        for a in &self.attrs {
+            write_u16(w, a.cardinality)?;
+            write_u8(w, a.missing.is_some() as u8)?;
+            if let Some(m) = &a.missing {
+                m.write_to(w)?;
+            }
+            write_len(w, a.values.len())?;
+            for v in &a.values {
+                v.write_to(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes an index written by [`Self::write_to`]. The backend
+    /// recorded in the file must match `B`.
+    pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Self> {
+        use ibis_core::wire::*;
+        let (n_rows, n_attrs) = crate::read_index_preamble::<B>(r, Self::MAGIC, Self::VERSION)?;
+        let mut attrs = Vec::with_capacity(n_attrs.min(1 << 20));
+        for _ in 0..n_attrs {
+            let cardinality = read_u16(r)?;
+            if cardinality == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "zero cardinality in index file",
+                ));
+            }
+            let missing = match read_u8(r)? {
+                0 => None,
+                _ => Some(B::read_from(r)?),
+            };
+            let n_values = read_len(r)?;
+            if n_values != cardinality as usize {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "value-bitmap count disagrees with cardinality",
+                ));
+            }
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(B::read_from(r)?);
+            }
+            for b in values.iter().chain(missing.iter()) {
+                if b.len() != n_rows {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "bitmap length disagrees with row count",
+                    ));
+                }
+            }
+            attrs.push(BeeAttr {
+                cardinality,
+                missing,
+                values,
+            });
+        }
+        Ok(EqualityBitmapIndex { attrs, n_rows })
+    }
+
+    /// Writes the index to `path` (buffered).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        use std::io::Write as _;
+        w.flush()
+    }
+
+    /// Reads an index from `path` (buffered).
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_bitvec::{BitVec64, Wah};
+    use ibis_core::{scan, Cell, Column, Predicate};
+
+    fn m() -> Cell {
+        Cell::MISSING
+    }
+    fn v(x: u16) -> Cell {
+        Cell::present(x)
+    }
+
+    /// The paper's Table 1/2 worked example: one attribute, cardinality 5,
+    /// ten records, rows 4 and 9 missing (1-based).
+    fn table1() -> Dataset {
+        Dataset::from_rows(
+            &[("a1", 5)],
+            &[
+                vec![v(5)],
+                vec![v(2)],
+                vec![v(3)],
+                vec![m()],
+                vec![v(4)],
+                vec![v(5)],
+                vec![v(1)],
+                vec![v(3)],
+                vec![m()],
+                vec![v(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn bits_of<B: BitStore>(b: &B) -> String {
+        let v = b.to_bitvec();
+        (0..v.len())
+            .map(|i| if v.get(i) { '1' } else { '0' })
+            .collect()
+    }
+
+    #[test]
+    fn table2_bitmaps_reproduced() {
+        // Table 2 of the paper lists the equality bitmaps for Table 1.
+        let idx = EqualityBitmapIndex::<BitVec64>::build(&table1());
+        let a = &idx.attrs[0];
+        assert_eq!(bits_of(a.missing.as_ref().unwrap()), "0001000010"); // B_{1,0}
+        assert_eq!(bits_of(&a.values[0]), "0000001000"); // B_{1,1}
+        assert_eq!(bits_of(&a.values[1]), "0100000001"); // B_{1,2}
+        assert_eq!(bits_of(&a.values[2]), "0010000100"); // B_{1,3}
+        assert_eq!(bits_of(&a.values[3]), "0000100000"); // B_{1,4}
+        assert_eq!(bits_of(&a.values[4]), "1000010000"); // B_{1,5}
+    }
+
+    #[test]
+    fn point_query_both_policies() {
+        let d = table1();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        let q = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsMatch).unwrap();
+        // Value 3 at rows 2, 7 (0-based); missing rows 3, 8 also match.
+        assert_eq!(idx.execute(&q).unwrap().rows(), &[2, 3, 7, 8]);
+        let q = q.with_policy(MissingPolicy::IsNotMatch);
+        assert_eq!(idx.execute(&q).unwrap().rows(), &[2, 7]);
+    }
+
+    #[test]
+    fn point_query_costs_match_paper() {
+        // Match semantics needs "two bitmaps instead of one" for a point
+        // query on an attribute with missing data (§4.2).
+        let idx = EqualityBitmapIndex::<Wah>::build(&table1());
+        let q = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsMatch).unwrap();
+        let (_, cost) = idx.execute_with_cost(&q).unwrap();
+        assert_eq!(cost.bitmaps_accessed, 2);
+        let q = q.with_policy(MissingPolicy::IsNotMatch);
+        let (_, cost) = idx.execute_with_cost(&q).unwrap();
+        assert_eq!(cost.bitmaps_accessed, 1);
+    }
+
+    #[test]
+    fn wide_range_uses_complement() {
+        // [1,4] over C=5 spans 4 > ⌊5/2⌋ → complement path reads only B_5
+        // (plus B_0 under not-match).
+        let d = table1();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 4)], MissingPolicy::IsMatch).unwrap();
+        let (rows, cost) = idx.execute_with_cost(&q).unwrap();
+        assert_eq!(rows, scan::execute(&d, &q));
+        assert_eq!(cost.bitmaps_accessed, 1);
+
+        let q = q.with_policy(MissingPolicy::IsNotMatch);
+        let (rows, cost) = idx.execute_with_cost(&q).unwrap();
+        assert_eq!(rows, scan::execute(&d, &q));
+        assert_eq!(cost.bitmaps_accessed, 2);
+    }
+
+    #[test]
+    fn full_domain_range() {
+        let d = table1();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 5)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(idx.execute(&q).unwrap(), RowSet::all(10));
+        let q = q.with_policy(MissingPolicy::IsNotMatch);
+        // Everything except the two missing rows.
+        assert_eq!(idx.execute(&q).unwrap().rows(), &[0, 1, 2, 4, 5, 6, 7, 9]);
+    }
+
+    #[test]
+    fn no_missing_column_stores_no_b0() {
+        let col = Column::from_raw("a", 3, vec![1, 2, 3, 1]).unwrap();
+        let d = Dataset::new(vec![col]).unwrap();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        assert!(idx.attrs[0].missing.is_none());
+        assert_eq!(idx.n_bitmaps(), 3);
+        // Policies coincide on complete data.
+        for iv in [Interval::point(2), Interval::new(1, 2), Interval::new(2, 3)] {
+            let qm = RangeQuery::new(
+                vec![Predicate {
+                    attr: 0,
+                    interval: iv,
+                }],
+                MissingPolicy::IsMatch,
+            )
+            .unwrap();
+            let qn = qm.with_policy(MissingPolicy::IsNotMatch);
+            assert_eq!(idx.execute(&qm).unwrap(), idx.execute(&qn).unwrap());
+            assert_eq!(idx.execute(&qm).unwrap(), scan::execute(&d, &qm));
+        }
+    }
+
+    #[test]
+    fn multi_attribute_conjunction() {
+        let d = Dataset::from_rows(
+            &[("a", 4), ("b", 4)],
+            &[
+                vec![v(1), v(1)],
+                vec![v(2), m()],
+                vec![m(), v(2)],
+                vec![v(2), v(2)],
+                vec![v(4), v(4)],
+            ],
+        )
+        .unwrap();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        for policy in MissingPolicy::ALL {
+            let q = RangeQuery::new(
+                vec![Predicate::range(0, 1, 2), Predicate::point(1, 2)],
+                policy,
+            )
+            .unwrap();
+            assert_eq!(idx.execute(&q).unwrap(), scan::execute(&d, &q), "{policy}");
+        }
+    }
+
+    #[test]
+    fn empty_key_matches_all() {
+        let idx = EqualityBitmapIndex::<Wah>::build(&table1());
+        let q = RangeQuery::new(vec![], MissingPolicy::IsNotMatch).unwrap();
+        assert_eq!(idx.execute(&q).unwrap(), RowSet::all(10));
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let idx = EqualityBitmapIndex::<Wah>::build(&table1());
+        let q = RangeQuery::new(vec![Predicate::point(3, 1)], MissingPolicy::IsMatch).unwrap();
+        assert!(idx.execute(&q).is_err());
+        let q = RangeQuery::new(vec![Predicate::point(0, 9)], MissingPolicy::IsMatch).unwrap();
+        assert!(idx.execute(&q).is_err());
+    }
+
+    #[test]
+    fn size_report_counts_extra_missing_bitmap() {
+        let idx = EqualityBitmapIndex::<BitVec64>::build(&table1());
+        let report = idx.size_report();
+        assert_eq!(report.per_attr.len(), 1);
+        assert_eq!(report.per_attr[0].n_bitmaps, 6); // C=5 plus B_0
+        assert_eq!(report.total_uncompressed_bytes(), 6 * 2); // ceil(10/8)=2 each
+        assert!(report.total_bytes() > 0);
+    }
+
+    #[test]
+    fn differential_vs_scan_exhaustive_intervals() {
+        let d = table1();
+        let idx = EqualityBitmapIndex::<Wah>::build(&d);
+        for policy in MissingPolicy::ALL {
+            for lo in 1..=5u16 {
+                for hi in lo..=5u16 {
+                    let q = RangeQuery::new(vec![Predicate::range(0, lo, hi)], policy).unwrap();
+                    assert_eq!(
+                        idx.execute(&q).unwrap(),
+                        scan::execute(&d, &q),
+                        "{policy} [{lo},{hi}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::RangeBitmapIndex;
+    use ibis_bitvec::Wah;
+    use ibis_core::gen::synthetic_scaled;
+    use ibis_core::{MissingPolicy, Predicate};
+
+    #[test]
+    fn parallel_build_equals_serial() {
+        let d = synthetic_scaled(600, 81);
+        let serial = EqualityBitmapIndex::<Wah>::build(&d);
+        let parallel = EqualityBitmapIndex::<Wah>::build_parallel(&d, 4);
+        assert_eq!(parallel.n_bitmaps(), serial.n_bitmaps());
+        assert_eq!(parallel.size_bytes(), serial.size_bytes());
+        let bre_s = RangeBitmapIndex::<Wah>::build(&d);
+        let bre_p = RangeBitmapIndex::<Wah>::build_parallel(&d, 4);
+        assert_eq!(bre_p.size_bytes(), bre_s.size_bytes());
+        for policy in MissingPolicy::ALL {
+            for attr in [0usize, 120, 449] {
+                let c = d.column(attr).cardinality();
+                let q = RangeQuery::new(vec![Predicate::range(attr, 1, c.div_ceil(2))], policy)
+                    .unwrap();
+                assert_eq!(parallel.execute(&q).unwrap(), serial.execute(&q).unwrap());
+                assert_eq!(bre_p.execute(&q).unwrap(), bre_s.execute(&q).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_single_thread_degenerates() {
+        let d = synthetic_scaled(100, 82);
+        let a = EqualityBitmapIndex::<Wah>::build_parallel(&d, 1);
+        let b = EqualityBitmapIndex::<Wah>::build(&d);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+    }
+}

@@ -1,0 +1,90 @@
+//! Index-size accounting shared by both bitmap encodings.
+
+/// Size of one attribute's bitmap set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttrSize {
+    /// Attribute index.
+    pub attr: usize,
+    /// Number of stored bitmaps.
+    pub n_bitmaps: usize,
+    /// Encoded bytes actually stored.
+    pub bytes: usize,
+    /// Bytes a verbatim (uncompressed) copy of the same bitmaps would take:
+    /// `n_bitmaps × ceil(n_rows / 8)` — the denominator of the paper's
+    /// compression ratios.
+    pub uncompressed_bytes: usize,
+}
+
+impl AttrSize {
+    pub(crate) fn new(attr: usize, n_bitmaps: usize, bytes: usize, n_rows: usize) -> AttrSize {
+        AttrSize {
+            attr,
+            n_bitmaps,
+            bytes,
+            uncompressed_bytes: n_bitmaps * n_rows.div_ceil(8),
+        }
+    }
+
+    /// `bytes / uncompressed_bytes`; below 1 means the encoding saved space.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.uncompressed_bytes == 0 {
+            1.0
+        } else {
+            self.bytes as f64 / self.uncompressed_bytes as f64
+        }
+    }
+}
+
+/// Whole-index size accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Per-attribute entries, in attribute order.
+    pub per_attr: Vec<AttrSize>,
+}
+
+impl SizeReport {
+    /// Total encoded bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.per_attr.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Total verbatim-bitmap bytes.
+    pub fn total_uncompressed_bytes(&self) -> usize {
+        self.per_attr.iter().map(|a| a.uncompressed_bytes).sum()
+    }
+
+    /// Overall compression ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        let u = self.total_uncompressed_bytes();
+        if u == 0 {
+            1.0
+        } else {
+            self.total_bytes() as f64 / u as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let a = AttrSize::new(0, 4, 10, 80); // uncompressed = 4 * 10 = 40
+        assert_eq!(a.uncompressed_bytes, 40);
+        assert!((a.compression_ratio() - 0.25).abs() < 1e-12);
+        let r = SizeReport {
+            per_attr: vec![a, AttrSize::new(1, 1, 30, 80)],
+        };
+        assert_eq!(r.total_bytes(), 40);
+        assert_eq!(r.total_uncompressed_bytes(), 50);
+        assert!((r.compression_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_ratio_one() {
+        let r = SizeReport { per_attr: vec![] };
+        assert_eq!(r.compression_ratio(), 1.0);
+        assert_eq!(r.total_bytes(), 0);
+    }
+}

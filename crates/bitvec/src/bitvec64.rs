@@ -1,0 +1,334 @@
+//! Plain uncompressed bit vectors backed by `u64` words.
+
+use std::fmt;
+
+/// An uncompressed bit vector of fixed length with word-parallel logical
+/// operations.
+///
+/// This is both a [`crate::BitStore`] backend in its own right (the
+/// "uncompressed bitmap index" ablation) and the intermediate representation
+/// every compressed store encodes from / decodes to.
+///
+/// Bits beyond `len` inside the last word are kept zero by every operation
+/// (`not` masks the tail), so `count_ones`/`iter_ones` never see padding.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec64 {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec64 {
+    /// An all-zeros vector of `len` bits.
+    pub fn zeros(len: usize) -> BitVec64 {
+        BitVec64 {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-ones vector of `len` bits.
+    pub fn ones(len: usize) -> BitVec64 {
+        let mut v = BitVec64 {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds from the positions of set bits. Positions must be `< len`.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn from_ones(len: usize, ones: impl IntoIterator<Item = u32>) -> BitVec64 {
+        let mut v = BitVec64::zeros(len);
+        for pos in ones {
+            v.set(pos as usize, true);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail padding is zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    fn zip_with(&self, other: &BitVec64, f: impl Fn(u64, u64) -> u64) -> BitVec64 {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut out = BitVec64 {
+            words,
+            len: self.len,
+        };
+        out.mask_tail(); // f may set padding bits (e.g. a XOR with NOT-like f)
+        out
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, other: &BitVec64) -> BitVec64 {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &BitVec64) -> BitVec64 {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &BitVec64) -> BitVec64 {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT (complement within `len`).
+    pub fn not(&self) -> BitVec64 {
+        let words = self.words.iter().map(|&w| !w).collect();
+        let mut out = BitVec64 {
+            words,
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// In-place AND (used by the query executors to avoid reallocating the
+    /// accumulator on every dimension).
+    pub fn and_assign(&mut self, other: &BitVec64) {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR.
+    pub fn or_assign(&mut self, other: &BitVec64) {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Positions of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some((wi * 64) as u32 + b)
+                }
+            })
+        })
+    }
+
+    /// Heap size of the backing storage, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Appends one bit (amortized O(1)).
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if bit {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Builds from raw backing words (deserialization path). Rejects a
+    /// mismatched word count or padding bits set past `len`.
+    pub(crate) fn from_raw_words(words: Vec<u64>, len: usize) -> std::io::Result<BitVec64> {
+        if words.len() != len.div_ceil(64) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "word count disagrees with bit length",
+            ));
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last >> tail != 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "set bits past the declared bit length",
+                    ));
+                }
+            }
+        }
+        Ok(BitVec64 { words, len })
+    }
+}
+
+impl fmt::Debug for BitVec64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec64[{}; ", self.len)?;
+        for i in 0..self.len.min(128) {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len > 128 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &str) -> BitVec64 {
+        let mut v = BitVec64::zeros(bits.len());
+        for (i, c) in bits.chars().enumerate() {
+            v.set(i, c == '1');
+        }
+        v
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = BitVec64::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(128));
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = bv("1100");
+        let b = bv("1010");
+        assert_eq!(a.and(&b), bv("1000"));
+        assert_eq!(a.or(&b), bv("1110"));
+        assert_eq!(a.xor(&b), bv("0110"));
+        assert_eq!(a.not(), bv("0011"));
+    }
+
+    #[test]
+    fn not_masks_tail_padding() {
+        let v = BitVec64::zeros(70);
+        let n = v.not();
+        assert_eq!(n.count_ones(), 70);
+        // Padding bits in the second word must stay clear.
+        assert_eq!(n.words()[1] >> 6, 0);
+        assert_eq!(n.not(), v);
+    }
+
+    #[test]
+    fn ones_constructor_masks_tail() {
+        let v = BitVec64::ones(65);
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(BitVec64::ones(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_ascending_across_words() {
+        let v = BitVec64::from_ones(200, [0u32, 63, 64, 127, 199]);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let a = bv("110011");
+        let b = bv("101010");
+        let mut x = a.clone();
+        x.and_assign(&b);
+        assert_eq!(x, a.and(&b));
+        let mut y = a.clone();
+        y.or_assign(&b);
+        assert_eq!(y, a.or(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = bv("10").and(&bv("100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        bv("10").get(2);
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(BitVec64::zeros(1).size_bytes(), 8);
+        assert_eq!(BitVec64::zeros(64).size_bytes(), 8);
+        assert_eq!(BitVec64::zeros(65).size_bytes(), 16);
+        assert_eq!(BitVec64::zeros(0).size_bytes(), 0);
+    }
+}

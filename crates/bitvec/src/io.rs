@@ -1,0 +1,44 @@
+//! Tiny little-endian I/O helpers (this crate sits below `ibis-core`, so it
+//! carries its own copies of the primitive readers/writers).
+
+use std::io::{self, Read, Write};
+
+/// Writes one little-endian `u32`.
+pub fn write_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads one little-endian `u32`.
+pub fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes one little-endian `u64`.
+pub fn write_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads one little-endian `u64`.
+pub fn read_u64(r: &mut dyn Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_u32(&mut buf, 0xCAFE_F00D).unwrap();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u32(&mut r).unwrap(), 0xCAFE_F00D);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX);
+        assert!(read_u32(&mut r).is_err(), "exhausted");
+    }
+}

@@ -1,0 +1,48 @@
+//! # ibis-bitvec
+//!
+//! Bit-vector substrate for the bitmap indexes of *"Indexing Incomplete
+//! Databases"* (EDBT 2006):
+//!
+//! * [`BitVec64`] — a plain, uncompressed bit vector with word-parallel
+//!   logical operations;
+//! * [`Wah`] — the Word-Aligned Hybrid code (Wu, Otoo, Shoshani), the
+//!   compression the paper uses (§4.4): 32-bit words, literal/fill
+//!   encoding, **logical operations executed directly on the compressed
+//!   form** producing compressed results;
+//! * [`Bbc`] — a byte-aligned bitmap code in the spirit of Antoshenkov's
+//!   BBC (the paper's future-work compression), likewise with
+//!   compressed-form operations;
+//! * [`BitStore`] — the trait the bitmap indexes are generic over, so every
+//!   index can be instantiated with any backend (the ablation benches sweep
+//!   all three).
+//!
+//! All three stores agree bit-for-bit with each other; property tests in
+//! each module exercise that equivalence on random inputs.
+//!
+//! ```
+//! use ibis_bitvec::{BitStore, BitVec64, Wah};
+//!
+//! // A sparse million-bit bitmap compresses to a handful of WAH words…
+//! let plain = BitVec64::from_ones(1_000_000, [3u32, 500_000]);
+//! let wah = Wah::encode(&plain);
+//! assert!(wah.size_bytes() < 40);
+//!
+//! // …and logical operations stay on the compressed form.
+//! let other = Wah::encode(&BitVec64::from_ones(1_000_000, [3u32, 9]));
+//! let both = wah.and(&other);
+//! assert_eq!(both.ones_positions(), vec![3]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bbc;
+mod bitvec64;
+pub mod io;
+mod store;
+mod wah;
+
+pub use bbc::Bbc;
+pub use bitvec64::BitVec64;
+pub use store::BitStore;
+pub use wah::{Wah, WahStats};

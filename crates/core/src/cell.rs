@@ -1,0 +1,134 @@
+//! A single attribute value that may be missing.
+
+use std::fmt;
+
+/// One cell of an incomplete relation.
+///
+/// Attribute domains in the paper are the integers `1..=C` (`C` = attribute
+/// cardinality). The raw encoding reserves `0` for *missing*, matching the
+/// paper's convention of treating missing data as "the next smallest possible
+/// value outside the lower bound of the domain" (Section 4.3). The reserved
+/// slot is an internal detail: the public constructors make it impossible to
+/// build a present cell with value `0`.
+///
+/// `Cell` is a transparent wrapper over `u16`; columns store cells as plain
+/// `u16`s so a 100,000 × 450 relation (the paper's synthetic set) fits in
+/// ~90 MB.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Cell(u16);
+
+impl Cell {
+    /// The missing cell.
+    pub const MISSING: Cell = Cell(0);
+
+    /// A present cell holding `value`.
+    ///
+    /// # Panics
+    /// Panics if `value == 0`; domain values start at 1.
+    #[inline]
+    pub fn present(value: u16) -> Cell {
+        assert!(
+            value != 0,
+            "domain values start at 1; 0 is the missing marker"
+        );
+        Cell(value)
+    }
+
+    /// Builds a cell from the raw in-band encoding (`0` = missing).
+    #[inline]
+    pub const fn from_raw(raw: u16) -> Cell {
+        Cell(raw)
+    }
+
+    /// The raw in-band encoding (`0` = missing, otherwise the value).
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// `true` if this cell is missing.
+    #[inline]
+    pub const fn is_missing(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The value, or `None` if missing.
+    #[inline]
+    pub const fn value(self) -> Option<u16> {
+        match self.0 {
+            0 => None,
+            v => Some(v),
+        }
+    }
+}
+
+impl From<Option<u16>> for Cell {
+    /// `None` maps to missing; `Some(v)` must have `v >= 1`.
+    fn from(v: Option<u16>) -> Cell {
+        match v {
+            None => Cell::MISSING,
+            Some(v) => Cell::present(v),
+        }
+    }
+}
+
+impl fmt::Debug for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value() {
+            None => write!(f, "∅"),
+            Some(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_roundtrip() {
+        assert!(Cell::MISSING.is_missing());
+        assert_eq!(Cell::MISSING.value(), None);
+        assert_eq!(Cell::MISSING.raw(), 0);
+        assert_eq!(Cell::from(None), Cell::MISSING);
+    }
+
+    #[test]
+    fn present_roundtrip() {
+        let c = Cell::present(7);
+        assert!(!c.is_missing());
+        assert_eq!(c.value(), Some(7));
+        assert_eq!(c.raw(), 7);
+        assert_eq!(Cell::from(Some(7)), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain values start at 1")]
+    fn present_zero_rejected() {
+        let _ = Cell::present(0);
+    }
+
+    #[test]
+    fn ordering_places_missing_first() {
+        // Matches the BRE convention: missing sorts below every domain value.
+        let mut cells = vec![Cell::present(3), Cell::MISSING, Cell::present(1)];
+        cells.sort();
+        assert_eq!(
+            cells,
+            vec![Cell::MISSING, Cell::present(1), Cell::present(3)]
+        );
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Cell::MISSING), "∅");
+        assert_eq!(format!("{:?}", Cell::present(42)), "42");
+    }
+}

@@ -1,0 +1,546 @@
+//! CSV import/export for incomplete relations.
+//!
+//! Real missing-data sources (the paper's census files, survey exports,
+//! clinical spreadsheets) arrive as CSV with blank or sentinel-valued
+//! cells. [`import_csv`] turns such a file into a [`Dataset`]:
+//!
+//! * configurable missing tokens (`""`, `NA`, `?`, …) become
+//!   [`Cell::MISSING`];
+//! * every column is dictionary-encoded onto the paper's `1..=C` integer
+//!   domain — numerically when all present tokens parse as numbers (so
+//!   range queries over codes respect value order), lexicographically
+//!   otherwise. Tokens are categorical: textually distinct spellings of the
+//!   same number (`"1"` vs `"1.0"`, `"07"` vs `"7"`) keep distinct codes —
+//!   normalize upstream if they should unify;
+//! * the per-column dictionaries come back in the [`ImportReport`] so
+//!   results can be translated to the original tokens.
+//!
+//! The parser handles quoted fields, embedded delimiters/newlines, and
+//! `""` escapes; errors carry 1-based line numbers.
+
+use crate::{Cell, Column, Dataset};
+use std::fmt;
+
+/// Import configuration.
+#[derive(Clone, Debug)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Tokens (after trimming) treated as missing; case-insensitive.
+    /// Default: `""`, `NA`, `N/A`, `NULL`, `?`, `missing`, `.`.
+    pub missing_tokens: Vec<String>,
+    /// Whether the first record is a header of attribute names (default
+    /// true; otherwise columns are named `c0`, `c1`, …).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> CsvOptions {
+        CsvOptions {
+            delimiter: ',',
+            missing_tokens: ["", "NA", "N/A", "NULL", "?", "missing", "."]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            has_header: true,
+        }
+    }
+}
+
+/// A parsed dataset plus the value dictionaries.
+#[derive(Clone, Debug)]
+pub struct ImportReport {
+    /// The dataset; values are dictionary codes in `1..=C` per column.
+    pub dataset: Dataset,
+    /// `dictionaries[attr][code - 1]` is the original token for `code`.
+    pub dictionaries: Vec<Vec<String>>,
+}
+
+impl ImportReport {
+    /// Translates a cell back to its original token (`None` = missing).
+    pub fn decode(&self, attr: usize, cell: Cell) -> Option<&str> {
+        cell.value()
+            .map(|v| self.dictionaries[attr][v as usize - 1].as_str())
+    }
+
+    /// The code a token would map to in `attr`'s dictionary, if present.
+    pub fn encode(&self, attr: usize, token: &str) -> Option<u16> {
+        self.dictionaries[attr]
+            .iter()
+            .position(|t| t == token)
+            .map(|i| i as u16 + 1)
+    }
+}
+
+const DICT_MAGIC: &[u8; 4] = b"IBDC";
+const DICT_VERSION: u16 = 1;
+
+/// Serializes per-column dictionaries (the sidecar the CLI writes next to
+/// an imported dataset so later sessions can query by original tokens).
+pub fn save_dictionaries(
+    dictionaries: &[Vec<String>],
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    use crate::wire::*;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_header(&mut w, DICT_MAGIC, DICT_VERSION)?;
+    write_len(&mut w, dictionaries.len())?;
+    for dict in dictionaries {
+        write_len(&mut w, dict.len())?;
+        for token in dict {
+            write_str(&mut w, token)?;
+        }
+    }
+    use std::io::Write as _;
+    w.flush()
+}
+
+/// Reads dictionaries written by [`save_dictionaries`].
+pub fn load_dictionaries(path: impl AsRef<std::path::Path>) -> std::io::Result<Vec<Vec<String>>> {
+    use crate::wire::*;
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_header(&mut r, DICT_MAGIC, DICT_VERSION)?;
+    let n = read_len(&mut r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let len = read_len(&mut r)?;
+        let mut dict = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            dict.push(read_str(&mut r)?);
+        }
+        out.push(dict);
+    }
+    Ok(out)
+}
+
+/// An import failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// Line where the problem was detected (1-based; 0 = whole file).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// One parsed field: its content and whether it was quoted in the source
+/// (quoted fields are taken verbatim — never trimmed, never treated as a
+/// missing-value token or a blank line).
+type Field = (String, bool);
+
+/// Splits CSV text into records of fields, honouring quotes.
+fn parse_records(text: &str, delimiter: char) -> Result<Vec<(usize, Vec<Field>)>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut field_quoted = false;
+    let mut record: Vec<Field> = Vec::new();
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let take_field = |field: &mut String, quoted: &mut bool, record: &mut Vec<Field>| {
+        record.push((std::mem::take(field), std::mem::replace(quoted, false)));
+    };
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.trim().is_empty() {
+                    return Err(CsvError {
+                        line,
+                        message: "quote in the middle of an unquoted field".into(),
+                    });
+                }
+                field.clear();
+                field_quoted = true;
+                in_quotes = true;
+            }
+            '\r' => {} // swallow; \n terminates the record
+            '\n' => {
+                take_field(&mut field, &mut field_quoted, &mut record);
+                // Skip completely blank lines (a lone quoted field counts
+                // as content, even when empty).
+                let blank = record.len() == 1 && !record[0].1 && record[0].0.trim().is_empty();
+                if blank {
+                    record.clear();
+                } else {
+                    records.push((record_line, std::mem::take(&mut record)));
+                }
+                line += 1;
+                record_line = line;
+            }
+            c if c == delimiter => take_field(&mut field, &mut field_quoted, &mut record),
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || field_quoted || !record.is_empty() {
+        take_field(&mut field, &mut field_quoted, &mut record);
+        let blank = record.len() == 1 && !record[0].1 && record[0].0.trim().is_empty();
+        if !blank {
+            records.push((record_line, record));
+        }
+    }
+    Ok(records)
+}
+
+/// Imports CSV text into a dictionary-encoded incomplete relation.
+pub fn import_csv(text: &str, options: &CsvOptions) -> Result<ImportReport, CsvError> {
+    let mut records = parse_records(text, options.delimiter)?;
+    if records.is_empty() {
+        return Err(CsvError {
+            line: 0,
+            message: "no records in input".into(),
+        });
+    }
+    let names: Vec<String> = if options.has_header {
+        let (_, header) = records.remove(0);
+        header.iter().map(|(h, _)| h.trim().to_string()).collect()
+    } else {
+        (0..records[0].1.len()).map(|i| format!("c{i}")).collect()
+    };
+    let width = names.len();
+    if records.is_empty() {
+        return Err(CsvError {
+            line: 0,
+            message: "header only, no data rows".into(),
+        });
+    }
+
+    let is_missing = |token: &str| -> bool {
+        options
+            .missing_tokens
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(token))
+    };
+
+    // Column-major token table, with width validation.
+    let mut tokens: Vec<Vec<Option<String>>> = vec![Vec::with_capacity(records.len()); width];
+    for (line, record) in &records {
+        if record.len() != width {
+            return Err(CsvError {
+                line: *line,
+                message: format!("{} fields, expected {width}", record.len()),
+            });
+        }
+        for (col, (raw_field, quoted)) in record.iter().enumerate() {
+            // Quoted fields are literal: never trimmed, never a missing
+            // token ("NA" the string vs NA the sentinel).
+            if *quoted {
+                tokens[col].push(Some(raw_field.clone()));
+            } else {
+                let t = raw_field.trim();
+                tokens[col].push(if is_missing(t) {
+                    None
+                } else {
+                    Some(t.to_string())
+                });
+            }
+        }
+    }
+
+    // Dictionary per column: numeric sort when every present token parses
+    // as a number, lexicographic otherwise.
+    let mut columns = Vec::with_capacity(width);
+    let mut dictionaries = Vec::with_capacity(width);
+    for (name, col_tokens) in names.iter().zip(tokens) {
+        let mut distinct: Vec<String> = col_tokens
+            .iter()
+            .flatten()
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if distinct.is_empty() {
+            // All-missing column: keep a placeholder domain of one value.
+            distinct.push(String::from("(none)"));
+        }
+        if distinct.len() > u16::MAX as usize {
+            return Err(CsvError {
+                line: 0,
+                message: format!(
+                    "column {name:?} has {} distinct values; max {}",
+                    distinct.len(),
+                    u16::MAX
+                ),
+            });
+        }
+        let all_numeric = distinct.iter().all(|t| t.parse::<f64>().is_ok());
+        if all_numeric {
+            distinct.sort_by(|a, b| {
+                a.parse::<f64>()
+                    .expect("checked")
+                    .total_cmp(&b.parse::<f64>().expect("checked"))
+            });
+        } // else: BTreeSet already sorted lexicographically
+        let code_of: std::collections::HashMap<&str, u16> = distinct
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i as u16 + 1))
+            .collect();
+        let raw: Vec<u16> = col_tokens
+            .iter()
+            .map(|t| t.as_deref().map_or(0, |t| code_of[t]))
+            .collect();
+        let column = Column::from_raw(name.clone(), distinct.len() as u16, raw)
+            .expect("codes in 1..=C by construction");
+        columns.push(column);
+        dictionaries.push(distinct);
+    }
+    let dataset = Dataset::new(columns).expect("equal column lengths by construction");
+    Ok(ImportReport {
+        dataset,
+        dictionaries,
+    })
+}
+
+/// Exports a dataset to CSV. With `dictionaries` (from an import), cells
+/// are written as their original tokens; otherwise as numeric codes.
+/// Missing cells are written empty.
+pub fn export_csv(dataset: &Dataset, dictionaries: Option<&[Vec<String>]>) -> String {
+    let needs_quote = |s: &str| s.contains([',', '"', '\n', '\r']);
+    let quote = |s: &str| -> String {
+        if needs_quote(s) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    let header: Vec<String> = dataset.columns().iter().map(|c| quote(c.name())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..dataset.n_rows() {
+        let fields: Vec<String> = (0..dataset.n_attrs())
+            .map(|attr| match dataset.cell(row, attr).value() {
+                None => String::new(),
+                Some(v) => match dictionaries {
+                    Some(d) => quote(&d[attr][v as usize - 1]),
+                    None => v.to_string(),
+                },
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, MissingPolicy, Predicate, RangeQuery};
+
+    const SAMPLE: &str = "\
+age,city,income
+34,london,NA
+27,paris,51000
+NA,london,48000
+51,?,51000
+27,\"new, york\",
+";
+
+    #[test]
+    fn import_shapes_and_missing() {
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        let d = &r.dataset;
+        assert_eq!(d.n_rows(), 5);
+        assert_eq!(d.n_attrs(), 3);
+        assert_eq!(d.column(0).name(), "age");
+        assert_eq!(d.column(0).missing_count(), 1);
+        assert_eq!(d.column(1).missing_count(), 1);
+        assert_eq!(d.column(2).missing_count(), 2);
+    }
+
+    #[test]
+    fn numeric_columns_sort_numerically() {
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        // ages: 27, 34, 51 → codes 1, 2, 3.
+        assert_eq!(r.dictionaries[0], vec!["27", "34", "51"]);
+        assert_eq!(r.dataset.cell(0, 0).value(), Some(2)); // 34
+        assert_eq!(r.dataset.cell(4, 0).value(), Some(1)); // 27
+                                                           // A range query over codes is a range over ages.
+        let q = RangeQuery::new(
+            vec![Predicate::range(0, 1, 2)], // ages 27..=34
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        assert_eq!(scan::execute(&r.dataset, &q).rows(), &[0, 1, 4]);
+    }
+
+    #[test]
+    fn text_columns_sort_lexicographically_and_decode() {
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(r.dictionaries[1], vec!["london", "new, york", "paris"]);
+        assert_eq!(r.decode(1, r.dataset.cell(4, 1)), Some("new, york"));
+        assert_eq!(r.decode(1, r.dataset.cell(3, 1)), None); // '?' is missing
+        assert_eq!(r.encode(1, "paris"), Some(3));
+        assert_eq!(r.encode(1, "berlin"), None);
+    }
+
+    #[test]
+    fn quoted_fields_with_escapes_and_newlines() {
+        let csv = "a,b\n\"x\"\"y\",\"line1\nline2\"\n1,2\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.dataset.n_rows(), 2);
+        assert_eq!(r.decode(0, r.dataset.cell(0, 0)), Some("x\"y"));
+        assert_eq!(r.decode(1, r.dataset.cell(0, 1)), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn custom_delimiter_and_no_header() {
+        let csv = "1;x\n2;y\n;z\n";
+        let opts = CsvOptions {
+            delimiter: ';',
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let r = import_csv(csv, &opts).unwrap();
+        assert_eq!(r.dataset.column(0).name(), "c0");
+        assert_eq!(r.dataset.n_rows(), 3);
+        assert_eq!(r.dataset.column(0).missing_count(), 1);
+    }
+
+    #[test]
+    fn width_mismatch_reports_line() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = import_csv(csv, &CsvOptions::default()).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn malformed_quotes_rejected() {
+        assert!(import_csv("a\nx\"y\n", &CsvOptions::default()).is_err());
+        assert!(import_csv("a\n\"unterminated\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(import_csv("", &CsvOptions::default()).is_err());
+        assert!(import_csv("a,b\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn all_missing_column_gets_placeholder_domain() {
+        let csv = "a,b\nNA,1\n?,2\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.dataset.column(0).cardinality(), 1);
+        assert_eq!(r.dataset.column(0).missing_count(), 2);
+    }
+
+    #[test]
+    fn export_roundtrips_through_import() {
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        let csv = export_csv(&r.dataset, Some(&r.dictionaries));
+        let r2 = import_csv(&csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r2.dataset, r.dataset);
+        assert_eq!(r2.dictionaries, r.dictionaries);
+        // Code-only export also reimports (values become numeric strings).
+        let csv = export_csv(&r.dataset, None);
+        let r3 = import_csv(&csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r3.dataset.n_rows(), r.dataset.n_rows());
+        for attr in 0..3 {
+            assert_eq!(
+                r3.dataset.column(attr).missing_count(),
+                r.dataset.column(attr).missing_count()
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_sidecar_roundtrips() {
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join(format!("ibis_dict_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.dict");
+        save_dictionaries(&r.dictionaries, &path).unwrap();
+        assert_eq!(load_dictionaries(&path).unwrap(), r.dictionaries);
+        // Corruption rejected.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_dictionaries(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn imported_data_is_indexable() {
+        // The whole point: CSV → dataset → query, with missing semantics.
+        let r = import_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        let d = &r.dataset;
+        let income_51000 = r.encode(2, "51000").unwrap();
+        let q = RangeQuery::new(
+            vec![Predicate::point(2, income_51000)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        // Rows with income 51000 (1, 3) or missing income (0, 4).
+        assert_eq!(scan::execute(d, &q).rows(), &[0, 1, 3, 4]);
+    }
+}
+
+#[cfg(test)]
+mod quoting_tests {
+    use super::*;
+
+    #[test]
+    fn quoted_sentinels_are_literal_values() {
+        // "NA" in quotes is the two-letter string, not a missing marker.
+        let csv = "status\n\"NA\"\nNA\nok\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.dataset.column(0).missing_count(), 1); // only the bare NA
+        assert_eq!(r.dictionaries[0], vec!["NA", "ok"]);
+        assert_eq!(r.decode(0, r.dataset.cell(0, 0)), Some("NA"));
+        assert_eq!(r.decode(0, r.dataset.cell(1, 0)), None);
+    }
+
+    #[test]
+    fn quoted_fields_keep_surrounding_whitespace() {
+        let csv = "a\n\"  padded  \"\nplain\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.decode(0, r.dataset.cell(0, 0)), Some("  padded  "));
+    }
+
+    #[test]
+    fn quoted_empty_single_column_record_is_kept() {
+        // A lone "" is a present-but-empty... actually an empty quoted token
+        // is still the empty string, which the default missing set matches —
+        // but the *record* must not be dropped as a blank line.
+        let csv = "a\nx\n\"\"\ny\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.dataset.n_rows(), 3, "quoted-empty row preserved");
+        // Quoted means literal, so it is a distinct (empty-string) value.
+        assert_eq!(r.dataset.column(0).missing_count(), 0);
+        assert_eq!(r.dictionaries[0], vec!["", "x", "y"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type shared across the workspace's core operations.
+
+use std::fmt;
+
+/// Errors raised when constructing datasets, queries, or indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A cell value exceeded the declared cardinality of its attribute.
+    ValueOutOfDomain {
+        /// Attribute index.
+        attr: usize,
+        /// Offending value.
+        value: u16,
+        /// Declared cardinality of the attribute.
+        cardinality: u16,
+    },
+    /// Columns of differing lengths were combined into one dataset.
+    ColumnLengthMismatch {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        actual: usize,
+        /// Index of the offending column.
+        attr: usize,
+    },
+    /// A query referenced an attribute index outside the schema.
+    AttributeOutOfRange {
+        /// Attribute index used by the query.
+        attr: usize,
+        /// Number of attributes in the schema.
+        width: usize,
+    },
+    /// A query interval was invalid for its attribute.
+    InvalidInterval {
+        /// Attribute index.
+        attr: usize,
+        /// Interval lower bound.
+        lo: u16,
+        /// Interval upper bound.
+        hi: u16,
+        /// Declared cardinality of the attribute.
+        cardinality: u16,
+    },
+    /// A query listed the same attribute twice.
+    DuplicateAttribute {
+        /// The duplicated attribute index.
+        attr: usize,
+    },
+    /// An attribute was declared with cardinality zero.
+    ZeroCardinality {
+        /// Attribute index.
+        attr: usize,
+    },
+    /// An encoding cannot represent the column (e.g. the paper's in-band
+    /// missing encoding on a cardinality-1 attribute with missing data).
+    UnrepresentableColumn {
+        /// Attribute index.
+        attr: usize,
+        /// Why the column cannot be represented.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Error::ValueOutOfDomain {
+                attr,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} outside domain 1..={cardinality} of attribute {attr}"
+            ),
+            Error::ColumnLengthMismatch {
+                expected,
+                actual,
+                attr,
+            } => write!(f, "column {attr} has {actual} rows, expected {expected}"),
+            Error::AttributeOutOfRange { attr, width } => {
+                write!(f, "attribute {attr} out of range for schema width {width}")
+            }
+            Error::InvalidInterval {
+                attr,
+                lo,
+                hi,
+                cardinality,
+            } => write!(
+                f,
+                "interval [{lo}, {hi}] invalid for attribute {attr} with domain 1..={cardinality}"
+            ),
+            Error::DuplicateAttribute { attr } => {
+                write!(
+                    f,
+                    "attribute {attr} appears more than once in the search key"
+                )
+            }
+            Error::ZeroCardinality { attr } => {
+                write!(f, "attribute {attr} declared with cardinality 0")
+            }
+            Error::UnrepresentableColumn { attr, reason } => {
+                write!(f, "attribute {attr} cannot be represented: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_operands() {
+        let e = Error::ValueOutOfDomain {
+            attr: 3,
+            value: 9,
+            cardinality: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('5'), "{s}");
+
+        let e = Error::InvalidInterval {
+            attr: 1,
+            lo: 4,
+            hi: 2,
+            cardinality: 10,
+        };
+        assert!(e.to_string().contains("[4, 2]"));
+    }
+}

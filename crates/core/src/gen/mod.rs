@@ -1,0 +1,25 @@
+//! Workload generators: the paper's synthetic and census-like datasets
+//! (Table 7) and query workloads with controlled global selectivity.
+//!
+//! The real census extract used in the paper (463,733 records × 48
+//! attributes) is not publicly available; [`census`] generates a synthetic
+//! stand-in that reproduces the *published marginals* — the Table 7
+//! cardinality × missing-rate cross-tab, the 2–165 cardinality range, the
+//! 0–98.5% missing range (8 attributes above 90%) — with Zipf-skewed value
+//! distributions. The paper's real-data conclusions are driven by exactly
+//! those properties (bit-density skew compresses WAH bitmaps; missing density
+//! compresses `B_0`), so the stand-in exercises the same code paths. See
+//! DESIGN.md §5.
+
+mod census;
+pub mod missingness;
+mod queries;
+mod synthetic;
+mod zipf;
+
+pub use census::{census_paper, census_scaled, CensusSpec};
+pub use queries::{workload, QuerySpec};
+pub use synthetic::{
+    synthetic_paper, synthetic_scaled, uniform_column, SyntheticGroup, SyntheticSpec,
+};
+pub use zipf::ZipfCdf;

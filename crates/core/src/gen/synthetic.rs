@@ -1,0 +1,217 @@
+//! The paper's uniform synthetic dataset (Table 7, left).
+//!
+//! 100,000 records × 450 attributes; cardinality ∈ {2, 5, 10, 20, 50, 100},
+//! missing rate ∈ {10, 20, 30, 40, 50}%, with a fixed number of columns per
+//! (cardinality, missing) combination. Values are uniform over the domain and
+//! missingness is independent of everything (MCAR), exactly the setting the
+//! paper controls for its parameter sweeps.
+
+use crate::{Column, Dataset};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One group of identically-distributed columns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticGroup {
+    /// Attribute cardinality `C`.
+    pub cardinality: u16,
+    /// Missing-data probability `P_m` in `[0, 1]`.
+    pub missing_rate: f64,
+    /// How many columns with these parameters.
+    pub n_cols: usize,
+}
+
+/// Specification of a uniform synthetic dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of records.
+    pub n_rows: usize,
+    /// Column groups.
+    pub groups: Vec<SyntheticGroup>,
+}
+
+impl SyntheticSpec {
+    /// The paper's full Table 7 configuration: 100,000 rows, 450 columns.
+    pub fn paper() -> SyntheticSpec {
+        SyntheticSpec::paper_scaled(100_000)
+    }
+
+    /// Table 7 column mix at a custom row count (column counts unchanged).
+    pub fn paper_scaled(n_rows: usize) -> SyntheticSpec {
+        let mut groups = Vec::new();
+        // (cardinality, columns-per-missing-level) from Table 7.
+        for &(card, per_level) in &[
+            (2u16, 10usize),
+            (5, 10),
+            (10, 20),
+            (20, 20),
+            (50, 20),
+            (100, 10),
+        ] {
+            for pct in [10u8, 20, 30, 40, 50] {
+                groups.push(SyntheticGroup {
+                    cardinality: card,
+                    missing_rate: pct as f64 / 100.0,
+                    n_cols: per_level,
+                });
+            }
+        }
+        SyntheticSpec { n_rows, groups }
+    }
+
+    /// Total number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.groups.iter().map(|g| g.n_cols).sum()
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut columns = Vec::with_capacity(self.n_cols());
+        for (gi, g) in self.groups.iter().enumerate() {
+            for ci in 0..g.n_cols {
+                let name = format!(
+                    "c{}_m{}_{}",
+                    g.cardinality,
+                    (g.missing_rate * 100.0) as u32,
+                    gi * 1000 + ci
+                );
+                columns.push(uniform_column(
+                    &name,
+                    self.n_rows,
+                    g.cardinality,
+                    g.missing_rate,
+                    &mut rng,
+                ));
+            }
+        }
+        Dataset::new(columns).expect("generated columns share n_rows")
+    }
+}
+
+/// Generates one uniform column: each cell is missing with probability
+/// `missing_rate`, otherwise uniform over `1..=cardinality`.
+pub fn uniform_column<R: Rng + ?Sized>(
+    name: &str,
+    n_rows: usize,
+    cardinality: u16,
+    missing_rate: f64,
+    rng: &mut R,
+) -> Column {
+    assert!(
+        (0.0..=1.0).contains(&missing_rate),
+        "missing rate must be in [0,1]"
+    );
+    let mut data = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        if missing_rate > 0.0 && rng.gen::<f64>() < missing_rate {
+            data.push(0);
+        } else {
+            data.push(rng.gen_range(1..=cardinality));
+        }
+    }
+    Column::from_raw(name, cardinality, data).expect("generated values stay in domain")
+}
+
+/// The paper's full synthetic dataset (Table 7): 100,000 × 450. ~90 MB.
+pub fn synthetic_paper(seed: u64) -> Dataset {
+    SyntheticSpec::paper().generate(seed)
+}
+
+/// The Table 7 column mix at a reduced row count for tests and quick runs.
+pub fn synthetic_scaled(n_rows: usize, seed: u64) -> Dataset {
+    SyntheticSpec::paper_scaled(n_rows).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_table7() {
+        let spec = SyntheticSpec::paper();
+        assert_eq!(spec.n_rows, 100_000);
+        assert_eq!(spec.n_cols(), 450);
+        // Column counts per cardinality.
+        let count_for = |card: u16| -> usize {
+            spec.groups
+                .iter()
+                .filter(|g| g.cardinality == card)
+                .map(|g| g.n_cols)
+                .sum()
+        };
+        assert_eq!(count_for(2), 50);
+        assert_eq!(count_for(5), 50);
+        assert_eq!(count_for(10), 100);
+        assert_eq!(count_for(20), 100);
+        assert_eq!(count_for(50), 100);
+        assert_eq!(count_for(100), 50);
+        // Column counts per missing level: 90 each.
+        for pct in [10u8, 20, 30, 40, 50] {
+            let n: usize = spec
+                .groups
+                .iter()
+                .filter(|g| ((g.missing_rate * 100.0) as u8) == pct)
+                .map(|g| g.n_cols)
+                .sum();
+            assert_eq!(n, 90, "missing level {pct}%");
+        }
+    }
+
+    #[test]
+    fn generated_shape_and_rates() {
+        let d = synthetic_scaled(2_000, 42);
+        assert_eq!(d.n_rows(), 2_000);
+        assert_eq!(d.n_attrs(), 450);
+        // Spot-check one group: first 10 columns are card 2, 10% missing.
+        let c = d.column(0);
+        assert_eq!(c.cardinality(), 2);
+        assert!(
+            (c.missing_rate() - 0.10).abs() < 0.03,
+            "{}",
+            c.missing_rate()
+        );
+        // Last group: card 100, 50% missing.
+        let c = d.column(449);
+        assert_eq!(c.cardinality(), 100);
+        assert!(
+            (c.missing_rate() - 0.50).abs() < 0.05,
+            "{}",
+            c.missing_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_scaled(200, 7);
+        let b = synthetic_scaled(200, 7);
+        let c = synthetic_scaled(200, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_column_value_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = uniform_column("x", 10_000, 10, 0.0, &mut rng);
+        let counts = c.value_counts();
+        assert_eq!(counts[0], 0);
+        for (v, &count) in counts.iter().enumerate().skip(1) {
+            let frac = count as f64 / 10_000.0;
+            assert!((frac - 0.1).abs() < 0.03, "value {v}: {frac}");
+        }
+    }
+
+    #[test]
+    fn zero_missing_rate_produces_complete_column() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = uniform_column("x", 500, 4, 0.0, &mut rng);
+        assert_eq!(c.missing_count(), 0);
+    }
+
+    #[test]
+    fn full_missing_rate_produces_empty_column() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = uniform_column("x", 500, 4, 1.0, &mut rng);
+        assert_eq!(c.missing_count(), 500);
+    }
+}

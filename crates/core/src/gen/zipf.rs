@@ -1,0 +1,124 @@
+//! A small table-driven Zipf sampler.
+//!
+//! Implemented here (rather than pulling `rand_distr`) because domains are
+//! tiny (cardinality ≤ 165 in the census stand-in): a precomputed CDF plus
+//! binary search is both exact and faster than rejection sampling.
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `s`:
+/// `P(v) ∝ 1 / v^s`. `s = 0` degenerates to the uniform distribution.
+#[derive(Clone, Debug)]
+pub struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    /// Builds the CDF for ranks `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: u16, s: f64) -> ZipfCdf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for v in 1..=n as u32 {
+            acc += 1.0 / (v as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift on the last bucket.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfCdf { cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> u16 {
+        self.cdf.len() as u16
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of buckets with cdf < u, i.e. the
+        // 0-based index of the chosen rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u16
+    }
+
+    /// Probability mass of rank `v` (1-based).
+    pub fn pmf(&self, v: u16) -> f64 {
+        assert!(v >= 1 && v <= self.n(), "rank out of domain");
+        let i = v as usize - 1;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfCdf::new(4, 0.0);
+        for v in 1..=4 {
+            assert!((z.pmf(v) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfCdf::new(100, 1.2);
+        let sum: f64 = (1..=100).map(|v| z.pmf(v)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_orders_masses() {
+        let z = ZipfCdf::new(10, 1.0);
+        for v in 1..10 {
+            assert!(z.pmf(v) > z.pmf(v + 1), "pmf must decrease with rank");
+        }
+        // Rank 1 of Zipf(1.0, 10) carries 1/H_10 ≈ 0.3414.
+        assert!((z.pmf(1) - 0.3414).abs() < 1e-3);
+    }
+
+    #[test]
+    fn samples_stay_in_domain_and_skew() {
+        let z = ZipfCdf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=5).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        // Empirical mass of rank 1 close to theoretical.
+        let emp = counts[0] as f64 / 20_000.0;
+        assert!((emp - z.pmf(1)).abs() < 0.02, "{emp} vs {}", z.pmf(1));
+    }
+
+    #[test]
+    fn single_bucket_domain() {
+        let z = ZipfCdf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.pmf(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_rejected() {
+        ZipfCdf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! A minimal scoped-thread parallel map for index construction.
+//!
+//! Index builds are embarrassingly parallel across attributes (the paper's
+//! synthetic dataset has 450 of them), so a simple chunked `thread::scope`
+//! covers the need without pulling a thread-pool dependency.
+
+/// Applies `f` to every item, fanning the work over up to `n_threads` OS
+/// threads, and returns results in input order. Falls back to a plain map
+/// for tiny inputs or `n_threads <= 1`.
+pub fn parallel_map<T, U, F>(items: Vec<T>, n_threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = n_threads.min(n).max(1);
+    if threads == 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Chunk indices round-robin-free: contiguous slices keep outputs
+    // trivially ordered.
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A sensible default worker count: available parallelism, capped at 8
+/// (index builds are memory-bandwidth-bound well before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let got = parallel_map(items, 4, |x| x * 2);
+        assert_eq!(got, (0..1000).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![7], 16, |x| x), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let got = parallel_map(vec![1u32, 2, 3], 64, |x| x * x);
+        assert_eq!(got, vec![1, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        parallel_map(vec![0u32, 1], 2, |x| {
+            assert!(x != 1, "boom");
+            x
+        });
+    }
+}

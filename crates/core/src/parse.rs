@@ -1,0 +1,617 @@
+//! A small textual query language over incomplete relations.
+//!
+//! Lets examples, the CLI, and downstream tools write search keys the way
+//! the paper's prose does ("a count of respondents that answered question 5
+//! with answer A and question 8 with answer C"):
+//!
+//! ```text
+//! q5 = 1 and q8 = 3
+//! age between 3 and 5 and income >= 2
+//! analyte_crp = 5 and analyte_glucose in [2, 4]
+//! ```
+//!
+//! Grammar (case-insensitive keywords, `#` starts a comment):
+//!
+//! ```text
+//! query   := clause ( "and" clause )*
+//! clause  := ident op
+//! op      := "=" int
+//!          | "between" int "and" int
+//!          | "in" "[" int "," int "]"
+//!          | "<=" int                  # shorthand for between 1 and v
+//!          | ">=" int                  # shorthand for between v and C
+//! ```
+//!
+//! Attribute names resolve against the dataset schema; bounds are validated
+//! against each attribute's domain, and the two missing-data semantics are
+//! chosen by the caller (they are query-level, not syntax-level, exactly as
+//! in the paper's model).
+
+use crate::{Dataset, Interval, MissingPolicy, Predicate, RangeQuery};
+use std::fmt;
+
+/// A parse failure with byte position and context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the problem starts.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u32),
+    Str(String),
+    Eq,
+    Le,
+    Ge,
+    LBracket,
+    RBracket,
+    Comma,
+    And,
+    Between,
+    In,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut it = input.char_indices().peekable();
+    while let Some(&(i, c)) = it.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                it.next();
+            }
+            '#' => {
+                for (_, c) in it.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                it.next();
+            }
+            '"' => {
+                it.next();
+                let mut lit = String::new();
+                let mut closed = false;
+                for (_, c) in it.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    lit.push(c);
+                }
+                if !closed {
+                    return Err(ParseError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                toks.push((i, Tok::Str(lit)));
+            }
+            '[' => {
+                toks.push((i, Tok::LBracket));
+                it.next();
+            }
+            ']' => {
+                toks.push((i, Tok::RBracket));
+                it.next();
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                it.next();
+            }
+            '<' | '>' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) != Some('=') {
+                    return Err(ParseError {
+                        position: i,
+                        message: format!("expected '{c}=' (only inclusive bounds exist)"),
+                    });
+                }
+                it.next();
+                toks.push((i, if c == '<' { Tok::Le } else { Tok::Ge }));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = it.peek() {
+                    if c.is_ascii_digit() {
+                        end = j + 1;
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..end];
+                let v: u32 = text.parse().map_err(|_| ParseError {
+                    position: start,
+                    message: format!("integer {text:?} out of range"),
+                })?;
+                toks.push((start, Tok::Int(v)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = it.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        end = j + c.len_utf8();
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..end];
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "and" => Tok::And,
+                    "between" => Tok::Between,
+                    "in" => Tok::In,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push((start, tok));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    dataset: &'a Dataset,
+    /// Per-attribute value dictionaries (from a CSV import); enables
+    /// string literals in value positions.
+    dictionaries: Option<&'a [Vec<String>]>,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.input_len, |(p, _)| *p)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// A value position: an integer code, or (with dictionaries) a quoted
+    /// token resolved through `attr`'s dictionary.
+    fn expect_value(&mut self, attr: usize, what: &str) -> Result<u32, ParseError> {
+        let at = self.here();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            Some(Tok::Str(lit)) => {
+                let dicts = self.dictionaries.ok_or_else(|| ParseError {
+                    position: at,
+                    message: format!(
+                        "string literal {lit:?} needs value dictionaries (use parse_query_with_dictionaries)"
+                    ),
+                })?;
+                dicts[attr]
+                    .iter()
+                    .position(|t| t == &lit)
+                    .map(|i| i as u32 + 1)
+                    .ok_or_else(|| ParseError {
+                        position: at,
+                        message: format!("value {lit:?} not in the attribute's dictionary"),
+                    })
+            }
+            other => Err(ParseError {
+                position: at,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        let at = self.here();
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(ParseError {
+                position: at,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn clause(&mut self) -> Result<Predicate, ParseError> {
+        let at = self.here();
+        let name = match self.next() {
+            Some(Tok::Ident(name)) => name,
+            other => {
+                return Err(ParseError {
+                    position: at,
+                    message: format!("expected attribute name, found {other:?}"),
+                })
+            }
+        };
+        let attr = self
+            .dataset
+            .columns()
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| ParseError {
+                position: at,
+                message: format!(
+                    "unknown attribute {name:?} (schema: {})",
+                    self.dataset
+                        .columns()
+                        .iter()
+                        .map(|c| c.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            })?;
+        let c = self.dataset.column(attr).cardinality();
+        let check = |at: usize, v: u32| -> Result<u16, ParseError> {
+            if v >= 1 && v <= c as u32 {
+                Ok(v as u16)
+            } else {
+                Err(ParseError {
+                    position: at,
+                    message: format!("value {v} outside domain 1..={c} of {name:?}"),
+                })
+            }
+        };
+        let at_op = self.here();
+        let interval = match self.next() {
+            Some(Tok::Eq) => {
+                let at = self.here();
+                let v = check(at, self.expect_value(attr, "a value")?)?;
+                Interval::point(v)
+            }
+            Some(Tok::Between) => {
+                let at = self.here();
+                let lo = check(at, self.expect_value(attr, "a lower bound")?)?;
+                self.expect(Tok::And, "'and'")?;
+                let at = self.here();
+                let hi = check(at, self.expect_value(attr, "an upper bound")?)?;
+                if lo > hi {
+                    return Err(ParseError {
+                        position: at,
+                        message: format!("empty interval [{lo}, {hi}]"),
+                    });
+                }
+                Interval::new(lo, hi)
+            }
+            Some(Tok::In) => {
+                self.expect(Tok::LBracket, "'['")?;
+                let at = self.here();
+                let lo = check(at, self.expect_value(attr, "a lower bound")?)?;
+                self.expect(Tok::Comma, "','")?;
+                let at = self.here();
+                let hi = check(at, self.expect_value(attr, "an upper bound")?)?;
+                self.expect(Tok::RBracket, "']'")?;
+                if lo > hi {
+                    return Err(ParseError {
+                        position: at,
+                        message: format!("empty interval [{lo}, {hi}]"),
+                    });
+                }
+                Interval::new(lo, hi)
+            }
+            Some(Tok::Le) => {
+                let at = self.here();
+                let v = check(at, self.expect_value(attr, "a bound")?)?;
+                Interval::new(1, v)
+            }
+            Some(Tok::Ge) => {
+                let at = self.here();
+                let v = check(at, self.expect_value(attr, "a bound")?)?;
+                Interval::new(v, c)
+            }
+            other => {
+                return Err(ParseError {
+                    position: at_op,
+                    message: format!(
+                        "expected '=', 'between', 'in', '<=' or '>=', found {other:?}"
+                    ),
+                })
+            }
+        };
+        Ok(Predicate { attr, interval })
+    }
+}
+
+/// Parses `input` into a [`RangeQuery`] against `dataset`'s schema, under
+/// the given missing-data semantics.
+pub fn parse_query(
+    dataset: &Dataset,
+    input: &str,
+    policy: MissingPolicy,
+) -> Result<RangeQuery, ParseError> {
+    parse_with(dataset, None, input, policy)
+}
+
+/// Like [`parse_query`], but with the per-attribute value dictionaries of a
+/// CSV import ([`crate::csv::ImportReport::dictionaries`]), enabling quoted
+/// string literals in value positions: `city = "london"`.
+pub fn parse_query_with_dictionaries(
+    dataset: &Dataset,
+    dictionaries: &[Vec<String>],
+    input: &str,
+    policy: MissingPolicy,
+) -> Result<RangeQuery, ParseError> {
+    parse_with(dataset, Some(dictionaries), input, policy)
+}
+
+fn parse_with(
+    dataset: &Dataset,
+    dictionaries: Option<&[Vec<String>]>,
+    input: &str,
+    policy: MissingPolicy,
+) -> Result<RangeQuery, ParseError> {
+    let toks = tokenize(input)?;
+    if toks.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "empty query".into(),
+        });
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        dataset,
+        dictionaries,
+        input_len: input.len(),
+    };
+    let mut predicates = vec![p.clause()?];
+    while p.peek().is_some() {
+        p.expect(Tok::And, "'and' between clauses")?;
+        predicates.push(p.clause()?);
+    }
+    RangeQuery::new(predicates, policy).map_err(|e| ParseError {
+        position: 0,
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+
+    fn data() -> Dataset {
+        Dataset::new(vec![
+            Column::from_raw("age", 9, vec![1, 5, 0]).unwrap(),
+            Column::from_raw("income", 5, vec![2, 0, 4]).unwrap(),
+            Column::from_raw("q5", 5, vec![1, 1, 2]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn parse(s: &str) -> Result<RangeQuery, ParseError> {
+        parse_query(&data(), s, MissingPolicy::IsMatch)
+    }
+
+    #[test]
+    fn point_and_conjunction() {
+        let q = parse("q5 = 1 and income = 3").unwrap();
+        assert_eq!(q.dimensionality(), 2);
+        assert!(q.is_point());
+        // Attributes resolve by name, sorted by index afterwards.
+        assert_eq!(q.predicates()[0].attr, 1);
+        assert_eq!(q.predicates()[1].attr, 2);
+    }
+
+    #[test]
+    fn between_and_in_are_equivalent() {
+        let a = parse("age between 2 and 7").unwrap();
+        let b = parse("age in [2, 7]").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.predicates()[0].interval, Interval::new(2, 7));
+    }
+
+    #[test]
+    fn bound_shorthands_expand_to_domain_edges() {
+        let le = parse("age <= 4").unwrap();
+        assert_eq!(le.predicates()[0].interval, Interval::new(1, 4));
+        let ge = parse("age >= 4").unwrap();
+        assert_eq!(ge.predicates()[0].interval, Interval::new(4, 9));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_and_comments() {
+        let q = parse("age BETWEEN 2 AND 3 # tail comment\n and q5 = 1").unwrap();
+        assert_eq!(q.dimensionality(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_lists_schema() {
+        let err = parse("salary = 1").unwrap_err();
+        assert!(err.message.contains("salary"), "{err}");
+        assert!(err.message.contains("age, income, q5"), "{err}");
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn out_of_domain_value_rejected_with_position() {
+        let err = parse("income = 9").unwrap_err();
+        assert!(err.message.contains("1..=5"), "{err}");
+        assert_eq!(err.position, 9);
+    }
+
+    #[test]
+    fn empty_interval_rejected() {
+        let err = parse("age between 5 and 2").unwrap_err();
+        assert!(err.message.contains("empty interval"), "{err}");
+    }
+
+    #[test]
+    fn malformed_inputs() {
+        for bad in [
+            "",
+            "and",
+            "age",
+            "age =",
+            "age = x",
+            "age < 3",
+            "age between 2",
+            "age between 2 and",
+            "age in [2 3]",
+            "age in [2, 3",
+            "age = 2 q5 = 1",
+            "age = 2 and",
+            "age ~ 3",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_propagates_model_error() {
+        let err = parse("age = 1 and age = 2").unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn parsed_queries_execute() {
+        let d = data();
+        let q = parse_query(&d, "age >= 5 and income <= 4", MissingPolicy::IsMatch).unwrap();
+        let rows = crate::scan::execute(&d, &q);
+        // Row 1: age 5 ✓, income missing → match. Row 2: age missing →
+        // match, income 4 ✓. Row 0: age 1 ✗.
+        assert_eq!(rows.rows(), &[1, 2]);
+        let q = q.with_policy(MissingPolicy::IsNotMatch);
+        assert!(crate::scan::execute(&d, &q).is_empty());
+    }
+
+    #[test]
+    fn zero_value_rejected() {
+        // 0 is the missing marker, never a queryable value.
+        assert!(parse("age = 0").is_err());
+    }
+}
+
+#[cfg(test)]
+mod dictionary_tests {
+    use super::*;
+    use crate::csv::{import_csv, CsvOptions};
+    use crate::scan;
+
+    const CSV: &str = "age,city\n30,london\nNA,paris\n41,london\n35,?\n";
+
+    #[test]
+    fn string_literals_resolve_through_dictionaries() {
+        let r = import_csv(CSV, &CsvOptions::default()).unwrap();
+        let q = parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "city = \"london\"",
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        assert_eq!(scan::execute(&r.dataset, &q).rows(), &[0, 2]);
+        // Numeric columns accept string literals too (dictionary order is
+        // numeric): age = "41" resolves to the right code.
+        let q = parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "age = \"41\"",
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        assert_eq!(scan::execute(&r.dataset, &q).rows(), &[2]);
+    }
+
+    #[test]
+    fn string_ranges_follow_dictionary_order() {
+        let r = import_csv(CSV, &CsvOptions::default()).unwrap();
+        // Lexicographic dictionary: london < paris.
+        let q = parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "city between \"london\" and \"paris\"",
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        // Everything with a city (both values) plus the missing row.
+        assert_eq!(scan::execute(&r.dataset, &q).len(), 4);
+    }
+
+    #[test]
+    fn unknown_tokens_and_missing_dicts_error() {
+        let r = import_csv(CSV, &CsvOptions::default()).unwrap();
+        let err = parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "city = \"berlin\"",
+            MissingPolicy::IsMatch,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("berlin"), "{err}");
+        // Without dictionaries, string literals are rejected with guidance.
+        let err = parse_query(&r.dataset, "city = \"london\"", MissingPolicy::IsMatch).unwrap_err();
+        assert!(err.message.contains("dictionaries"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let r = import_csv(CSV, &CsvOptions::default()).unwrap();
+        assert!(parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "city = \"lond",
+            MissingPolicy::IsMatch
+        )
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod utf8_tests {
+    use super::*;
+    use crate::csv::{import_csv, CsvOptions};
+
+    #[test]
+    fn non_ascii_identifiers_and_literals() {
+        // Attribute names and string values with multi-byte characters must
+        // tokenize without panicking and resolve correctly.
+        let csv = "âge,ville\n30,zürich\n41,münchen\nNA,zürich\n";
+        let r = import_csv(csv, &CsvOptions::default()).unwrap();
+        let q = parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "âge >= 1 and ville = \"zürich\"",
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        assert_eq!(crate::scan::execute(&r.dataset, &q).rows(), &[0]);
+        // Unknown non-ASCII token errors cleanly, no panic.
+        assert!(parse_query_with_dictionaries(
+            &r.dataset,
+            &r.dictionaries,
+            "ville = \"köln\"",
+            MissingPolicy::IsMatch
+        )
+        .is_err());
+        // Stray non-ASCII symbol errors cleanly.
+        assert!(parse_query(&r.dataset, "âge ≤ 3", MissingPolicy::IsMatch).is_err());
+    }
+}

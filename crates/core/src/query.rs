@@ -1,0 +1,355 @@
+//! Range/point queries over incomplete relations and the two missing-data
+//! semantics of the paper.
+
+use crate::{Cell, Dataset, Error, Result};
+
+/// How missing values interact with a query (Section 3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MissingPolicy {
+    /// A missing value in a queried attribute *is* a match for that
+    /// attribute: the record answers the query if every queried attribute is
+    /// either missing or in range. The paper's analyte/disease example — a
+    /// disease without a recorded range for an analyte must not be discounted.
+    IsMatch,
+    /// A missing value disqualifies the record: every queried attribute must
+    /// be present and in range. The paper's survey-count example.
+    IsNotMatch,
+}
+
+impl MissingPolicy {
+    /// Both policies, in a fixed order — handy for sweeping experiments.
+    pub const ALL: [MissingPolicy; 2] = [MissingPolicy::IsMatch, MissingPolicy::IsNotMatch];
+
+    /// Whether a single cell satisfies an interval under this policy.
+    #[inline]
+    pub fn cell_matches(self, cell: Cell, iv: Interval) -> bool {
+        match cell.value() {
+            Some(v) => iv.contains(v),
+            None => self == MissingPolicy::IsMatch,
+        }
+    }
+}
+
+impl std::fmt::Display for MissingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MissingPolicy::IsMatch => write!(f, "missing-is-match"),
+            MissingPolicy::IsNotMatch => write!(f, "missing-is-not-match"),
+        }
+    }
+}
+
+/// A closed interval `lo ..= hi` over an attribute domain (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Lower bound `v1 ≥ 1`.
+    pub lo: u16,
+    /// Upper bound `v2 ≥ v1`.
+    pub hi: u16,
+}
+
+impl Interval {
+    /// `lo ..= hi`.
+    #[inline]
+    pub const fn new(lo: u16, hi: u16) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The single-value interval `v ..= v` (a point predicate).
+    #[inline]
+    pub const fn point(v: u16) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `true` if `v` falls inside the interval.
+    #[inline]
+    pub const fn contains(self, v: u16) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of domain values covered.
+    #[inline]
+    pub const fn width(self) -> u32 {
+        self.hi as u32 - self.lo as u32 + 1
+    }
+
+    /// `true` if this is a point predicate (`v1 == v2`).
+    #[inline]
+    pub const fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The paper's attribute selectivity `AS = (v2 − v1 + 1) / C` over a
+    /// domain of cardinality `cardinality`.
+    pub fn attribute_selectivity(self, cardinality: u16) -> f64 {
+        self.width() as f64 / cardinality as f64
+    }
+}
+
+/// One `v1 ≤ A_attr ≤ v2` conjunct of a search key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Index of the queried attribute.
+    pub attr: usize,
+    /// The interval the attribute must fall into.
+    pub interval: Interval,
+}
+
+impl Predicate {
+    /// `v1 ≤ A_attr ≤ v2`.
+    pub const fn range(attr: usize, lo: u16, hi: u16) -> Predicate {
+        Predicate {
+            attr,
+            interval: Interval::new(lo, hi),
+        }
+    }
+
+    /// `A_attr = v`.
+    pub const fn point(attr: usize, v: u16) -> Predicate {
+        Predicate {
+            attr,
+            interval: Interval::point(v),
+        }
+    }
+}
+
+/// A conjunctive range query: a `k`-dimensional search key plus a missing
+/// policy. The paper calls it a *point query* when every interval is a point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeQuery {
+    predicates: Vec<Predicate>,
+    policy: MissingPolicy,
+}
+
+impl RangeQuery {
+    /// Builds a query. Predicates are normalized to ascending attribute
+    /// order; duplicate attributes are rejected (the model specifies one
+    /// interval per search-key attribute).
+    pub fn new(mut predicates: Vec<Predicate>, policy: MissingPolicy) -> Result<RangeQuery> {
+        predicates.sort_by_key(|p| p.attr);
+        for w in predicates.windows(2) {
+            if w[0].attr == w[1].attr {
+                return Err(Error::DuplicateAttribute { attr: w[0].attr });
+            }
+        }
+        for p in &predicates {
+            if p.interval.lo == 0 || p.interval.lo > p.interval.hi {
+                return Err(Error::InvalidInterval {
+                    attr: p.attr,
+                    lo: p.interval.lo,
+                    hi: p.interval.hi,
+                    cardinality: 0,
+                });
+            }
+        }
+        Ok(RangeQuery { predicates, policy })
+    }
+
+    /// Validates the query against a dataset's schema (attribute indexes in
+    /// range, interval bounds within each attribute's domain).
+    pub fn validate(&self, dataset: &Dataset) -> Result<()> {
+        self.validate_schema(dataset.n_attrs(), |attr| dataset.column(attr).cardinality())
+    }
+
+    /// Schema-level validation against `(width, cardinality-of-attr)`;
+    /// indexes use this without needing the full dataset.
+    pub fn validate_schema(
+        &self,
+        width: usize,
+        cardinality_of: impl Fn(usize) -> u16,
+    ) -> Result<()> {
+        for p in &self.predicates {
+            if p.attr >= width {
+                return Err(Error::AttributeOutOfRange {
+                    attr: p.attr,
+                    width,
+                });
+            }
+            let c = cardinality_of(p.attr);
+            if p.interval.hi > c {
+                return Err(Error::InvalidInterval {
+                    attr: p.attr,
+                    lo: p.interval.lo,
+                    hi: p.interval.hi,
+                    cardinality: c,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The search-key conjuncts, in ascending attribute order.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The missing-data semantics of this query.
+    #[inline]
+    pub fn policy(&self) -> MissingPolicy {
+        self.policy
+    }
+
+    /// Returns the same search key under a different policy.
+    pub fn with_policy(&self, policy: MissingPolicy) -> RangeQuery {
+        RangeQuery {
+            predicates: self.predicates.clone(),
+            policy,
+        }
+    }
+
+    /// Query dimensionality `k`.
+    #[inline]
+    pub fn dimensionality(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// `true` if every interval is a point (the paper's point query).
+    pub fn is_point(&self) -> bool {
+        self.predicates.iter().all(|p| p.interval.is_point())
+    }
+
+    /// Whether one full record matches this query. This is the semantic
+    /// definition from Section 3; the scan evaluator and every index must
+    /// agree with it exactly.
+    pub fn matches_row(&self, dataset: &Dataset, row: usize) -> bool {
+        self.predicates.iter().all(|p| {
+            self.policy
+                .cell_matches(dataset.cell(row, p.attr), p.interval)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Cell {
+        Cell::MISSING
+    }
+    fn v(x: u16) -> Cell {
+        Cell::present(x)
+    }
+
+    fn data() -> Dataset {
+        Dataset::from_rows(
+            &[("a", 10), ("b", 10)],
+            &[
+                vec![v(5), v(5)], // row 0: both in [4,6]
+                vec![m(), v(5)],  // row 1: a missing
+                vec![v(5), m()],  // row 2: b missing
+                vec![m(), m()],   // row 3: both missing
+                vec![v(1), v(5)], // row 4: a out of range
+            ],
+        )
+        .unwrap()
+    }
+
+    fn q(policy: MissingPolicy) -> RangeQuery {
+        RangeQuery::new(
+            vec![Predicate::range(0, 4, 6), Predicate::range(1, 4, 6)],
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn match_semantics_definition() {
+        let d = data();
+        let query = q(MissingPolicy::IsMatch);
+        let got: Vec<bool> = (0..5).map(|r| query.matches_row(&d, r)).collect();
+        assert_eq!(got, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn not_match_semantics_definition() {
+        let d = data();
+        let query = q(MissingPolicy::IsNotMatch);
+        let got: Vec<bool> = (0..5).map(|r| query.matches_row(&d, r)).collect();
+        assert_eq!(got, vec![true, false, false, false, false]);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RangeQuery::new(
+            vec![Predicate::point(0, 1), Predicate::point(0, 2)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DuplicateAttribute { attr: 0 }));
+    }
+
+    #[test]
+    fn inverted_interval_rejected() {
+        let err =
+            RangeQuery::new(vec![Predicate::range(0, 5, 3)], MissingPolicy::IsMatch).unwrap_err();
+        assert!(matches!(err, Error::InvalidInterval { lo: 5, hi: 3, .. }));
+    }
+
+    #[test]
+    fn zero_lower_bound_rejected() {
+        // 0 is the missing marker, not a domain value; queries address it via
+        // the policy, never via the interval.
+        let err =
+            RangeQuery::new(vec![Predicate::range(0, 0, 3)], MissingPolicy::IsMatch).unwrap_err();
+        assert!(matches!(err, Error::InvalidInterval { lo: 0, .. }));
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let d = data();
+        let over =
+            RangeQuery::new(vec![Predicate::range(0, 1, 11)], MissingPolicy::IsMatch).unwrap();
+        assert!(matches!(
+            over.validate(&d).unwrap_err(),
+            Error::InvalidInterval {
+                hi: 11,
+                cardinality: 10,
+                ..
+            }
+        ));
+        let out = RangeQuery::new(vec![Predicate::point(7, 1)], MissingPolicy::IsMatch).unwrap();
+        assert!(matches!(
+            out.validate(&d).unwrap_err(),
+            Error::AttributeOutOfRange { attr: 7, width: 2 }
+        ));
+        assert!(q(MissingPolicy::IsMatch).validate(&d).is_ok());
+    }
+
+    #[test]
+    fn predicates_sorted_by_attr() {
+        let query = RangeQuery::new(
+            vec![Predicate::point(3, 1), Predicate::point(1, 2)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        let attrs: Vec<usize> = query.predicates().iter().map(|p| p.attr).collect();
+        assert_eq!(attrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn point_query_detection() {
+        let p = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsMatch).unwrap();
+        assert!(p.is_point());
+        let r = RangeQuery::new(vec![Predicate::range(0, 3, 4)], MissingPolicy::IsMatch).unwrap();
+        assert!(!r.is_point());
+        assert_eq!(r.dimensionality(), 1);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let iv = Interval::new(3, 7);
+        assert_eq!(iv.width(), 5);
+        assert!(iv.contains(3) && iv.contains(7) && !iv.contains(8) && !iv.contains(2));
+        assert!((iv.attribute_selectivity(10) - 0.5).abs() < 1e-12);
+        assert!(Interval::point(4).is_point());
+    }
+
+    #[test]
+    fn with_policy_preserves_key() {
+        let a = q(MissingPolicy::IsMatch);
+        let b = a.with_policy(MissingPolicy::IsNotMatch);
+        assert_eq!(a.predicates(), b.predicates());
+        assert_eq!(b.policy(), MissingPolicy::IsNotMatch);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dataset composition summaries (the paper's Table 7).
+
+use crate::Dataset;
+use std::fmt::Write as _;
+
+/// Per-column statistics used in composition tables and size accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute name.
+    pub name: String,
+    /// Declared cardinality.
+    pub cardinality: u16,
+    /// Distinct non-missing values actually observed.
+    pub distinct_present: usize,
+    /// Number of missing cells.
+    pub missing: usize,
+    /// Fraction of missing cells.
+    pub missing_rate: f64,
+}
+
+/// Computes [`ColumnStats`] for every column.
+pub fn column_stats(dataset: &Dataset) -> Vec<ColumnStats> {
+    dataset
+        .columns()
+        .iter()
+        .map(|c| ColumnStats {
+            name: c.name().to_string(),
+            cardinality: c.cardinality(),
+            distinct_present: c.distinct_present(),
+            missing: c.missing_count(),
+            missing_rate: c.missing_rate(),
+        })
+        .collect()
+}
+
+/// A cardinality × missing-rate cross-tabulation of column counts, the shape
+/// of the paper's Table 7.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompositionTable {
+    /// Upper-inclusive cardinality bucket edges, e.g. `[9, 50, 100, u16::MAX]`
+    /// renders as `<10`, `10-50`, `51-100`, `>100`.
+    pub card_edges: Vec<u16>,
+    /// Upper-inclusive missing-percent bucket edges (0..=100).
+    pub missing_edges: Vec<u8>,
+    /// `counts[c][m]` = number of columns in cardinality bucket `c` and
+    /// missing bucket `m`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl CompositionTable {
+    /// Cross-tabulates a dataset.
+    pub fn new(
+        dataset: &Dataset,
+        card_edges: Vec<u16>,
+        missing_edges: Vec<u8>,
+    ) -> CompositionTable {
+        assert!(!card_edges.is_empty() && !missing_edges.is_empty());
+        assert!(card_edges.windows(2).all(|w| w[0] < w[1]));
+        assert!(missing_edges.windows(2).all(|w| w[0] < w[1]));
+        let mut counts = vec![vec![0usize; missing_edges.len()]; card_edges.len()];
+        for col in dataset.columns() {
+            let ci = card_edges
+                .iter()
+                .position(|&e| col.cardinality() <= e)
+                .unwrap_or(card_edges.len() - 1);
+            let pct = (col.missing_rate() * 100.0).round() as u8;
+            let mi = missing_edges
+                .iter()
+                .position(|&e| pct <= e)
+                .unwrap_or(missing_edges.len() - 1);
+            counts[ci][mi] += 1;
+        }
+        CompositionTable {
+            card_edges,
+            missing_edges,
+            counts,
+        }
+    }
+
+    /// The bucket edges used by the paper for its census table:
+    /// cardinality `<10, 10-50, 51-100, >100`; missing `0, ≤10, ≤40, ≤70, ≤100` (%).
+    pub fn census_buckets(dataset: &Dataset) -> CompositionTable {
+        CompositionTable::new(
+            dataset,
+            vec![9, 50, 100, u16::MAX],
+            vec![0, 10, 40, 70, 100],
+        )
+    }
+
+    /// Total number of columns counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Renders an ASCII table in the style of the paper's Table 7.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{:>10} |", "card \\ %m");
+        let mut prev = None::<u8>;
+        for &e in &self.missing_edges {
+            let label = match prev {
+                None if e == 0 => "0".to_string(),
+                None => format!("<={e}"),
+                Some(_) => format!("<={e}"),
+            };
+            let _ = write!(s, "{label:>7}");
+            prev = Some(e);
+        }
+        let _ = writeln!(s, "{:>7}", "total");
+        let mut prev_card = 0u32;
+        for (ci, row) in self.counts.iter().enumerate() {
+            let hi = self.card_edges[ci];
+            let label = if hi == u16::MAX {
+                format!(">{prev_card}")
+            } else if prev_card + 1 == hi as u32 + 1 && ci == 0 {
+                format!("<={hi}")
+            } else {
+                format!("{}-{}", prev_card + 1, hi)
+            };
+            prev_card = hi as u32;
+            let _ = write!(s, "{label:>10} |");
+            for &c in row {
+                let _ = write!(s, "{c:>7}");
+            }
+            let _ = writeln!(s, "{:>7}", row.iter().sum::<usize>());
+        }
+        let _ = write!(s, "{:>10} |", "total");
+        for m in 0..self.missing_edges.len() {
+            let col_sum: usize = self.counts.iter().map(|r| r[m]).sum();
+            let _ = write!(s, "{col_sum:>7}");
+        }
+        let _ = writeln!(s, "{:>7}", self.total());
+        s
+    }
+}
+
+/// Histogram-based selectivity estimation for query planning.
+///
+/// Per-attribute estimates are *exact* (they come from the full value
+/// histogram, which the bitmap indexes effectively store anyway); the
+/// multi-attribute estimate multiplies them under the paper's independence
+/// assumption — the same assumption behind its
+/// `GS = Π ((1 − Pm)·AS + Pm)` formula, but using observed counts instead
+/// of uniform-domain approximations.
+pub mod estimate {
+    use crate::{Column, Dataset, Interval, MissingPolicy, RangeQuery};
+
+    /// Fraction of rows of `column` matching `iv` under `policy`. Exact.
+    pub fn interval_selectivity(column: &Column, iv: Interval, policy: MissingPolicy) -> f64 {
+        if column.is_empty() {
+            return 0.0;
+        }
+        let counts = column.value_counts();
+        let mut hits: usize = counts[iv.lo as usize..=iv.hi as usize].iter().sum();
+        if policy == MissingPolicy::IsMatch {
+            hits += counts[0];
+        }
+        hits as f64 / column.len() as f64
+    }
+
+    /// Estimated global selectivity of `query` (product of exact
+    /// per-attribute selectivities; exact for single-attribute queries).
+    pub fn query_selectivity(dataset: &Dataset, query: &RangeQuery) -> f64 {
+        query
+            .predicates()
+            .iter()
+            .map(|p| interval_selectivity(dataset.column(p.attr), p.interval, query.policy()))
+            .product()
+    }
+
+    /// Estimated matching-row count for `query`.
+    pub fn query_cardinality(dataset: &Dataset, query: &RangeQuery) -> f64 {
+        query_selectivity(dataset, query) * dataset.n_rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod estimate_tests {
+    use super::estimate::*;
+    use crate::gen::{synthetic_scaled, workload, QuerySpec};
+    use crate::{scan, Column, Dataset, Interval, MissingPolicy, Predicate, RangeQuery};
+
+    #[test]
+    fn single_attribute_estimates_are_exact() {
+        let col = Column::from_raw("a", 5, vec![0, 1, 1, 3, 5, 0, 2]).unwrap();
+        let d = Dataset::new(vec![col]).unwrap();
+        for policy in MissingPolicy::ALL {
+            for lo in 1..=5u16 {
+                for hi in lo..=5u16 {
+                    let q = RangeQuery::new(vec![Predicate::range(0, lo, hi)], policy).unwrap();
+                    let actual = scan::execute(&d, &q).selectivity(d.n_rows());
+                    let est = query_selectivity(&d, &q);
+                    assert!(
+                        (actual - est).abs() < 1e-12,
+                        "{policy} [{lo},{hi}]: {est} vs {actual}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independence_assumption_close_on_synthetic_data() {
+        // Columns are generated independently, so the product rule should
+        // land near the truth.
+        let d = synthetic_scaled(8_000, 91);
+        for policy in MissingPolicy::ALL {
+            let spec = QuerySpec {
+                n_queries: 15,
+                k: 4,
+                global_selectivity: 0.05,
+                policy,
+                candidate_attrs: vec![],
+            };
+            let (mut sum_est, mut sum_act) = (0.0f64, 0.0f64);
+            for q in workload(&d, &spec, 92) {
+                sum_est += query_cardinality(&d, &q);
+                sum_act += scan::execute(&d, &q).len() as f64;
+            }
+            let rel = (sum_est - sum_act).abs() / sum_act.max(1.0);
+            assert!(rel < 0.25, "{policy}: est {sum_est} vs actual {sum_act}");
+        }
+    }
+
+    #[test]
+    fn empty_column_estimates_zero() {
+        let col = Column::from_raw("a", 3, vec![]).unwrap();
+        assert_eq!(
+            interval_selectivity(&col, Interval::new(1, 3), MissingPolicy::IsMatch),
+            0.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+
+    fn dataset() -> Dataset {
+        // 4 columns: card 5 w/ 0% missing, card 5 w/ 50%, card 60 w/ 25%,
+        // card 200 w/ 100%.
+        let n = 4usize;
+        let cols = vec![
+            Column::from_raw("a", 5, vec![1, 2, 3, 4]).unwrap(),
+            Column::from_raw("b", 5, vec![0, 0, 1, 2]).unwrap(),
+            Column::from_raw("c", 60, vec![0, 10, 20, 30]).unwrap(),
+            Column::from_raw("d", 200, vec![0, 0, 0, 0]).unwrap(),
+        ];
+        assert!(cols.iter().all(|c| c.len() == n));
+        Dataset::new(cols).unwrap()
+    }
+
+    #[test]
+    fn column_stats_report_missing() {
+        let stats = column_stats(&dataset());
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].missing, 0);
+        assert_eq!(stats[1].missing, 2);
+        assert!((stats[2].missing_rate - 0.25).abs() < 1e-12);
+        assert_eq!(stats[3].missing_rate, 1.0);
+        assert_eq!(stats[0].distinct_present, 4);
+        assert_eq!(stats[3].distinct_present, 0);
+    }
+
+    #[test]
+    fn census_bucket_crosstab() {
+        let t = CompositionTable::census_buckets(&dataset());
+        assert_eq!(t.total(), 4);
+        // card 5 / 0% missing → bucket (0, 0)
+        assert_eq!(t.counts[0][0], 1);
+        // card 5 / 50% missing → bucket (0, <=70)
+        assert_eq!(t.counts[0][3], 1);
+        // card 60 / 25% → (51-100, <=40)
+        assert_eq!(t.counts[2][2], 1);
+        // card 200 / 100% → (>100, <=100)
+        assert_eq!(t.counts[3][4], 1);
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let t = CompositionTable::census_buckets(&dataset());
+        let s = t.render();
+        assert!(s.contains("total"), "{s}");
+        // 4 columns total appears in the bottom-right corner.
+        assert!(s.trim_end().ends_with('4'), "{s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_edges_rejected() {
+        CompositionTable::new(&dataset(), vec![50, 9], vec![0, 100]);
+    }
+}

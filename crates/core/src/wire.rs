@@ -1,0 +1,222 @@
+//! Minimal little-endian wire format helpers shared by every crate's
+//! persistence code.
+//!
+//! The paper measures index size "as the size of the requisite index files
+//! on disk"; the workspace therefore gives every index a compact binary
+//! on-disk form. The format is deliberately simple: each file starts with a
+//! 4-byte magic and a `u16` version, then type-specific payload. All
+//! integers are little-endian; vectors are a `u64` length followed by raw
+//! elements. No serde — the formats are a handful of primitive fields.
+
+use std::io::{self, Read, Write};
+
+/// Writes a magic tag and format version.
+pub fn write_header(w: &mut impl Write, magic: &[u8; 4], version: u16) -> io::Result<()> {
+    w.write_all(magic)?;
+    write_u16(w, version)
+}
+
+/// Reads and checks a magic tag and version.
+pub fn read_header(r: &mut impl Read, magic: &[u8; 4], version: u16) -> io::Result<()> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {:02x?}, expected {:02x?}", got, magic),
+        ));
+    }
+    let v = read_u16(r)?;
+    if v != version {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported format version {v}, expected {version}"),
+        ));
+    }
+    Ok(())
+}
+
+macro_rules! prim {
+    ($write:ident, $read:ident, $ty:ty) => {
+        /// Writes one little-endian value.
+        pub fn $write(w: &mut impl Write, v: $ty) -> io::Result<()> {
+            w.write_all(&v.to_le_bytes())
+        }
+        /// Reads one little-endian value.
+        pub fn $read(r: &mut impl Read) -> io::Result<$ty> {
+            let mut buf = [0u8; std::mem::size_of::<$ty>()];
+            r.read_exact(&mut buf)?;
+            Ok(<$ty>::from_le_bytes(buf))
+        }
+    };
+}
+
+prim!(write_u8, read_u8, u8);
+prim!(write_u16, read_u16, u16);
+prim!(write_u32, read_u32, u32);
+prim!(write_u64, read_u64, u64);
+
+/// Writes a `usize` as `u64`.
+pub fn write_len(w: &mut impl Write, v: usize) -> io::Result<()> {
+    write_u64(w, v as u64)
+}
+
+/// Reads a `u64` length back into `usize`, guarding against absurd values.
+pub fn read_len(r: &mut impl Read) -> io::Result<usize> {
+    let v = read_u64(r)?;
+    usize::try_from(v)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "length overflows usize"))
+}
+
+/// Writes a length-prefixed `u16` vector.
+pub fn write_vec_u16(w: &mut impl Write, v: &[u16]) -> io::Result<()> {
+    write_len(w, v.len())?;
+    for &x in v {
+        write_u16(w, x)?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `u16` vector.
+pub fn read_vec_u16(r: &mut impl Read) -> io::Result<Vec<u16>> {
+    let n = read_len(r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        out.push(read_u16(r)?);
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed `u32` vector.
+pub fn write_vec_u32(w: &mut impl Write, v: &[u32]) -> io::Result<()> {
+    write_len(w, v.len())?;
+    for &x in v {
+        write_u32(w, x)?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `u32` vector.
+pub fn read_vec_u32(r: &mut impl Read) -> io::Result<Vec<u32>> {
+    let n = read_len(r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        out.push(read_u32(r)?);
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed `u64` vector.
+pub fn write_vec_u64(w: &mut impl Write, v: &[u64]) -> io::Result<()> {
+    write_len(w, v.len())?;
+    for &x in v {
+        write_u64(w, x)?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `u64` vector.
+pub fn read_vec_u64(r: &mut impl Read) -> io::Result<Vec<u64>> {
+    let n = read_len(r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        out.push(read_u64(r)?);
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed byte vector.
+pub fn write_bytes(w: &mut impl Write, v: &[u8]) -> io::Result<()> {
+    write_len(w, v.len())?;
+    w.write_all(v)
+}
+
+/// Reads a length-prefixed byte vector. Allocation grows with the bytes
+/// actually present, so a corrupted (huge) length header fails with an EOF
+/// error instead of attempting a giant allocation.
+pub fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let n = read_len(r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut remaining = n;
+    let mut chunk = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        out.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_bytes(w, s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn read_str(r: &mut impl Read) -> io::Result<String> {
+    String::from_utf8(read_bytes(r)?).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u16(&mut buf, 0xBEEF).unwrap();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64(&mut buf, u64::MAX - 1).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u16(&mut r).unwrap(), 0xBEEF);
+        assert_eq!(read_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn vector_and_string_roundtrip() {
+        let mut buf = Vec::new();
+        write_vec_u16(&mut buf, &[1, 2, 65535]).unwrap();
+        write_vec_u64(&mut buf, &[u64::MAX]).unwrap();
+        write_str(&mut buf, "incomplete ∅ databases").unwrap();
+        write_bytes(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_vec_u16(&mut r).unwrap(), vec![1, 2, 65535]);
+        assert_eq!(read_vec_u64(&mut r).unwrap(), vec![u64::MAX]);
+        assert_eq!(read_str(&mut r).unwrap(), "incomplete ∅ databases");
+        assert_eq!(read_bytes(&mut r).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn header_checks_magic_and_version() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, b"IBIS", 1).unwrap();
+        let mut r = Cursor::new(buf.clone());
+        assert!(read_header(&mut r, b"IBIS", 1).is_ok());
+        let mut r = Cursor::new(buf.clone());
+        assert!(read_header(&mut r, b"XXXX", 1).is_err());
+        let mut r = Cursor::new(buf);
+        assert!(read_header(&mut r, b"IBIS", 2).is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_vec_u16(&mut buf, &[1, 2, 3]).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = Cursor::new(buf);
+        assert!(read_vec_u16(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[0xFF, 0xFE]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert!(read_str(&mut r).is_err());
+    }
+}

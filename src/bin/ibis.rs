@@ -1,0 +1,597 @@
+//! `ibis` — command-line front end for the incomplete-database toolkit.
+//!
+//! ```text
+//! ibis generate --kind synthetic --rows 20000 --seed 7 --out data.ibds
+//! ibis stats data.ibds
+//! ibis index data.ibds --encoding bre --out data.bre
+//! ibis query data.ibds "age between 2 and 5 and income = 3" --not-match
+//! ibis query data.ibds "q5 = 1" --index data.bre --count
+//! ibis race data.ibds --queries 50 --k 4
+//! ```
+//!
+//! Queries use the textual language of [`ibis::core::parse`]; missing-data
+//! semantics default to *missing-is-match* (`--not-match` flips it), the
+//! same two modes the paper defines.
+
+use ibis::core::csv::{export_csv, import_csv, load_dictionaries, save_dictionaries, CsvOptions};
+use ibis::core::gen::{census_scaled, synthetic_scaled, workload, QuerySpec};
+use ibis::core::parse::{parse_query, parse_query_with_dictionaries};
+use ibis::core::stats::{column_stats, CompositionTable};
+use ibis::prelude::*;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("import") => import(&args[1..]),
+        Some("export") => export(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("index") => index(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("race") => race(&args[1..]),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `ibis help`")),
+    }
+}
+
+const HELP: &str = "\
+ibis — indexing incomplete databases (EDBT 2006 reproduction)
+
+commands:
+  generate --kind synthetic|census --rows N [--seed S] --out FILE
+      write a generated dataset (binary .ibds format)
+  import FILE.csv --out FILE.ibds [--delimiter C] [--no-header]
+      dictionary-encode a CSV (blank/NA/?/NULL cells become missing)
+  export FILE.ibds --out FILE.csv
+      write a dataset back out as CSV (numeric codes, missing = empty)
+  stats FILE
+      per-column stats and the Table-7 composition cross-tab
+  index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
+      build and save an index (va ignores --backend)
+  query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
+      run a textual query (e.g. \"age between 2 and 5 and q5 = 1\");
+      uses a saved index when given, otherwise scans
+  race FILE [--queries N] [--k K] [--seed S]
+      time BEE/BRE/VA on a generated workload over FILE
+";
+
+/// Pulls `--name value` out of `args`; returns the remaining positionals.
+fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags take no value; detect by lookahead.
+            let boolean = matches!(name, "count" | "not-match" | "match" | "no-header");
+            if boolean || i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn req<'a>(
+    flags: &'a std::collections::BTreeMap<String, String>,
+    name: &str,
+) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    Dataset::load(path).map_err(|e| format!("cannot load dataset {path:?}: {e}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args);
+    let rows: usize = num(req(&flags, "rows")?, "row count")?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| num(s, "seed"))?;
+    let out = req(&flags, "out")?;
+    let d = match req(&flags, "kind")? {
+        "synthetic" => synthetic_scaled(rows, seed),
+        "census" => census_scaled(rows, seed),
+        other => return Err(format!("unknown kind {other:?} (synthetic|census)")),
+    };
+    d.save(out)
+        .map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    println!(
+        "wrote {} rows × {} attrs ({:.1} MB raw) to {out}",
+        d.n_rows(),
+        d.n_attrs(),
+        d.raw_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn import(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos
+        .first()
+        .ok_or("usage: ibis import FILE.csv --out FILE.ibds")?;
+    let out = req(&flags, "out")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut opts = CsvOptions::default();
+    if let Some(d) = flags.get("delimiter") {
+        let mut chars = d.chars();
+        opts.delimiter = chars.next().ok_or("empty --delimiter")?;
+        if chars.next().is_some() {
+            return Err("--delimiter must be a single character".into());
+        }
+    }
+    if flags.contains_key("no-header") {
+        opts.has_header = false;
+    }
+    let report = import_csv(&text, &opts).map_err(|e| e.to_string())?;
+    report.dataset.save(out).map_err(|e| e.to_string())?;
+    let dict_path = format!("{out}.dict");
+    save_dictionaries(&report.dictionaries, &dict_path).map_err(|e| e.to_string())?;
+    println!(
+        "imported {} rows × {} attrs → {out} (+ {dict_path})",
+        report.dataset.n_rows(),
+        report.dataset.n_attrs()
+    );
+    for (col, dict) in report.dataset.columns().iter().zip(&report.dictionaries) {
+        println!(
+            "  {:>20}: {} distinct values, {:.1}% missing",
+            col.name(),
+            dict.len(),
+            col.missing_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos
+        .first()
+        .ok_or("usage: ibis export FILE.ibds --out FILE.csv")?;
+    let out = req(&flags, "out")?;
+    let d = load_dataset(path)?;
+    // Use the dictionary sidecar when present (written by `ibis import`)
+    // so import → export round-trips the original string values.
+    let dicts = load_dictionaries(format!("{path}.dict")).ok().filter(|dd| {
+        dd.len() == d.n_attrs()
+            && dd
+                .iter()
+                .zip(d.columns())
+                .all(|(dict, col)| dict.len() == col.cardinality() as usize)
+    });
+    std::fs::write(out, export_csv(&d, dicts.as_deref())).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows to {out}{}",
+        d.n_rows(),
+        if dicts.is_some() {
+            " (original tokens via .dict sidecar)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args);
+    let path = pos.first().ok_or("usage: ibis stats FILE")?;
+    let d = load_dataset(path)?;
+    println!("{}: {} rows × {} attrs\n", path, d.n_rows(), d.n_attrs());
+    println!(
+        "{:>20} {:>6} {:>9} {:>9}",
+        "attribute", "card", "distinct", "missing%"
+    );
+    for s in column_stats(&d) {
+        println!(
+            "{:>20} {:>6} {:>9} {:>8.1}%",
+            s.name,
+            s.cardinality,
+            s.distinct_present,
+            s.missing_rate * 100.0
+        );
+    }
+    println!("\n{}", CompositionTable::census_buckets(&d).render());
+    Ok(())
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos
+        .first()
+        .ok_or("usage: ibis index FILE --encoding … --out …")?;
+    let out = req(&flags, "out")?;
+    let backend = flags.get("backend").map_or("wah", String::as_str);
+    let d = load_dataset(path)?;
+    let encoding = req(&flags, "encoding")?;
+    macro_rules! save_bitmap {
+        ($ty:ident) => {
+            match backend {
+                "wah" => save_index(&$ty::<Wah>::build(&d), out),
+                "bbc" => save_index(&$ty::<Bbc>::build(&d), out),
+                "plain" => save_index(&$ty::<BitVec64>::build(&d), out),
+                other => Err(format!("unknown backend {other:?} (wah|bbc|plain)")),
+            }
+        };
+    }
+    let (n_bitmaps, bytes) = match encoding {
+        "va" => {
+            let va = VaFile::build(&d);
+            va.save(out).map_err(|e| e.to_string())?;
+            (0, va.size_bytes())
+        }
+        "bee" => save_bitmap!(EqualityBitmapIndex)?,
+        "bre" => save_bitmap!(RangeBitmapIndex)?,
+        "bie" => save_bitmap!(IntervalBitmapIndex)?,
+        "dec" => save_bitmap!(DecomposedBitmapIndex)?,
+        other => return Err(format!("unknown encoding {other:?} (bee|bre|bie|dec|va)")),
+    };
+    if n_bitmaps > 0 {
+        println!(
+            "wrote {encoding}/{backend} index: {n_bitmaps} bitmaps, {:.1} KB → {out}",
+            bytes as f64 / 1024.0
+        );
+    } else {
+        println!("wrote va index: {:.1} KB → {out}", bytes as f64 / 1024.0);
+    }
+    Ok(())
+}
+
+/// The save surface every bitmap index shares; lets `index` handle all
+/// (encoding, backend) pairs through one code path.
+trait SavableIndex {
+    fn n_bitmaps(&self) -> usize;
+    fn size_bytes(&self) -> usize;
+    fn save(&self, path: &str) -> std::io::Result<()>;
+}
+
+macro_rules! savable {
+    ($ty:ident) => {
+        impl<B: ibis::bitvec::BitStore> SavableIndex for $ty<B> {
+            fn n_bitmaps(&self) -> usize {
+                $ty::n_bitmaps(self)
+            }
+            fn size_bytes(&self) -> usize {
+                $ty::size_bytes(self)
+            }
+            fn save(&self, path: &str) -> std::io::Result<()> {
+                $ty::save(self, path)
+            }
+        }
+    };
+}
+savable!(EqualityBitmapIndex);
+savable!(RangeBitmapIndex);
+savable!(IntervalBitmapIndex);
+savable!(DecomposedBitmapIndex);
+
+fn save_index(idx: &dyn SavableIndex, out: &str) -> Result<(usize, usize), String> {
+    idx.save(out).map_err(|e| e.to_string())?;
+    Ok((idx.n_bitmaps(), idx.size_bytes()))
+}
+
+/// Sniffs a saved index file by magic and executes the query through it.
+fn execute_via_index_file(path: &str, d: &Dataset, q: &RangeQuery) -> Result<RowSet, String> {
+    // Sniff the header — 4-byte magic, u16 version, then (for bitmap
+    // indexes) the length-prefixed backend name — so load errors come from
+    // the one true (magic, backend) pair instead of a trial sequence.
+    let mut head = [0u8; 64];
+    let n = std::fs::File::open(path)
+        .and_then(|mut f| f.read(&mut head))
+        .map_err(|e| format!("cannot read index {path:?}: {e}"))?;
+    if n < 6 {
+        return Err(format!("index file {path:?} too short"));
+    }
+    let magic = &head[..4];
+    let backend = if n >= 15 {
+        // magic(4) + version(2) + u64 length + backend bytes.
+        let len = u64::from_le_bytes(head[6..14].try_into().expect("slice of 8")) as usize;
+        std::str::from_utf8(&head[14..(14 + len).min(n)]).unwrap_or("")
+    } else {
+        ""
+    };
+    let check_rows = |idx_rows: usize| -> Result<(), String> {
+        if idx_rows != d.n_rows() {
+            return Err(format!(
+                "index {path:?} covers {idx_rows} rows but the dataset has {} — \
+                 rebuild the index with `ibis index`",
+                d.n_rows()
+            ));
+        }
+        Ok(())
+    };
+    macro_rules! dispatch {
+        ($ty:ident, $backend:ty) => {{
+            let idx = $ty::<$backend>::load(path).map_err(|e| e.to_string())?;
+            check_rows(idx.n_rows())?;
+            idx.execute(q).map_err(|e| e.to_string())
+        }};
+        ($ty:ident) => {{
+            match backend {
+                "wah" => dispatch!($ty, Wah),
+                "bbc" => dispatch!($ty, Bbc),
+                "plain" => dispatch!($ty, BitVec64),
+                other => Err(format!("unknown backend {other:?} recorded in {path:?}")),
+            }
+        }};
+    }
+    match magic {
+        b"IBEE" => dispatch!(EqualityBitmapIndex),
+        b"IBRE" => dispatch!(RangeBitmapIndex),
+        b"IBIE" => dispatch!(IntervalBitmapIndex),
+        b"IBDX" => dispatch!(DecomposedBitmapIndex),
+        b"IBVA" => {
+            let va = VaFile::load(path).map_err(|e| e.to_string())?;
+            check_rows(va.n_rows())?;
+            va.execute(d, q).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unrecognized index magic {other:02x?} in {path:?}")),
+    }
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let (path, text) = match pos.as_slice() {
+        [p, q] => (p, q),
+        _ => return Err("usage: ibis query FILE \"QUERY\" [flags]".into()),
+    };
+    let d = load_dataset(path)?;
+    let policy = if flags.contains_key("not-match") {
+        MissingPolicy::IsNotMatch
+    } else {
+        MissingPolicy::IsMatch
+    };
+    // Use the dictionary sidecar (written by `ibis import`) when present
+    // and shape-consistent with the dataset, enabling string literals like
+    // city = "london". A stale/mismatched sidecar is ignored.
+    let dicts = load_dictionaries(format!("{path}.dict")).ok().filter(|dd| {
+        dd.len() == d.n_attrs()
+            && dd
+                .iter()
+                .zip(d.columns())
+                .all(|(dict, col)| dict.len() == col.cardinality() as usize)
+    });
+    let q = match &dicts {
+        Some(dicts) => parse_query_with_dictionaries(&d, dicts, text, policy),
+        None => parse_query(&d, text, policy),
+    }
+    .map_err(|e| e.to_string())?;
+    let rows = match flags.get("index") {
+        Some(idx) => execute_via_index_file(idx, &d, &q)?,
+        None => ibis::core::scan::execute(&d, &q),
+    };
+    println!(
+        "{} rows match under {policy} (selectivity {:.3}%)",
+        rows.len(),
+        rows.selectivity(d.n_rows()) * 100.0
+    );
+    if !flags.contains_key("count") {
+        let limit: usize = flags.get("limit").map_or(Ok(20), |s| num(s, "limit"))?;
+        for r in rows.iter().take(limit) {
+            let cells: Vec<String> = q
+                .predicates()
+                .iter()
+                .map(|p| {
+                    let cell = d.cell(r as usize, p.attr);
+                    let shown = match (&dicts, cell.value()) {
+                        // Stale/mismatched sidecar → fall back to the code.
+                        (Some(dicts), Some(v)) => dicts
+                            .get(p.attr)
+                            .and_then(|dict| dict.get(v as usize - 1))
+                            .cloned()
+                            .unwrap_or_else(|| cell.to_string()),
+                        _ => cell.to_string(),
+                    };
+                    format!("{}={shown}", d.column(p.attr).name())
+                })
+                .collect();
+            println!("  row {r}: {}", cells.join(" "));
+        }
+        if rows.len() > limit {
+            println!("  … {} more (use --limit)", rows.len() - limit);
+        }
+    }
+    Ok(())
+}
+
+fn race(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos
+        .first()
+        .ok_or("usage: ibis race FILE [--queries N] [--k K]")?;
+    let d = load_dataset(path)?;
+    let n: usize = flags
+        .get("queries")
+        .map_or(Ok(50), |s| num(s, "query count"))?;
+    let k: usize = flags.get("k").map_or(Ok(4), |s| num(s, "dimensionality"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| num(s, "seed"))?;
+    let spec = QuerySpec {
+        n_queries: n,
+        k,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, seed);
+    let time = |f: &dyn Fn(&RangeQuery) -> RowSet| -> (f64, usize) {
+        let start = std::time::Instant::now();
+        let hits = queries.iter().map(|q| f(q).len()).sum();
+        (start.elapsed().as_secs_f64() * 1e3, hits)
+    };
+    let bee = EqualityBitmapIndex::<Wah>::build(&d);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let va = VaFile::build(&d);
+    let (bee_ms, h1) = time(&|q| bee.execute(q).expect("valid"));
+    let (bre_ms, h2) = time(&|q| bre.execute(q).expect("valid"));
+    let (va_ms, h3) = time(&|q| va.execute(&d, q).expect("valid"));
+    let (scan_ms, h4) = time(&|q| ibis::core::scan::execute(&d, q));
+    assert!(h1 == h2 && h2 == h3 && h3 == h4, "indexes disagree");
+    println!(
+        "{n} queries, k={k}, missing-is-match over {} rows:",
+        d.n_rows()
+    );
+    println!(
+        "  BEE  {bee_ms:>9.2} ms   ({:.1} KB)",
+        bee.size_bytes() as f64 / 1024.0
+    );
+    println!(
+        "  BRE  {bre_ms:>9.2} ms   ({:.1} KB)",
+        bre.size_bytes() as f64 / 1024.0
+    );
+    println!(
+        "  VA   {va_ms:>9.2} ms   ({:.1} KB)",
+        va.size_bytes() as f64 / 1024.0
+    );
+    println!("  scan {scan_ms:>9.2} ms");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["data.ibds", "--rows", "100", "--count", "--out", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, flags) = parse_flags(&args);
+        assert_eq!(pos, vec!["data.ibds"]);
+        assert_eq!(flags.get("rows").unwrap(), "100");
+        assert_eq!(flags.get("count").unwrap(), "true");
+        assert_eq!(flags.get("out").unwrap(), "x");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_ok()); // help
+    }
+
+    #[test]
+    fn end_to_end_generate_index_query() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let idx = dir.join("d.bre").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("300"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        run(&[s("stats"), data.clone()]).unwrap();
+        run(&[
+            s("index"),
+            data.clone(),
+            s("--encoding"),
+            s("bre"),
+            s("--out"),
+            idx.clone(),
+        ])
+        .unwrap();
+        // Query through the saved index and by scan; the printed counts are
+        // not captured here, but both paths must succeed.
+        let d = Dataset::load(&data).unwrap();
+        let attr = d.column(0).name().to_string();
+        let text = format!("{attr} = 1");
+        run(&[s("query"), data.clone(), text.clone(), s("--count")]).unwrap();
+        run(&[
+            s("query"),
+            data.clone(),
+            text,
+            s("--index"),
+            idx,
+            s("--not-match"),
+        ])
+        .unwrap();
+        run(&[s("race"), data, s("--queries"), s("5"), s("--k"), s("2")]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_export_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_in = dir.join("in.csv").to_string_lossy().into_owned();
+        let ibds = dir.join("d.ibds").to_string_lossy().into_owned();
+        let csv_out = dir.join("out.csv").to_string_lossy().into_owned();
+        std::fs::write(&csv_in, "age,city\n30,london\nNA,paris\n41,?\n").unwrap();
+        let s = |x: &str| x.to_string();
+        run(&[s("import"), csv_in, s("--out"), ibds.clone()]).unwrap();
+        let d = Dataset::load(&ibds).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.column(0).missing_count(), 1);
+        run(&[s("query"), ibds.clone(), s("age between 1 and 2")]).unwrap();
+        run(&[s("query"), ibds.clone(), s("city = \"london\"")]).unwrap();
+        assert!(run(&[s("query"), ibds.clone(), s("city = \"atlantis\"")]).is_err());
+        run(&[s("export"), ibds, s("--out"), csv_out.clone()]).unwrap();
+        assert!(std::fs::read_to_string(&csv_out)
+            .unwrap()
+            .starts_with("age,city"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_errors_are_reported() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_err_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("synthetic"),
+            s("--rows"),
+            s("50"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        assert!(run(&[s("query"), data.clone(), s("nonexistent_attr = 1")]).is_err());
+        assert!(run(&[s("query"), s("/no/such/file.ibds"), s("a = 1")]).is_err());
+        assert!(run(&[
+            s("index"),
+            data,
+            s("--encoding"),
+            s("zzz"),
+            s("--out"),
+            s("/tmp/x")
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

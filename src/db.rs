@@ -1,0 +1,594 @@
+//! A small database layer over the paper's indexes: index selection per
+//! query (the paper's §6 insights, made executable) plus append support via
+//! a delta store.
+//!
+//! The paper's conclusions give a decision rule:
+//!
+//! * equality encoding is "optimal for point queries" and wins for very
+//!   narrow ranges (cost `min(AS, 1−AS)·C + 1` bitmaps per dimension);
+//! * range encoding "typically offers the best time performance" for
+//!   range queries (≤ 3 bitmaps per dimension);
+//! * VA-files trade query time for by-far-the-smallest index, so they are
+//!   the fallback when memory is constrained.
+//!
+//! [`IncompleteDb`] keeps whichever indexes its [`DbConfig`] enables, plans
+//! each query with exactly that rule ([`IncompleteDb::explain`] shows the
+//! decision), and merges results from an unindexed *delta store* so rows
+//! can be appended without rebuilding — the update scenario the paper
+//! raises when it notes index size "becomes important as database updates
+//! become more frequent". [`IncompleteDb::compact`] folds the delta back
+//! into the indexes.
+
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::Wah;
+use ibis_core::{Cell, Dataset, RangeQuery, Result, RowSet};
+use ibis_vafile::VaFile;
+
+/// Which indexes an [`IncompleteDb`] maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DbConfig {
+    /// Maintain an equality-encoded bitmap index (point-query specialist).
+    pub bee: bool,
+    /// Maintain a range-encoded bitmap index (range-query specialist).
+    pub bre: bool,
+    /// Maintain a VA-file (smallest footprint).
+    pub va: bool,
+}
+
+impl Default for DbConfig {
+    /// Everything on — the planner always has its preferred index.
+    fn default() -> DbConfig {
+        DbConfig {
+            bee: true,
+            bre: true,
+            va: true,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Memory-constrained profile: VA-file only (the paper's
+    /// smallest-index regime).
+    pub fn compact_profile() -> DbConfig {
+        DbConfig {
+            bee: false,
+            bre: false,
+            va: true,
+        }
+    }
+}
+
+/// The access path the planner chose for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Equality-encoded bitmap index.
+    Bee,
+    /// Range-encoded bitmap index.
+    Bre,
+    /// VA-file scan + refine.
+    Va,
+    /// Sequential scan (no suitable index enabled).
+    Scan,
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPath::Bee => write!(f, "bitmap-equality"),
+            AccessPath::Bre => write!(f, "bitmap-range"),
+            AccessPath::Va => write!(f, "va-file"),
+            AccessPath::Scan => write!(f, "sequential-scan"),
+        }
+    }
+}
+
+/// The planner's decision and its cost model inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// Chosen access path for the indexed (base) rows.
+    pub path: AccessPath,
+    /// Estimated bitmap reads under BEE (`Σ min(w, C−w) + 1`).
+    pub bee_bitmap_estimate: usize,
+    /// Estimated bitmap reads under BRE (≤ 3 per dimension).
+    pub bre_bitmap_estimate: usize,
+    /// Rows the delta store will scan on top of the index.
+    pub delta_rows: usize,
+    /// Histogram-based estimate of matching base rows (independence
+    /// assumption across attributes; exact for one-attribute keys).
+    pub estimated_rows: f64,
+}
+
+/// An incomplete relation with maintained indexes and an append delta.
+#[derive(Clone, Debug)]
+pub struct IncompleteDb {
+    config: DbConfig,
+    base: Dataset,
+    bee: Option<EqualityBitmapIndex<Wah>>,
+    bre: Option<RangeBitmapIndex<Wah>>,
+    va: Option<VaFile>,
+    /// Appended rows not yet folded into the indexes, row-major.
+    delta: Vec<Vec<Cell>>,
+    /// Tombstoned row ids (base or delta numbering), applied as a result
+    /// filter until the next compaction renumbers the survivors.
+    deleted: std::collections::BTreeSet<u32>,
+    /// Per-column value histograms of the base dataset, cached so the
+    /// planner's cardinality estimates don't rescan columns on every query.
+    histograms: Vec<Vec<usize>>,
+}
+
+impl IncompleteDb {
+    /// Builds over `dataset` with the default (all-indexes) config.
+    pub fn new(dataset: Dataset) -> IncompleteDb {
+        IncompleteDb::with_config(dataset, DbConfig::default())
+    }
+
+    /// Builds over `dataset`, maintaining only the configured indexes.
+    pub fn with_config(dataset: Dataset, config: DbConfig) -> IncompleteDb {
+        IncompleteDb {
+            config,
+            bee: config.bee.then(|| EqualityBitmapIndex::build(&dataset)),
+            bre: config.bre.then(|| RangeBitmapIndex::build(&dataset)),
+            va: config.va.then(|| VaFile::build(&dataset)),
+            histograms: dataset.columns().iter().map(|c| c.value_counts()).collect(),
+            base: dataset,
+            delta: Vec::new(),
+            deleted: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Total live rows (indexed base + unindexed delta − tombstones).
+    pub fn n_rows(&self) -> usize {
+        self.base.n_rows() + self.delta.len() - self.deleted.len()
+    }
+
+    /// Tombstoned rows awaiting compaction.
+    pub fn deleted_len(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Deletes a row by id. Returns `true` if the row existed and was
+    /// alive. Deleted rows disappear from query results immediately; their
+    /// storage is reclaimed (and surviving rows are **renumbered**) at the
+    /// next [`compact`](IncompleteDb::compact).
+    pub fn delete(&mut self, row: u32) -> bool {
+        if (row as usize) < self.base.n_rows() + self.delta.len() {
+            self.deleted.insert(row)
+        } else {
+            false
+        }
+    }
+
+    /// Rows awaiting compaction.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The schema width.
+    pub fn n_attrs(&self) -> usize {
+        self.base.n_attrs()
+    }
+
+    /// Total bytes held by the maintained indexes.
+    pub fn index_bytes(&self) -> usize {
+        self.bee.as_ref().map_or(0, |i| i.size_bytes())
+            + self.bre.as_ref().map_or(0, |i| i.size_bytes())
+            + self.va.as_ref().map_or(0, |i| i.size_bytes())
+    }
+
+    /// Appends one row (validated against the schema). The row lands in the
+    /// delta store; queries see it immediately, indexes pick it up at the
+    /// next [`compact`](IncompleteDb::compact).
+    pub fn insert(&mut self, row: &[Cell]) -> Result<()> {
+        ibis_core::validate_row(
+            row,
+            |a| self.base.column(a).cardinality(),
+            self.base.n_attrs(),
+        )?;
+        self.delta.push(row.to_vec());
+        Ok(())
+    }
+
+    /// Folds the delta store into the base dataset, drops tombstoned rows
+    /// (renumbering the survivors), and rebuilds the maintained indexes.
+    pub fn compact(&mut self) {
+        if self.delta.is_empty() && self.deleted.is_empty() {
+            return;
+        }
+        let base_rows = self.base.n_rows();
+        let columns = self
+            .base
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(attr, col)| {
+                let mut raw: Vec<u16> = col
+                    .raw()
+                    .iter()
+                    .enumerate()
+                    .filter(|(row, _)| !self.deleted.contains(&(*row as u32)))
+                    .map(|(_, &v)| v)
+                    .collect();
+                raw.extend(self.delta.iter().enumerate().filter_map(|(i, row)| {
+                    let id = (base_rows + i) as u32;
+                    (!self.deleted.contains(&id)).then(|| row[attr].raw())
+                }));
+                ibis_core::Column::from_raw(col.name(), col.cardinality(), raw)
+                    .expect("delta rows validated on insert")
+            })
+            .collect();
+        self.base = Dataset::new(columns).expect("equal lengths by construction");
+        self.histograms = self
+            .base
+            .columns()
+            .iter()
+            .map(|c| c.value_counts())
+            .collect();
+        self.delta.clear();
+        self.deleted.clear();
+        if self.config.bee {
+            self.bee = Some(EqualityBitmapIndex::build(&self.base));
+        }
+        if self.config.bre {
+            self.bre = Some(RangeBitmapIndex::build(&self.base));
+        }
+        if self.config.va {
+            self.va = Some(VaFile::build(&self.base));
+        }
+    }
+
+    /// Estimated matching base rows from the cached histograms (product of
+    /// exact per-attribute selectivities; the independence assumption of the
+    /// paper's GS formula).
+    fn estimate_rows(&self, query: &RangeQuery) -> f64 {
+        let n = self.base.n_rows();
+        if n == 0 {
+            return 0.0;
+        }
+        let sel: f64 = query
+            .predicates()
+            .iter()
+            .map(|p| {
+                let counts = &self.histograms[p.attr];
+                let mut hits: usize = counts[p.interval.lo as usize..=p.interval.hi as usize]
+                    .iter()
+                    .sum();
+                if query.policy() == ibis_core::MissingPolicy::IsMatch {
+                    hits += counts[0];
+                }
+                hits as f64 / n as f64
+            })
+            .product();
+        sel * n as f64
+    }
+
+    /// Plans a query: which access path, at what estimated bitmap cost.
+    pub fn explain(&self, query: &RangeQuery) -> Result<Plan> {
+        query.validate(&self.base)?;
+        let mut bee_cost = 0usize;
+        let mut bre_cost = 0usize;
+        for p in query.predicates() {
+            let c = self.base.column(p.attr).cardinality() as usize;
+            let w = p.interval.width() as usize;
+            bee_cost += w.min(c - w) + 1;
+            bre_cost += 3;
+        }
+        let path = if self.config.bee && (query.is_point() || bee_cost < bre_cost) {
+            AccessPath::Bee
+        } else if self.config.bre {
+            AccessPath::Bre
+        } else if self.config.bee {
+            AccessPath::Bee
+        } else if self.config.va {
+            AccessPath::Va
+        } else {
+            AccessPath::Scan
+        };
+        Ok(Plan {
+            path,
+            bee_bitmap_estimate: bee_cost,
+            bre_bitmap_estimate: bre_cost,
+            delta_rows: self.delta.len(),
+            estimated_rows: self.estimate_rows(query),
+        })
+    }
+
+    /// Executes a query over base + delta, via the planned access path.
+    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        let plan = self.explain(query)?;
+        let base_rows = match plan.path {
+            AccessPath::Bee => self
+                .bee
+                .as_ref()
+                .expect("planned => enabled")
+                .execute(query)?,
+            AccessPath::Bre => self
+                .bre
+                .as_ref()
+                .expect("planned => enabled")
+                .execute(query)?,
+            AccessPath::Va => self
+                .va
+                .as_ref()
+                .expect("planned => enabled")
+                .execute(&self.base, query)?,
+            AccessPath::Scan => ibis_core::scan::execute(&self.base, query),
+        };
+        // Delta rows are scanned with the semantic definition directly.
+        let offset = self.base.n_rows() as u32;
+        let policy = query.policy();
+        let delta_hits = self.delta.iter().enumerate().filter_map(|(i, row)| {
+            let ok = query
+                .predicates()
+                .iter()
+                .all(|p| policy.cell_matches(row[p.attr], p.interval));
+            ok.then_some(offset + i as u32)
+        });
+        let combined = base_rows.union(&RowSet::from_sorted(delta_hits.collect()));
+        if self.deleted.is_empty() {
+            return Ok(combined);
+        }
+        Ok(RowSet::from_sorted(
+            combined
+                .iter()
+                .filter(|r| !self.deleted.contains(r))
+                .collect(),
+        ))
+    }
+
+    /// Counts matching rows.
+    pub fn count(&self, query: &RangeQuery) -> Result<usize> {
+        Ok(self.execute(query)?.len())
+    }
+
+    /// The cell at (`row`, `attr`), addressing base then delta.
+    pub fn cell(&self, row: usize, attr: usize) -> Cell {
+        if row < self.base.n_rows() {
+            self.base.cell(row, attr)
+        } else {
+            self.delta[row - self.base.n_rows()][attr]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_core::gen::{census_scaled, workload, QuerySpec};
+    use ibis_core::{scan, MissingPolicy, Predicate};
+
+    fn v(x: u16) -> Cell {
+        Cell::present(x)
+    }
+    fn m() -> Cell {
+        Cell::MISSING
+    }
+
+    fn db() -> IncompleteDb {
+        IncompleteDb::new(census_scaled(400, 401))
+    }
+
+    #[test]
+    fn planner_prefers_bee_for_points_and_bre_for_ranges() {
+        let d = db();
+        let point = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(d.explain(&point).unwrap().path, AccessPath::Bee);
+        // A wide range on a high-cardinality attribute.
+        let attr = (0..d.n_attrs())
+            .find(|&a| d.base.column(a).cardinality() >= 50)
+            .unwrap();
+        let c = d.base.column(attr).cardinality();
+        let range = RangeQuery::new(
+            vec![Predicate::range(attr, 5, c - 4)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        assert_eq!(d.explain(&range).unwrap().path, AccessPath::Bre);
+    }
+
+    #[test]
+    fn planner_respects_config() {
+        let data = census_scaled(200, 402);
+        let vonly = IncompleteDb::with_config(data.clone(), DbConfig::compact_profile());
+        let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(vonly.explain(&q).unwrap().path, AccessPath::Va);
+        let none = IncompleteDb::with_config(
+            data,
+            DbConfig {
+                bee: false,
+                bre: false,
+                va: false,
+            },
+        );
+        assert_eq!(none.explain(&q).unwrap().path, AccessPath::Scan);
+        assert_eq!(none.index_bytes(), 0);
+        // All paths agree regardless of config.
+        assert_eq!(vonly.execute(&q).unwrap(), none.execute(&q).unwrap());
+    }
+
+    #[test]
+    fn execute_matches_scan_on_workloads() {
+        let data = census_scaled(500, 403);
+        let d = IncompleteDb::new(data.clone());
+        for policy in MissingPolicy::ALL {
+            let spec = QuerySpec {
+                n_queries: 10,
+                k: 4,
+                global_selectivity: 0.03,
+                policy,
+                candidate_attrs: vec![],
+            };
+            for q in workload(&data, &spec, 404) {
+                assert_eq!(d.execute(&q).unwrap(), scan::execute(&data, &q), "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_are_visible_before_and_after_compaction() {
+        let data = Dataset::from_rows(&[("a", 5), ("b", 5)], &[vec![v(1), v(2)], vec![v(3), m()]])
+            .unwrap();
+        let mut d = IncompleteDb::new(data);
+        d.insert(&[v(5), v(5)]).unwrap();
+        d.insert(&[m(), v(1)]).unwrap();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.delta_len(), 2);
+
+        let q = RangeQuery::new(vec![Predicate::range(0, 4, 5)], MissingPolicy::IsMatch).unwrap();
+        // Row 2 (value 5) and row 3 (missing, match policy).
+        assert_eq!(d.execute(&q).unwrap().rows(), &[2, 3]);
+        assert_eq!(d.explain(&q).unwrap().delta_rows, 2);
+
+        d.compact();
+        assert_eq!(d.delta_len(), 0);
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.execute(&q).unwrap().rows(), &[2, 3]);
+        assert_eq!(d.cell(2, 0), v(5));
+        assert_eq!(d.cell(3, 0), m());
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut d = db();
+        assert!(d.insert(&[v(1)]).is_err(), "wrong width");
+        let card0 = d.base.column(0).cardinality();
+        let mut row = vec![m(); d.n_attrs()];
+        row[0] = v(card0 + 1);
+        assert!(d.insert(&row).is_err(), "out of domain");
+        assert_eq!(d.delta_len(), 0, "failed inserts leave no residue");
+    }
+
+    #[test]
+    fn heavy_insert_then_compact_differential() {
+        let data = census_scaled(200, 405);
+        let mut d = IncompleteDb::new(data.clone());
+        // Append 100 rows sampled (shifted) from the same distribution.
+        for i in 0..100usize {
+            let src = i % data.n_rows();
+            let row: Vec<Cell> = (0..data.n_attrs()).map(|a| data.cell(src, a)).collect();
+            d.insert(&row).unwrap();
+        }
+        let spec = QuerySpec {
+            n_queries: 8,
+            k: 3,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsNotMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&data, &spec, 406);
+        let before: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        d.compact();
+        let after: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        assert_eq!(before, after, "compaction must not change answers");
+    }
+
+    #[test]
+    fn count_matches_execute() {
+        let d = db();
+        let q = RangeQuery::new(vec![Predicate::point(1, 1)], MissingPolicy::IsNotMatch).unwrap();
+        assert_eq!(d.count(&q).unwrap(), d.execute(&q).unwrap().len());
+    }
+}
+
+#[cfg(test)]
+mod estimate_tests {
+    use super::*;
+    use ibis_core::gen::census_scaled;
+    use ibis_core::{MissingPolicy, Predicate};
+
+    #[test]
+    fn plan_carries_cardinality_estimate() {
+        let data = census_scaled(1_000, 410);
+        let db = IncompleteDb::new(data.clone());
+        // One-attribute estimates are exact.
+        let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsNotMatch).unwrap();
+        let plan = db.explain(&q).unwrap();
+        let actual = db.execute(&q).unwrap().len() as f64;
+        assert!(
+            (plan.estimated_rows - actual).abs() < 1e-9,
+            "{plan:?} vs {actual}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod delete_tests {
+    use super::*;
+    use ibis_core::{scan, MissingPolicy, Predicate};
+
+    fn v(x: u16) -> Cell {
+        Cell::present(x)
+    }
+    fn m() -> Cell {
+        Cell::MISSING
+    }
+
+    fn small_db() -> IncompleteDb {
+        let data = Dataset::from_rows(
+            &[("a", 5)],
+            &[vec![v(1)], vec![v(3)], vec![m()], vec![v(3)], vec![v(5)]],
+        )
+        .unwrap();
+        IncompleteDb::new(data)
+    }
+
+    #[test]
+    fn deletes_hide_rows_immediately() {
+        let mut d = small_db();
+        let q = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(d.execute(&q).unwrap().rows(), &[1, 2, 3]);
+        assert!(d.delete(1));
+        assert!(!d.delete(1), "double delete is a no-op");
+        assert!(!d.delete(99), "unknown row");
+        assert_eq!(d.execute(&q).unwrap().rows(), &[2, 3]);
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.deleted_len(), 1);
+    }
+
+    #[test]
+    fn deletes_apply_to_delta_rows_too() {
+        let mut d = small_db();
+        d.insert(&[v(3)]).unwrap(); // row id 5
+        let q = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsNotMatch).unwrap();
+        assert_eq!(d.execute(&q).unwrap().rows(), &[1, 3, 5]);
+        assert!(d.delete(5));
+        assert_eq!(d.execute(&q).unwrap().rows(), &[1, 3]);
+    }
+
+    #[test]
+    fn compaction_renumbers_and_preserves_answers() {
+        let mut d = small_db();
+        d.insert(&[v(2)]).unwrap(); // id 5
+        d.delete(0); // value 1
+        d.delete(3); // one of the 3s
+        let q =
+            RangeQuery::new(vec![Predicate::range(0, 1, 5)], MissingPolicy::IsNotMatch).unwrap();
+        let live_before = d.count(&q).unwrap();
+        d.compact();
+        assert_eq!(d.deleted_len(), 0);
+        assert_eq!(d.delta_len(), 0);
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.count(&q).unwrap(), live_before);
+        // Survivors renumbered 0..4: values 3, ∅, 5, 2 in original order.
+        assert_eq!(d.cell(0, 0), v(3));
+        assert_eq!(d.cell(1, 0), m());
+        assert_eq!(d.cell(2, 0), v(5));
+        assert_eq!(d.cell(3, 0), v(2));
+        // And the rebuilt index agrees with a scan over the new base.
+        let q = RangeQuery::new(vec![Predicate::point(0, 3)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(d.execute(&q).unwrap(), scan::execute(&d.base, &q));
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut d = small_db();
+        for r in 0..5 {
+            assert!(d.delete(r));
+        }
+        assert_eq!(d.n_rows(), 0);
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 5)], MissingPolicy::IsMatch).unwrap();
+        assert!(d.execute(&q).unwrap().is_empty());
+        d.compact();
+        assert_eq!(d.n_rows(), 0);
+        assert!(d.execute(&q).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! # ibis — Indexing Incomplete Databases
+//!
+//! A reproduction of *"Indexing Incomplete Databases"* (Canahuate, Gibas,
+//! Ferhatosmanoglu, EDBT 2006): bitmap indexes (equality- and range-encoded,
+//! WAH-compressed) and VA-files adapted to answer range and point queries
+//! over relations with **missing data**, under both of the paper's query
+//! semantics (*missing-is-match* and *missing-is-not-match*), plus the
+//! baselines the paper compares against (R-tree, MOSAIC, bitstring-augmented
+//! index, sequential scan).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — data model ([`Dataset`](ibis_core::Dataset), [`RangeQuery`](ibis_core::RangeQuery), [`MissingPolicy`](ibis_core::MissingPolicy)),
+//!   scan ground truth, selectivity algebra, workload generators;
+//! * [`bitvec`] — uncompressed, WAH- and BBC-compressed bit vectors;
+//! * [`bitmap`] — the paper's BEE and BRE bitmap indexes;
+//! * [`vafile`] — the paper's VA-file and the VA+-file extension;
+//! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ibis::prelude::*;
+//!
+//! // A tiny incomplete relation: two attributes with domain 1..=5.
+//! let data = Dataset::from_rows(
+//!     &[("age_band", 5), ("income_band", 5)],
+//!     &[
+//!         vec![Cell::present(2), Cell::present(4)],
+//!         vec![Cell::MISSING, Cell::present(3)],
+//!         vec![Cell::present(5), Cell::MISSING],
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // Index it three ways.
+//! let bee = EqualityBitmapIndex::<Wah>::build(&data);
+//! let bre = RangeBitmapIndex::<Wah>::build(&data);
+//! let va = VaFile::build(&data);
+//!
+//! // One query, both semantics.
+//! let key = vec![Predicate::range(0, 2, 3), Predicate::range(1, 3, 5)];
+//! for policy in MissingPolicy::ALL {
+//!     let q = RangeQuery::new(key.clone(), policy).unwrap();
+//!     let truth = ibis::core::scan::execute(&data, &q);
+//!     assert_eq!(bee.execute(&q).unwrap(), truth);
+//!     assert_eq!(bre.execute(&q).unwrap(), truth);
+//!     assert_eq!(va.execute(&data, &q).unwrap(), truth);
+//! }
+//! ```
+
+pub mod db;
+
+pub use ibis_baseline as baseline;
+pub use ibis_bitmap as bitmap;
+pub use ibis_bitvec as bitvec;
+pub use ibis_core as core;
+pub use ibis_vafile as vafile;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use ibis_baseline::{
+        BPlusTree, BitstringAugmented, Mosaic, RTree, RTreeIncomplete, SequentialScan,
+    };
+    pub use ibis_bitmap::{
+        DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+    };
+    pub use ibis_bitvec::{Bbc, BitVec64, Wah};
+    pub use ibis_core::{
+        Cell, Column, Dataset, DatasetBuilder, Interval, MissingPolicy, Predicate, RangeQuery,
+        RowSet,
+    };
+    pub use ibis_vafile::{VaFile, VaPlusFile};
+
+    pub use crate::db::{AccessPath, DbConfig, IncompleteDb, Plan};
+}

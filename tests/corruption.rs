@@ -1,0 +1,106 @@
+//! Failure-injection tests on the persistence layer: single-byte
+//! mutations and truncations of every on-disk format must never panic —
+//! each read either fails with a clean `io::Error` or (rarely, when the
+//! mutation is benign) yields a structurally valid object.
+
+use ibis::core::gen::census_scaled;
+use ibis::prelude::*;
+use proptest::prelude::*;
+
+fn dataset_bytes() -> Vec<u8> {
+    let d = census_scaled(60, 501);
+    let mut buf = Vec::new();
+    d.write_to(&mut buf).unwrap();
+    buf
+}
+
+fn bee_bytes() -> Vec<u8> {
+    let d = census_scaled(60, 502);
+    let mut buf = Vec::new();
+    EqualityBitmapIndex::<Wah>::build(&d)
+        .write_to(&mut buf)
+        .unwrap();
+    buf
+}
+
+fn bre_bytes() -> Vec<u8> {
+    let d = census_scaled(60, 503);
+    let mut buf = Vec::new();
+    RangeBitmapIndex::<Bbc>::build(&d)
+        .write_to(&mut buf)
+        .unwrap();
+    buf
+}
+
+fn va_bytes() -> Vec<u8> {
+    let d = census_scaled(60, 504);
+    let mut buf = Vec::new();
+    VaFile::build(&d).write_to(&mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutated_dataset_never_panics(pos in 0usize..4096, byte in any::<u8>()) {
+        let mut buf = dataset_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = Dataset::read_from(&mut buf.as_slice()); // must not panic
+    }
+
+    #[test]
+    fn truncated_dataset_never_panics(cut in 0usize..4096) {
+        let buf = dataset_bytes();
+        let cut = cut % buf.len();
+        let _ = Dataset::read_from(&mut &buf[..cut]);
+    }
+
+    #[test]
+    fn mutated_bee_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = bee_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = EqualityBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn mutated_bre_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = bre_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = RangeBitmapIndex::<Bbc>::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn mutated_va_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = va_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = VaFile::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn truncated_indexes_always_error(cut_frac in 0.0f64..0.999) {
+        // Unlike mutation (which can be benign), any strict truncation must
+        // be rejected: the formats are length-prefixed throughout.
+        let buf = bee_bytes();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(EqualityBitmapIndex::<Wah>::read_from(&mut &buf[..cut]).is_err());
+        let buf = va_bytes();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(VaFile::read_from(&mut &buf[..cut]).is_err());
+    }
+}
+
+#[test]
+fn loaded_after_benign_roundtrip_still_answers_correctly() {
+    // Sanity anchor for the fuzz suite: the unmutated bytes load and agree
+    // with the source index.
+    let d = census_scaled(60, 502);
+    let idx = EqualityBitmapIndex::<Wah>::build(&d);
+    let back = EqualityBitmapIndex::<Wah>::read_from(&mut bee_bytes().as_slice()).unwrap();
+    let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+    assert_eq!(back.execute(&q).unwrap(), idx.execute(&q).unwrap());
+}

@@ -1,0 +1,297 @@
+//! Cross-crate differential tests: every access method in the workspace
+//! must return exactly the scan ground truth, on every dataset shape and
+//! under both missing-data semantics. This is the repository's strongest
+//! correctness guarantee — the indexes are only ever compared against each
+//! other through the scan.
+
+use ibis::core::gen::{census_scaled, synthetic_scaled, workload, QuerySpec};
+use ibis::core::scan;
+use ibis::prelude::*;
+
+/// Runs one query through every implementation and asserts agreement.
+fn assert_all_agree(d: &Dataset, q: &RangeQuery, ctx: &str) {
+    let truth = scan::execute(d, q);
+    let bee_wah = EqualityBitmapIndex::<Wah>::build(d);
+    let bee_plain = EqualityBitmapIndex::<BitVec64>::build(d);
+    let bee_bbc = EqualityBitmapIndex::<Bbc>::build(d);
+    let bre_wah = RangeBitmapIndex::<Wah>::build(d);
+    let bie_wah = IntervalBitmapIndex::<Wah>::build(d);
+    let dec_wah = DecomposedBitmapIndex::<Wah>::build(d);
+    let bre_bbc = RangeBitmapIndex::<Bbc>::build(d);
+    let va = VaFile::build(d);
+    let vap = VaPlusFile::build(d);
+    let mosaic = Mosaic::build(d);
+    assert_eq!(bee_wah.execute(q).unwrap(), truth, "BEE/WAH {ctx}");
+    assert_eq!(bee_plain.execute(q).unwrap(), truth, "BEE/plain {ctx}");
+    assert_eq!(bee_bbc.execute(q).unwrap(), truth, "BEE/BBC {ctx}");
+    assert_eq!(bre_wah.execute(q).unwrap(), truth, "BRE/WAH {ctx}");
+    assert_eq!(bie_wah.execute(q).unwrap(), truth, "BIE/WAH {ctx}");
+    assert_eq!(dec_wah.execute(q).unwrap(), truth, "DEC/WAH {ctx}");
+    assert_eq!(bre_bbc.execute(q).unwrap(), truth, "BRE/BBC {ctx}");
+    assert_eq!(va.execute(d, q).unwrap(), truth, "VA {ctx}");
+    assert_eq!(vap.execute(d, q).unwrap(), truth, "VA+ {ctx}");
+    assert_eq!(mosaic.execute(q).unwrap(), truth, "MOSAIC {ctx}");
+    assert_eq!(SequentialScan.execute(d, q).unwrap(), truth, "scan {ctx}");
+}
+
+#[test]
+fn uniform_synthetic_workloads() {
+    let d = synthetic_scaled(700, 101);
+    for policy in MissingPolicy::ALL {
+        let spec = QuerySpec {
+            n_queries: 6,
+            k: 5,
+            global_selectivity: 0.02,
+            policy,
+            candidate_attrs: vec![],
+        };
+        for (i, q) in workload(&d, &spec, 202).iter().enumerate() {
+            assert_all_agree(&d, q, &format!("{policy} query {i}"));
+        }
+    }
+}
+
+#[test]
+fn census_skewed_workloads() {
+    let d = census_scaled(900, 103);
+    for policy in MissingPolicy::ALL {
+        let spec = QuerySpec {
+            n_queries: 6,
+            k: 4,
+            global_selectivity: 0.03,
+            policy,
+            candidate_attrs: vec![],
+        };
+        for (i, q) in workload(&d, &spec, 204).iter().enumerate() {
+            assert_all_agree(&d, q, &format!("{policy} query {i}"));
+        }
+    }
+}
+
+#[test]
+fn tree_baselines_agree_on_low_dimensional_data() {
+    // R-tree and bitstring-augmented expand 2^k subqueries; keep d small.
+    let full = synthetic_scaled(500, 105);
+    let cols: Vec<Column> = (0..5).map(|a| full.column(a * 90 + 3).clone()).collect();
+    let d = Dataset::new(cols).unwrap();
+    let rtree = RTreeIncomplete::build(&d);
+    let bitstring = BitstringAugmented::build(&d);
+    for policy in MissingPolicy::ALL {
+        let spec = QuerySpec {
+            n_queries: 8,
+            k: 3,
+            global_selectivity: 0.05,
+            policy,
+            candidate_attrs: vec![],
+        };
+        for (i, q) in workload(&d, &spec, 206).iter().enumerate() {
+            let truth = scan::execute(&d, q);
+            assert_eq!(rtree.execute(q).unwrap(), truth, "rtree {policy} {i}");
+            assert_eq!(
+                bitstring.execute(q).unwrap(),
+                truth,
+                "bitstring {policy} {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn point_queries_across_methods() {
+    let d = census_scaled(400, 107);
+    for policy in MissingPolicy::ALL {
+        for (attr, v) in [(0usize, 1u16), (5, 2), (20, 1), (47, 1)] {
+            let c = d.column(attr).cardinality();
+            let q = RangeQuery::new(vec![Predicate::point(attr, v.min(c))], policy).unwrap();
+            assert_all_agree(&d, &q, &format!("{policy} point a{attr}"));
+        }
+    }
+}
+
+#[test]
+fn extreme_ranges_across_methods() {
+    let d = census_scaled(300, 109);
+    for policy in MissingPolicy::ALL {
+        for attr in [0usize, 15, 40] {
+            let c = d.column(attr).cardinality();
+            // Full domain, prefix, suffix, singleton-at-max.
+            for (lo, hi) in [(1, c), (1, 1.max(c / 2)), (c.div_ceil(2).max(1), c), (c, c)] {
+                let q = RangeQuery::new(vec![Predicate::range(attr, lo, hi)], policy).unwrap();
+                assert_all_agree(&d, &q, &format!("{policy} a{attr} [{lo},{hi}]"));
+            }
+        }
+    }
+}
+
+#[test]
+fn reordered_rows_preserve_answers_across_methods() {
+    use ibis::bitmap::reorder;
+    let d = census_scaled(350, 111);
+    let order = reorder::cardinality_ascending_order(&d);
+    let perm = reorder::lexicographic(&d, &order[..6]);
+    let p = d.permute_rows(&perm);
+    let bee = EqualityBitmapIndex::<Wah>::build(&p);
+    let va = VaFile::build(&p);
+    for policy in MissingPolicy::ALL {
+        let spec = QuerySpec {
+            n_queries: 5,
+            k: 3,
+            global_selectivity: 0.05,
+            policy,
+            candidate_attrs: vec![],
+        };
+        for q in workload(&d, &spec, 212) {
+            let truth = scan::execute(&d, &q);
+            let got = reorder::map_rows(&bee.execute(&q).unwrap(), &perm);
+            assert_eq!(got, truth, "{policy} BEE after reorder");
+            let got = reorder::map_rows(&va.execute(&p, &q).unwrap(), &perm);
+            assert_eq!(got, truth, "{policy} VA after reorder");
+        }
+    }
+}
+
+#[test]
+fn lossy_va_files_stay_exact() {
+    let d = census_scaled(600, 113);
+    for bits in [1u8, 2, 3] {
+        let widths = vec![bits; d.n_attrs()];
+        let va = VaFile::with_bits(&d, &widths);
+        let vap = VaPlusFile::with_bits(&d, &widths);
+        for policy in MissingPolicy::ALL {
+            let spec = QuerySpec {
+                n_queries: 4,
+                k: 3,
+                global_selectivity: 0.05,
+                policy,
+                candidate_attrs: vec![],
+            };
+            for q in workload(&d, &spec, 214 + bits as u64) {
+                let truth = scan::execute(&d, &q);
+                assert_eq!(va.execute(&d, &q).unwrap(), truth, "{policy} VA {bits}b");
+                assert_eq!(vap.execute(&d, &q).unwrap(), truth, "{policy} VA+ {bits}b");
+            }
+        }
+    }
+}
+
+#[test]
+fn rejected_encodings_agree_with_their_hardwired_policy() {
+    use ibis::bitmap::rejected::{InBandMatchEquality, InBandNotMatchEquality};
+    let d = synthetic_scaled(400, 115);
+    let im = InBandMatchEquality::<Wah>::try_build(&d).unwrap();
+    let inm = InBandNotMatchEquality::<Wah>::build(&d);
+    let spec = QuerySpec {
+        n_queries: 8,
+        k: 4,
+        global_selectivity: 0.02,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    for q in workload(&d, &spec, 216) {
+        assert_eq!(im.execute_with_cost(&q).unwrap().0, scan::execute(&d, &q));
+        let qn = q.with_policy(MissingPolicy::IsNotMatch);
+        assert_eq!(
+            inm.execute_with_cost(&qn).unwrap().0,
+            scan::execute(&d, &qn)
+        );
+    }
+}
+
+#[test]
+fn missingness_mechanism_does_not_affect_correctness() {
+    // MAR and MNAR datasets (non-ignorable missingness, the paper's target
+    // setting) run through the full differential harness.
+    use ibis::core::gen::missingness::{impose_mar, impose_mnar};
+    let base = synthetic_scaled(400, 117);
+    let cols: Vec<Column> = (0..6).map(|a| base.column(a * 70 + 2).clone()).collect();
+    let small = Dataset::new(cols).unwrap();
+    let mar = impose_mar(&small, 1, 0, 0.05, 0.6, 118);
+    let mnar = impose_mnar(&small, 2, 0.7, 119);
+    for d in [&mar, &mnar] {
+        for policy in MissingPolicy::ALL {
+            let spec = QuerySpec {
+                n_queries: 5,
+                k: 3,
+                global_selectivity: 0.05,
+                policy,
+                candidate_attrs: vec![],
+            };
+            for (i, q) in workload(d, &spec, 120).iter().enumerate() {
+                assert_all_agree(d, q, &format!("{policy} mechanism query {i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_split_metamorphic_property() {
+    // result([v1, v2]) == result([v1, m]) ∪ result([m+1, v2]) for every
+    // split point, on every index — a metamorphic check that interval
+    // evaluation composes.
+    let d = census_scaled(300, 121);
+    let attr = (0..d.n_attrs())
+        .find(|&a| d.column(a).cardinality() >= 8)
+        .unwrap();
+    let c = d.column(attr).cardinality();
+    let (v1, v2) = (2u16, c - 1);
+    let bee = EqualityBitmapIndex::<Wah>::build(&d);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let bie = IntervalBitmapIndex::<Wah>::build(&d);
+    for policy in MissingPolicy::ALL {
+        let whole = RangeQuery::new(vec![Predicate::range(attr, v1, v2)], policy).unwrap();
+        for m in v1..v2 {
+            let left = RangeQuery::new(vec![Predicate::range(attr, v1, m)], policy).unwrap();
+            let right = RangeQuery::new(vec![Predicate::range(attr, m + 1, v2)], policy).unwrap();
+            for (name, run) in [
+                (
+                    "bee",
+                    &(|q: &RangeQuery| bee.execute(q).unwrap()) as &dyn Fn(&RangeQuery) -> RowSet,
+                ),
+                ("bre", &|q: &RangeQuery| bre.execute(q).unwrap()),
+                ("bie", &|q: &RangeQuery| bie.execute(q).unwrap()),
+            ] {
+                let union = run(&left).union(&run(&right));
+                assert_eq!(union, run(&whole), "{name} {policy} split at {m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_difference_is_exactly_the_missing_rows() {
+    // match-results \ not-match-results must be precisely the rows with at
+    // least one missing queried attribute that otherwise match.
+    let d = census_scaled(400, 123);
+    let bre = RangeBitmapIndex::<Wah>::build(&d);
+    let spec = QuerySpec {
+        n_queries: 10,
+        k: 3,
+        global_selectivity: 0.05,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    for q in workload(&d, &spec, 124) {
+        let loose = bre.execute(&q).unwrap();
+        let strict = bre
+            .execute(&q.with_policy(MissingPolicy::IsNotMatch))
+            .unwrap();
+        let extra = loose.difference(&strict);
+        for r in extra.iter() {
+            let has_missing_queried = q
+                .predicates()
+                .iter()
+                .any(|p| d.cell(r as usize, p.attr).is_missing());
+            assert!(
+                has_missing_queried,
+                "row {r} gained by match semantics without a missing cell"
+            );
+        }
+        for r in strict.iter() {
+            let all_present = q
+                .predicates()
+                .iter()
+                .all(|p| !d.cell(r as usize, p.attr).is_missing());
+            assert!(all_present, "strict row {r} has a missing queried cell");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Edge cases exercised uniformly across every access method: degenerate
+//! datasets, all-missing columns, cardinality-1 attributes, and maximal
+//! search keys.
+
+use ibis::core::scan;
+use ibis::prelude::*;
+
+fn check_everything(d: &Dataset, q: &RangeQuery, ctx: &str) {
+    let truth = scan::execute(d, q);
+    assert_eq!(
+        EqualityBitmapIndex::<Wah>::build(d).execute(q).unwrap(),
+        truth,
+        "BEE {ctx}"
+    );
+    assert_eq!(
+        RangeBitmapIndex::<Wah>::build(d).execute(q).unwrap(),
+        truth,
+        "BRE {ctx}"
+    );
+    assert_eq!(VaFile::build(d).execute(d, q).unwrap(), truth, "VA {ctx}");
+    assert_eq!(Mosaic::build(d).execute(q).unwrap(), truth, "MOSAIC {ctx}");
+    if d.n_attrs() <= 8 {
+        assert_eq!(
+            RTreeIncomplete::build(d).execute(q).unwrap(),
+            truth,
+            "rtree {ctx}"
+        );
+        assert_eq!(
+            BitstringAugmented::build(d).execute(q).unwrap(),
+            truth,
+            "bitstring {ctx}"
+        );
+    }
+}
+
+#[test]
+fn single_row_dataset() {
+    for cell in [Cell::present(3), Cell::MISSING] {
+        let d = Dataset::from_rows(&[("a", 5)], &[vec![cell]]).unwrap();
+        for policy in MissingPolicy::ALL {
+            let q = RangeQuery::new(vec![Predicate::range(0, 2, 4)], policy).unwrap();
+            check_everything(&d, &q, &format!("single row {cell:?} {policy}"));
+        }
+    }
+}
+
+#[test]
+fn all_rows_missing_in_queried_attribute() {
+    let d = Dataset::from_rows(
+        &[("a", 5), ("b", 5)],
+        &[
+            vec![Cell::MISSING, Cell::present(1)],
+            vec![Cell::MISSING, Cell::present(3)],
+            vec![Cell::MISSING, Cell::present(5)],
+        ],
+    )
+    .unwrap();
+    let q = RangeQuery::new(vec![Predicate::range(0, 1, 5)], MissingPolicy::IsMatch).unwrap();
+    check_everything(&d, &q, "all missing, match");
+    assert_eq!(scan::execute(&d, &q).len(), 3);
+    let q = q.with_policy(MissingPolicy::IsNotMatch);
+    check_everything(&d, &q, "all missing, not-match");
+    assert_eq!(scan::execute(&d, &q).len(), 0);
+}
+
+#[test]
+fn no_rows_missing_policies_coincide() {
+    let d = Dataset::from_rows(
+        &[("a", 4)],
+        &[
+            vec![Cell::present(1)],
+            vec![Cell::present(2)],
+            vec![Cell::present(4)],
+        ],
+    )
+    .unwrap();
+    for lo in 1..=4u16 {
+        for hi in lo..=4u16 {
+            let qm =
+                RangeQuery::new(vec![Predicate::range(0, lo, hi)], MissingPolicy::IsMatch).unwrap();
+            let qn = qm.with_policy(MissingPolicy::IsNotMatch);
+            assert_eq!(scan::execute(&d, &qm), scan::execute(&d, &qn));
+            check_everything(&d, &qm, "complete data");
+        }
+    }
+}
+
+#[test]
+fn cardinality_one_attributes() {
+    let d = Dataset::from_rows(
+        &[("flag", 1), ("other", 3)],
+        &[
+            vec![Cell::present(1), Cell::present(2)],
+            vec![Cell::MISSING, Cell::present(1)],
+            vec![Cell::present(1), Cell::MISSING],
+        ],
+    )
+    .unwrap();
+    for policy in MissingPolicy::ALL {
+        let q = RangeQuery::new(
+            vec![Predicate::point(0, 1), Predicate::range(1, 1, 2)],
+            policy,
+        )
+        .unwrap();
+        check_everything(&d, &q, &format!("cardinality 1 {policy}"));
+    }
+}
+
+#[test]
+fn search_key_covering_every_attribute() {
+    let d = Dataset::from_rows(
+        &[("a", 3), ("b", 3), ("c", 3), ("d", 3)],
+        &[
+            vec![
+                Cell::present(1),
+                Cell::present(2),
+                Cell::present(3),
+                Cell::MISSING,
+            ],
+            vec![
+                Cell::present(2),
+                Cell::MISSING,
+                Cell::present(2),
+                Cell::present(2),
+            ],
+            vec![
+                Cell::MISSING,
+                Cell::present(1),
+                Cell::present(1),
+                Cell::present(1),
+            ],
+            vec![
+                Cell::present(3),
+                Cell::present(3),
+                Cell::MISSING,
+                Cell::present(3),
+            ],
+        ],
+    )
+    .unwrap();
+    for policy in MissingPolicy::ALL {
+        let q =
+            RangeQuery::new((0..4).map(|a| Predicate::range(a, 1, 2)).collect(), policy).unwrap();
+        check_everything(&d, &q, &format!("k = d {policy}"));
+    }
+}
+
+#[test]
+fn empty_search_key_returns_all_rows() {
+    let d =
+        Dataset::from_rows(&[("a", 2)], &[vec![Cell::MISSING], vec![Cell::present(1)]]).unwrap();
+    for policy in MissingPolicy::ALL {
+        let q = RangeQuery::new(vec![], policy).unwrap();
+        assert_eq!(scan::execute(&d, &q), RowSet::all(2));
+        assert_eq!(
+            EqualityBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(),
+            RowSet::all(2)
+        );
+        assert_eq!(
+            RangeBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(),
+            RowSet::all(2)
+        );
+        assert_eq!(VaFile::build(&d).execute(&d, &q).unwrap(), RowSet::all(2));
+        assert_eq!(Mosaic::build(&d).execute(&q).unwrap(), RowSet::all(2));
+    }
+}
+
+#[test]
+fn duplicate_rows_all_returned() {
+    let rows: Vec<Vec<Cell>> = std::iter::repeat_n(vec![Cell::present(2)], 50)
+        .chain(std::iter::repeat_n(vec![Cell::MISSING], 50))
+        .collect();
+    let d = Dataset::from_rows(&[("a", 3)], &rows).unwrap();
+    let q = RangeQuery::new(vec![Predicate::point(0, 2)], MissingPolicy::IsMatch).unwrap();
+    check_everything(&d, &q, "duplicates");
+    assert_eq!(scan::execute(&d, &q).len(), 100);
+    let q = q.with_policy(MissingPolicy::IsNotMatch);
+    assert_eq!(scan::execute(&d, &q).len(), 50);
+}
+
+#[test]
+fn errors_are_consistent_across_indexes() {
+    let d = Dataset::from_rows(&[("a", 3)], &[vec![Cell::present(1)]]).unwrap();
+    let too_wide =
+        RangeQuery::new(vec![Predicate::range(0, 1, 9)], MissingPolicy::IsMatch).unwrap();
+    let bad_attr = RangeQuery::new(vec![Predicate::point(4, 1)], MissingPolicy::IsMatch).unwrap();
+    for q in [&too_wide, &bad_attr] {
+        assert!(EqualityBitmapIndex::<Wah>::build(&d).execute(q).is_err());
+        assert!(RangeBitmapIndex::<Wah>::build(&d).execute(q).is_err());
+        assert!(VaFile::build(&d).execute(&d, q).is_err());
+        assert!(Mosaic::build(&d).execute(q).is_err());
+        assert!(RTreeIncomplete::build(&d).execute(q).is_err());
+        assert!(BitstringAugmented::build(&d).execute(q).is_err());
+        assert!(SequentialScan.execute(&d, q).is_err());
+    }
+}

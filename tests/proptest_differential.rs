@@ -1,0 +1,141 @@
+//! Property-based differential testing: arbitrary incomplete relations and
+//! arbitrary range queries, every index vs the scan, both semantics.
+
+use ibis::core::scan;
+use ibis::prelude::*;
+use proptest::prelude::*;
+
+/// An arbitrary incomplete relation: 1–5 attributes of cardinality 1–12,
+/// 1–60 rows, independent per-cell missingness.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..=5, 1usize..=60).prop_flat_map(|(n_attrs, n_rows)| {
+        proptest::collection::vec(1u16..=12, n_attrs).prop_flat_map(move |cards| {
+            let cells = cards
+                .iter()
+                .map(|&c| proptest::collection::vec(0u16..=c, n_rows))
+                .collect::<Vec<_>>();
+            cells.prop_map(move |cols| {
+                Dataset::new(
+                    cols.into_iter()
+                        .enumerate()
+                        .map(|(i, raw)| {
+                            Column::from_raw(format!("a{i}"), cards[i], raw).expect("in domain")
+                        })
+                        .collect(),
+                )
+                .expect("equal lengths")
+            })
+        })
+    })
+}
+
+/// A query valid for `d`: a subset of attributes, each with an in-domain
+/// interval.
+fn arb_query(d: &Dataset) -> impl Strategy<Value = RangeQuery> {
+    let n_attrs = d.n_attrs();
+    let cards: Vec<u16> = d.columns().iter().map(|c| c.cardinality()).collect();
+    (
+        proptest::sample::subsequence((0..n_attrs).collect::<Vec<_>>(), 1..=n_attrs),
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), n_attrs),
+        any::<bool>(),
+    )
+        .prop_map(move |(attrs, bounds, is_match)| {
+            let preds = attrs
+                .into_iter()
+                .map(|a| {
+                    let c = cards[a];
+                    let (x, y) = bounds[a];
+                    let lo = 1 + (x * c as f64) as u16;
+                    let lo = lo.min(c);
+                    let hi = lo + (y * (c - lo + 1) as f64) as u16;
+                    Predicate::range(a, lo, hi.min(c))
+                })
+                .collect();
+            let policy = if is_match {
+                MissingPolicy::IsMatch
+            } else {
+                MissingPolicy::IsNotMatch
+            };
+            RangeQuery::new(preds, policy).expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_indexes_match_scan(
+        (d, q) in arb_dataset().prop_flat_map(|d| {
+            let q = arb_query(&d);
+            (Just(d), q)
+        })
+    ) {
+        let truth = scan::execute(&d, &q);
+        prop_assert_eq!(&EqualityBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&RangeBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&IntervalBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&DecomposedBitmapIndex::<Wah>::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&DecomposedBitmapIndex::<Wah>::with_base(&d, 2).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&EqualityBitmapIndex::<Bbc>::build(&d).execute(&q).unwrap(), &truth);
+    }
+
+    #[test]
+    fn vafiles_match_scan(
+        (d, q) in arb_dataset().prop_flat_map(|d| {
+            let q = arb_query(&d);
+            (Just(d), q)
+        })
+    ) {
+        let truth = scan::execute(&d, &q);
+        prop_assert_eq!(&VaFile::build(&d).execute(&d, &q).unwrap(), &truth);
+        prop_assert_eq!(&VaPlusFile::build(&d).execute(&d, &q).unwrap(), &truth);
+        // Aggressively lossy codes still yield exact answers.
+        let bits = vec![1u8; d.n_attrs()];
+        prop_assert_eq!(&VaFile::with_bits(&d, &bits).execute(&d, &q).unwrap(), &truth);
+    }
+
+    #[test]
+    fn baselines_match_scan(
+        (d, q) in arb_dataset().prop_flat_map(|d| {
+            let q = arb_query(&d);
+            (Just(d), q)
+        })
+    ) {
+        let truth = scan::execute(&d, &q);
+        prop_assert_eq!(&Mosaic::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&RTreeIncomplete::build(&d).execute(&q).unwrap(), &truth);
+        prop_assert_eq!(&BitstringAugmented::build(&d).execute(&q).unwrap(), &truth);
+    }
+
+    #[test]
+    fn policies_nest(
+        (d, q) in arb_dataset().prop_flat_map(|d| {
+            let q = arb_query(&d);
+            (Just(d), q)
+        })
+    ) {
+        // Not-match answers are always a subset of match answers for the
+        // same search key.
+        let strict = scan::execute(&d, &q.with_policy(MissingPolicy::IsNotMatch));
+        let loose = scan::execute(&d, &q.with_policy(MissingPolicy::IsMatch));
+        prop_assert_eq!(strict.intersect(&loose), strict);
+    }
+
+    #[test]
+    fn conjunction_monotone(
+        (d, q) in arb_dataset().prop_flat_map(|d| {
+            let q = arb_query(&d);
+            (Just(d), q)
+        })
+    ) {
+        // Dropping a conjunct can only grow the result set.
+        prop_assume!(q.dimensionality() >= 2);
+        let full = scan::execute(&d, &q);
+        let fewer = RangeQuery::new(
+            q.predicates()[..q.dimensionality() - 1].to_vec(),
+            q.policy(),
+        ).unwrap();
+        let wider = scan::execute(&d, &fewer);
+        prop_assert_eq!(full.intersect(&wider).len(), full.len());
+    }
+}
