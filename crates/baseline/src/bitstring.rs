@@ -14,9 +14,9 @@
 //! That exponential expansion is exactly why the paper rejects the approach
 //! for large `k`.
 
-use crate::rtree::{RTree, Rect};
+use crate::rtree::{finish_tree_words, RTree, Rect};
 use crate::AccessStats;
-use ibis_core::{Dataset, MissingPolicy, RangeQuery, Result, RowSet};
+use ibis_core::{AccessMethod, Dataset, MissingPolicy, RangeQuery, Result, RowSet, WorkCounters};
 
 /// The bitstring-augmented baseline.
 #[derive(Clone, Debug)]
@@ -83,7 +83,7 @@ impl BitstringAugmented {
     }
 
     /// Executes a query, returning matching rows and work counters.
-    pub fn execute_with_stats(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
+    pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
         query.validate_schema(self.cardinalities.len(), |a| self.cardinalities[a])?;
         let mut stats = AccessStats::default();
         let preds = query.predicates();
@@ -93,7 +93,7 @@ impl BitstringAugmented {
             hi: self.cardinalities.clone(),
         };
 
-        match query.policy() {
+        let rows = match query.policy() {
             MissingPolicy::IsNotMatch => {
                 // One subquery: all queried attributes present and in range.
                 let mut rect = base;
@@ -114,7 +114,7 @@ impl BitstringAugmented {
                     // the value is missing; the bitstring rejects those.
                     .filter(|&r| self.bitstrings[r as usize] & queried_mask == 0)
                     .collect();
-                Ok((RowSet::from_unsorted(rows), stats))
+                RowSet::from_unsorted(rows)
             }
             MissingPolicy::IsMatch => {
                 let k = preds.len();
@@ -148,14 +148,34 @@ impl BitstringAugmented {
                             }),
                     );
                 }
-                Ok((RowSet::from_unsorted(all), stats))
+                RowSet::from_unsorted(all)
             }
-        }
+        };
+        finish_tree_words(&mut stats, self.cardinalities.len());
+        Ok((rows, stats))
     }
 
-    /// Executes a query, returning matching rows.
-    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
-        Ok(self.execute_with_stats(query)?.0)
+    /// Total index size in bytes: completed-point R-tree, per-row
+    /// bitstrings, and completion metadata.
+    pub fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+            + self.bitstrings.len() * 8
+            + self.fill.len() * 2
+            + self.cardinalities.len() * 2
+    }
+}
+
+impl AccessMethod for BitstringAugmented {
+    fn name(&self) -> &'static str {
+        "bitstring-augmented"
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+        BitstringAugmented::execute_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        BitstringAugmented::size_bytes(self)
     }
 }
 
@@ -220,7 +240,7 @@ mod tests {
         let idx = BitstringAugmented::build(&d);
         let preds: Vec<Predicate> = (0..4).map(|a| Predicate::range(a, 5, 15)).collect();
         let q = RangeQuery::new(preds, MissingPolicy::IsMatch).unwrap();
-        let (rows, stats) = idx.execute_with_stats(&q).unwrap();
+        let (rows, stats) = idx.execute_with_cost(&q).unwrap();
         assert_eq!(stats.subqueries, 16); // 2^4
         assert_eq!(rows, scan::execute(&d, &q));
     }

@@ -208,6 +208,20 @@ impl BPlusTree {
         Some((sep, right_id))
     }
 
+    /// Approximate in-memory footprint: keys, posting row ids, child
+    /// pointers, and a per-leaf chain link.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { keys, postings, .. } => {
+                    keys.len() * 2 + postings.iter().map(|p| p.len() * 4).sum::<usize>() + 8
+                }
+                Node::Internal { keys, children } => keys.len() * 2 + children.len() * 8,
+            })
+            .sum()
+    }
+
     /// Row ids whose key lies in `lo..=hi`, via leaf-chain range scan.
     pub fn range(&self, lo: u16, hi: u16, stats: &mut AccessStats) -> Vec<u32> {
         let mut out = Vec::new();

@@ -21,9 +21,11 @@
 //! * [`SequentialScan`] — the index-free baseline.
 //!
 //! Every structure returns exact answers under both
-//! [`MissingPolicy`](ibis_core::MissingPolicy) variants and exposes
+//! [`MissingPolicy`](ibis_core::MissingPolicy) variants, exposes
 //! machine-independent work counters ([`AccessStats`]) so the benchmark
-//! harness can report shapes that survive hardware changes.
+//! harness can report shapes that survive hardware changes, and implements
+//! the engine-layer [`AccessMethod`](ibis_core::AccessMethod) trait so the
+//! planner can weigh it against the bitmap and VA families.
 //!
 //! ```
 //! use ibis_baseline::RTreeIncomplete;
@@ -39,7 +41,7 @@
 //!     vec![Predicate::range(0, 4, 6), Predicate::range(1, 4, 6)],
 //!     MissingPolicy::IsMatch,
 //! )?;
-//! let (rows, stats) = rtree.execute_with_stats(&q)?;
+//! let (rows, stats) = rtree.execute_with_cost(&q)?;
 //! assert_eq!(rows.rows(), &[0, 1]);
 //! assert_eq!(stats.subqueries, 2); // 2^1: only x has missing data
 //! # Ok::<(), ibis_core::Error>(())
@@ -58,26 +60,11 @@ pub use bitstring::BitstringAugmented;
 pub use bptree::BPlusTree;
 pub use mosaic::Mosaic;
 pub use rtree::{RTree, RTreeIncomplete, Rect};
-pub use seqscan::SequentialScan;
+pub use seqscan::{BoundScan, SequentialScan};
 
-/// Work counters shared by the baseline structures.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct AccessStats {
-    /// Tree nodes visited (R-tree or B+-tree).
-    pub nodes_visited: usize,
-    /// Leaf/data entries examined.
-    pub entries_scanned: usize,
-    /// Subqueries executed (the `2^k` blow-up shows up here).
-    pub subqueries: usize,
-    /// Row-id set operations performed (MOSAIC's intersection/union work).
-    pub set_ops: usize,
-}
-
-impl std::ops::AddAssign for AccessStats {
-    fn add_assign(&mut self, rhs: AccessStats) {
-        self.nodes_visited += rhs.nodes_visited;
-        self.entries_scanned += rhs.entries_scanned;
-        self.subqueries += rhs.subqueries;
-        self.set_ops += rhs.set_ops;
-    }
-}
+/// Work counters shared by the baseline structures — the engine-layer
+/// [`WorkCounters`](ibis_core::WorkCounters) under the crate's historical
+/// name. Tree traversal fills `nodes_visited`/`entries_scanned`, the `2^k`
+/// blow-up shows up in `subqueries`, and MOSAIC's intersection/union work
+/// in `set_ops`.
+pub type AccessStats = ibis_core::WorkCounters;

@@ -10,7 +10,7 @@
 //! any dimension with many matches drags the whole query down.
 
 use crate::{AccessStats, BPlusTree};
-use ibis_core::{Dataset, MissingPolicy, RangeQuery, Result, RowSet};
+use ibis_core::{AccessMethod, Dataset, MissingPolicy, RangeQuery, Result, RowSet, WorkCounters};
 
 /// The MOSAIC baseline: independent B+-trees per attribute.
 #[derive(Clone, Debug)]
@@ -47,8 +47,13 @@ impl Mosaic {
         self.trees.len()
     }
 
+    /// Total index size in bytes: every per-attribute B+-tree.
+    pub fn size_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.size_bytes()).sum::<usize>() + 2 * self.cardinalities.len()
+    }
+
     /// Executes a query, returning matching rows and work counters.
-    pub fn execute_with_stats(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
+    pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
         query.validate_schema(self.trees.len(), |a| self.cardinalities[a])?;
         let mut stats = AccessStats::default();
         let mut acc: Option<RowSet> = None;
@@ -75,12 +80,24 @@ impl Mosaic {
             });
         }
         let rows = acc.unwrap_or_else(|| RowSet::all(self.n_rows as u32));
+        // Common work currency: each scanned posting is a 4-byte row id,
+        // each visited B+-tree node one 8-byte word of header/key work.
+        stats.words_processed = (stats.entries_scanned * 4).div_ceil(8) + stats.nodes_visited;
         Ok((rows, stats))
     }
+}
 
-    /// Executes a query, returning matching rows.
-    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
-        Ok(self.execute_with_stats(query)?.0)
+impl AccessMethod for Mosaic {
+    fn name(&self) -> &'static str {
+        "mosaic"
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+        Mosaic::execute_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        Mosaic::size_bytes(self)
     }
 }
 
@@ -135,10 +152,10 @@ mod tests {
             MissingPolicy::IsMatch,
         )
         .unwrap();
-        let (_, stats) = idx.execute_with_stats(&q).unwrap();
+        let (_, stats) = idx.execute_with_cost(&q).unwrap();
         assert_eq!(stats.subqueries, 6); // 2k
         let q = q.with_policy(MissingPolicy::IsNotMatch);
-        let (_, stats) = idx.execute_with_stats(&q).unwrap();
+        let (_, stats) = idx.execute_with_cost(&q).unwrap();
         assert_eq!(stats.subqueries, 3); // k
     }
 
@@ -148,7 +165,7 @@ mod tests {
         let idx = Mosaic::build(&d);
         let preds: Vec<Predicate> = (0..6).map(|i| Predicate::range(i * 70, 1, 2)).collect();
         let q = RangeQuery::new(preds, MissingPolicy::IsMatch).unwrap();
-        let (_, stats) = idx.execute_with_stats(&q).unwrap();
+        let (_, stats) = idx.execute_with_cost(&q).unwrap();
         assert!(
             stats.set_ops >= 5,
             "k−1 intersections at minimum: {stats:?}"

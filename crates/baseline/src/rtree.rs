@@ -3,7 +3,7 @@
 //! demonstrates.
 
 use crate::AccessStats;
-use ibis_core::{Dataset, MissingPolicy, RangeQuery, Result, RowSet};
+use ibis_core::{AccessMethod, Dataset, MissingPolicy, RangeQuery, Result, RowSet, WorkCounters};
 
 /// An axis-aligned integer rectangle over raw coordinates (`0` is the
 /// missing sentinel, domain values are `1..=C`).
@@ -396,6 +396,22 @@ impl RTree {
         out
     }
 
+    /// Approximate in-memory footprint: every node's covering rectangle
+    /// (`2 · dims` `u16` corners) plus leaf entries (rectangle + row id) and
+    /// internal child pointers.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                4 * self.dims
+                    + match n {
+                        Node::Leaf { entries, .. } => entries.len() * (4 * self.dims + 4),
+                        Node::Internal { children, .. } => children.len() * 8,
+                    }
+            })
+            .sum()
+    }
+
     /// Mean number of sibling pairs whose rectangles overlap, per internal
     /// node — the structural quantity the sentinel mapping inflates.
     pub fn overlap_factor(&self) -> f64 {
@@ -483,8 +499,13 @@ impl RTreeIncomplete {
         &self.tree
     }
 
+    /// Total index size in bytes (tree plus schema metadata).
+    pub fn size_bytes(&self) -> usize {
+        self.tree.size_bytes() + 2 * self.cardinalities.len() + self.has_missing.len()
+    }
+
     /// Executes a query, returning matching rows and work counters.
-    pub fn execute_with_stats(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
+    pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, AccessStats)> {
         query.validate_schema(self.dims, |a| self.cardinalities[a])?;
         let mut stats = AccessStats::default();
         let preds = query.predicates();
@@ -497,15 +518,14 @@ impl RTreeIncomplete {
             hi,
         };
 
-        match query.policy() {
+        let rows = match query.policy() {
             MissingPolicy::IsNotMatch => {
                 for p in preds {
                     base.lo[p.attr] = p.interval.lo;
                     base.hi[p.attr] = p.interval.hi;
                 }
                 stats.subqueries = 1;
-                let rows = self.tree.search(&base, &mut stats);
-                Ok((RowSet::from_unsorted(rows), stats))
+                RowSet::from_unsorted(self.tree.search(&base, &mut stats))
             }
             MissingPolicy::IsMatch => {
                 // 2^m subqueries, branching only on the queried attributes
@@ -537,14 +557,34 @@ impl RTreeIncomplete {
                     stats.subqueries += 1;
                     all.extend(self.tree.search(&rect, &mut stats));
                 }
-                Ok((RowSet::from_unsorted(all), stats))
+                RowSet::from_unsorted(all)
             }
-        }
+        };
+        finish_tree_words(&mut stats, self.dims);
+        Ok((rows, stats))
+    }
+}
+
+/// Converts tree-traversal counters into the engine layer's common
+/// 64-bit-word currency: each scanned entry touches a `dims`-point
+/// (`2 · dims` bytes), each visited node its covering rectangle
+/// (`4 · dims` bytes).
+pub(crate) fn finish_tree_words(stats: &mut AccessStats, dims: usize) {
+    stats.words_processed =
+        (stats.entries_scanned * 2 * dims + stats.nodes_visited * 4 * dims).div_ceil(8);
+}
+
+impl AccessMethod for RTreeIncomplete {
+    fn name(&self) -> &'static str {
+        "r-tree"
     }
 
-    /// Executes a query, returning matching rows.
-    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
-        Ok(self.execute_with_stats(query)?.0)
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+        RTreeIncomplete::execute_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        RTreeIncomplete::size_bytes(self)
     }
 }
 
@@ -677,10 +717,10 @@ mod tests {
             MissingPolicy::IsMatch,
         )
         .unwrap();
-        let (_, stats) = idx.execute_with_stats(&q).unwrap();
+        let (_, stats) = idx.execute_with_cost(&q).unwrap();
         assert_eq!(stats.subqueries, 4); // 2^2
         let q = q.with_policy(MissingPolicy::IsNotMatch);
-        let (_, stats) = idx.execute_with_stats(&q).unwrap();
+        let (_, stats) = idx.execute_with_cost(&q).unwrap();
         assert_eq!(stats.subqueries, 1);
     }
 
@@ -699,12 +739,8 @@ mod tests {
         let holey = incomplete_2d(2_000, 0.3, 3);
         let idx_c = RTreeIncomplete::build(&complete);
         let idx_h = RTreeIncomplete::build(&holey);
-        let (_, sc) = idx_c
-            .execute_with_stats(&q(MissingPolicy::IsMatch))
-            .unwrap();
-        let (_, sh) = idx_h
-            .execute_with_stats(&q(MissingPolicy::IsMatch))
-            .unwrap();
+        let (_, sc) = idx_c.execute_with_cost(&q(MissingPolicy::IsMatch)).unwrap();
+        let (_, sh) = idx_h.execute_with_cost(&q(MissingPolicy::IsMatch)).unwrap();
         let work_c = sc.nodes_visited + sc.entries_scanned;
         let work_h = sh.nodes_visited + sh.entries_scanned;
         assert!(

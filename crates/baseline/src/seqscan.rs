@@ -1,12 +1,14 @@
 //! The index-free baseline: a full sequential scan.
 
 use crate::AccessStats;
-use ibis_core::{scan, Dataset, RangeQuery, Result, RowSet};
+use ibis_core::{scan, AccessMethod, Dataset, RangeQuery, Result, RowSet, WorkCounters};
+use std::sync::Arc;
 
 /// Sequential scan presented through the same interface as the indexes, so
 /// the benchmark harness can time every contender identically. Holds only a
 /// reference-free handle (the dataset is passed at query time, like the
-/// VA-file's refinement source).
+/// VA-file's refinement source); [`SequentialScan::bind`] closes over a
+/// dataset to yield an engine-layer [`AccessMethod`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SequentialScan;
 
@@ -18,17 +20,63 @@ impl SequentialScan {
     }
 
     /// Executes a query with work counters (every record is an entry scan).
-    pub fn execute_with_stats(
+    pub fn execute_with_cost(
         &self,
         dataset: &Dataset,
         query: &RangeQuery,
     ) -> Result<(RowSet, AccessStats)> {
         let rows = self.execute(dataset, query)?;
+        let entries = dataset.n_rows() * query.dimensionality().max(1);
         let stats = AccessStats {
-            entries_scanned: dataset.n_rows() * query.dimensionality().max(1),
+            entries_scanned: entries,
+            // Each scanned entry is one u16 cell: 2 bytes, 4 per word.
+            words_processed: entries.div_ceil(4),
             ..AccessStats::default()
         };
         Ok((rows, stats))
+    }
+
+    /// Binds the scan to a dataset, producing an [`AccessMethod`] the
+    /// engine-layer registry can hold (and fall back to when no index
+    /// covers a query).
+    pub fn bind(self, base: Arc<Dataset>) -> BoundScan {
+        BoundScan { base }
+    }
+}
+
+/// A [`SequentialScan`] bound to its dataset: the always-applicable,
+/// index-free access method of last resort.
+#[derive(Clone, Debug)]
+pub struct BoundScan {
+    base: Arc<Dataset>,
+}
+
+impl BoundScan {
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.base
+    }
+}
+
+impl AccessMethod for BoundScan {
+    fn name(&self) -> &'static str {
+        "sequential-scan"
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+        SequentialScan.execute_with_cost(&self.base, query)
+    }
+
+    /// The scan stores nothing beyond the base relation.
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    /// `n · k / 4` words: every row's `k` queried cells at 2 bytes each.
+    fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        let n = self.base.n_rows() as f64;
+        let k = query.dimensionality().max(1) as f64;
+        n * k / 4.0
     }
 }
 
@@ -46,9 +94,10 @@ mod tests {
             MissingPolicy::IsMatch,
         )
         .unwrap();
-        let (rows, stats) = SequentialScan.execute_with_stats(&d, &q).unwrap();
+        let (rows, stats) = SequentialScan.execute_with_cost(&d, &q).unwrap();
         assert_eq!(rows, scan::execute(&d, &q));
         assert_eq!(stats.entries_scanned, 400);
+        assert_eq!(stats.words_processed, 100);
     }
 
     #[test]
@@ -56,5 +105,20 @@ mod tests {
         let d = synthetic_scaled(50, 8);
         let q = RangeQuery::new(vec![Predicate::point(999, 1)], MissingPolicy::IsMatch).unwrap();
         assert!(SequentialScan.execute(&d, &q).is_err());
+    }
+
+    #[test]
+    fn bound_scan_is_an_access_method() {
+        let d = Arc::new(synthetic_scaled(120, 9));
+        let am = SequentialScan.bind(Arc::clone(&d));
+        assert_eq!(am.name(), "sequential-scan");
+        assert_eq!(am.size_bytes(), 0);
+        let q = RangeQuery::new(
+            vec![Predicate::range(0, 1, 1), Predicate::range(50, 1, 5)],
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        assert_eq!(am.execute(&q).unwrap(), scan::execute(&d, &q));
+        assert_eq!(am.estimated_cost(&q), 120.0 * 2.0 / 4.0);
     }
 }

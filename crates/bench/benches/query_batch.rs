@@ -1,0 +1,51 @@
+//! Batch execution through the engine layer: 100 queries in the Fig. 5(a)
+//! shape (8-dimensional, 1% global selectivity), answered one at a time via
+//! [`AccessMethod::execute`] versus all at once via
+//! [`AccessMethod::execute_batch`], per index family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::Wah;
+use ibis_core::gen::{workload, QuerySpec};
+use ibis_core::{AccessMethod, MissingPolicy};
+use ibis_vafile::VaFile;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N_ROWS: usize = 50_000;
+const N_QUERIES: usize = 100;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_batch");
+    g.sample_size(10);
+    let d = Arc::new(uniform_group(N_ROWS, 16, 10, 0.10, 23));
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+        Box::new(RangeBitmapIndex::<Wah>::build(&d)),
+        Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+    ];
+    let spec = QuerySpec {
+        n_queries: N_QUERIES,
+        k: 8,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, 29);
+    for m in &methods {
+        g.bench_function(BenchmarkId::new("sequential", m.name()), |b| {
+            b.iter(|| {
+                let rows: Vec<_> = queries.iter().map(|q| m.execute(q).unwrap()).collect();
+                black_box(rows)
+            })
+        });
+        g.bench_function(BenchmarkId::new("batch", m.name()), |b| {
+            b.iter(|| black_box(m.execute_batch(&queries).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -9,7 +9,7 @@ use ibis_bitmap::{
 };
 use ibis_bitvec::Wah;
 use ibis_core::gen::{workload, QuerySpec};
-use ibis_core::MissingPolicy;
+use ibis_core::{AccessMethod, MissingPolicy};
 use ibis_vafile::VaFile;
 use std::hint::black_box;
 

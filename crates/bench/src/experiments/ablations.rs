@@ -2,17 +2,49 @@
 //! figures appear in the paper; they test the paper's *stated reasons* for
 //! its choices (WAH over alternatives, the extra `B_0` bitmap, uniform
 //! quantization) and its future-work hypotheses (row reordering, BBC, VA+).
+//!
+//! Every timing loop funnels through the engine layer: contenders are
+//! registered as [`AccessMethod`] trait objects and the shared
+//! [`time_methods`] runner times them and checks cross-method agreement.
 
 use crate::config::Scale;
-use crate::experiments::harness::{time_trio, uniform_group};
+use crate::experiments::harness::{time_methods, time_trio, uniform_group};
 use crate::report::{fmt_ms, fmt_ratio, Table};
-use crate::time_ms;
 use ibis_baseline::{BitstringAugmented, Mosaic, RTreeIncomplete, SequentialScan};
-use ibis_bitmap::{reorder, EqualityBitmapIndex, IntervalBitmapIndex, QueryCost, RangeBitmapIndex};
-use ibis_bitvec::{Bbc, BitStore, BitVec64, Wah};
+use ibis_bitmap::{reorder, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex};
+use ibis_bitvec::{Bbc, BitVec64, Wah};
 use ibis_core::gen::{census_scaled, workload, QuerySpec};
-use ibis_core::{Dataset, MissingPolicy, RangeQuery};
+use ibis_core::{AccessMethod, MissingPolicy, RangeQuery};
 use ibis_vafile::{VaFile, VaPlusFile};
+use std::sync::Arc;
+
+/// Builds one backend variant, sizes it, times the workload through the
+/// [`AccessMethod`] surface and appends the table row — the shared body of
+/// every `compression` contender.
+fn backend_row<I: AccessMethod>(
+    table: &mut Table,
+    queries: &[RangeQuery],
+    enc: &str,
+    backend: &str,
+    build: impl FnOnce() -> I,
+    report: impl FnOnce(&I) -> ibis_bitmap::SizeReport,
+) {
+    let (idx, build_ms) = crate::time_ms(build);
+    let r = report(&idx);
+    let (_, query_ms) = crate::time_ms(|| {
+        for q in queries {
+            let _ = idx.execute(q).expect("valid");
+        }
+    });
+    table.push(vec![
+        enc.into(),
+        backend.into(),
+        format!("{:.0}", r.total_bytes() as f64 / 1024.0),
+        fmt_ratio(r.compression_ratio()),
+        fmt_ms(build_ms),
+        fmt_ms(query_ms),
+    ]);
+}
 
 /// abl1 — bit-vector backend sweep: size and query time for plain, WAH and
 /// BBC storage under both bitmap encodings.
@@ -34,54 +66,54 @@ pub fn compression(scale: &Scale) -> Vec<Table> {
             "encoding", "backend", "size_kb", "ratio", "build_ms", "query_ms",
         ],
     );
-
-    fn row_bee<B: BitStore>(d: &Dataset, queries: &[RangeQuery]) -> (usize, f64, f64, f64) {
-        let (idx, build_ms) = crate::time_ms(|| EqualityBitmapIndex::<B>::build(d));
-        let report = idx.size_report();
-        let (_, query_ms) = crate::time_ms(|| {
-            for q in queries {
-                let _ = idx.execute(q).expect("valid");
-            }
-        });
-        (
-            report.total_bytes(),
-            report.compression_ratio(),
-            build_ms,
-            query_ms,
-        )
-    }
-    fn row_bre<B: BitStore>(d: &Dataset, queries: &[RangeQuery]) -> (usize, f64, f64, f64) {
-        let (idx, build_ms) = crate::time_ms(|| RangeBitmapIndex::<B>::build(d));
-        let report = idx.size_report();
-        let (_, query_ms) = crate::time_ms(|| {
-            for q in queries {
-                let _ = idx.execute(q).expect("valid");
-            }
-        });
-        (
-            report.total_bytes(),
-            report.compression_ratio(),
-            build_ms,
-            query_ms,
-        )
-    }
-
-    let mut push = |enc: &str, backend: &str, r: (usize, f64, f64, f64)| {
-        table.push(vec![
-            enc.into(),
-            backend.into(),
-            format!("{:.0}", r.0 as f64 / 1024.0),
-            fmt_ratio(r.1),
-            fmt_ms(r.2),
-            fmt_ms(r.3),
-        ]);
-    };
-    push("bee", "plain", row_bee::<BitVec64>(&d, &queries));
-    push("bee", "wah", row_bee::<Wah>(&d, &queries));
-    push("bee", "bbc", row_bee::<Bbc>(&d, &queries));
-    push("bre", "plain", row_bre::<BitVec64>(&d, &queries));
-    push("bre", "wah", row_bre::<Wah>(&d, &queries));
-    push("bre", "bbc", row_bre::<Bbc>(&d, &queries));
+    backend_row(
+        &mut table,
+        &queries,
+        "bee",
+        "plain",
+        || EqualityBitmapIndex::<BitVec64>::build(&d),
+        |i| i.size_report(),
+    );
+    backend_row(
+        &mut table,
+        &queries,
+        "bee",
+        "wah",
+        || EqualityBitmapIndex::<Wah>::build(&d),
+        |i| i.size_report(),
+    );
+    backend_row(
+        &mut table,
+        &queries,
+        "bee",
+        "bbc",
+        || EqualityBitmapIndex::<Bbc>::build(&d),
+        |i| i.size_report(),
+    );
+    backend_row(
+        &mut table,
+        &queries,
+        "bre",
+        "plain",
+        || RangeBitmapIndex::<BitVec64>::build(&d),
+        |i| i.size_report(),
+    );
+    backend_row(
+        &mut table,
+        &queries,
+        "bre",
+        "wah",
+        || RangeBitmapIndex::<Wah>::build(&d),
+        |i| i.size_report(),
+    );
+    backend_row(
+        &mut table,
+        &queries,
+        "bre",
+        "bbc",
+        || RangeBitmapIndex::<Bbc>::build(&d),
+        |i| i.size_report(),
+    );
     vec![table]
 }
 
@@ -116,37 +148,27 @@ pub fn encoding(scale: &Scale) -> Vec<Table> {
             candidate_attrs: vec![],
         };
         let queries = workload(&d, &spec, scale.seed + 41);
-        let bee = EqualityBitmapIndex::<Wah>::build(&d);
-        let bre = RangeBitmapIndex::<Wah>::build(&d);
-        let bie = IntervalBitmapIndex::<Wah>::build(&d);
-        let run = |exec: &dyn Fn(&RangeQuery) -> (ibis_core::RowSet, QueryCost)| {
-            let mut bitmaps = 0usize;
-            let mut results = Vec::new();
-            let (_, ms) = time_ms(|| {
-                for q in &queries {
-                    let (rows, c) = exec(q);
-                    bitmaps += c.bitmaps_accessed;
-                    results.push(rows);
-                }
-            });
-            (ms, bitmaps, results)
-        };
-        let (bee_ms, bee_b, r1) = run(&|q| bee.execute_with_cost(q).expect("valid"));
-        let (bre_ms, bre_b, r2) = run(&|q| bre.execute_with_cost(q).expect("valid"));
-        let (bie_ms, bie_b, r3) = run(&|q| bie.execute_with_cost(q).expect("valid"));
-        assert_eq!(r1, r2);
-        assert_eq!(r1, r3);
+        let methods: Vec<Box<dyn AccessMethod>> = vec![
+            Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+            Box::new(RangeBitmapIndex::<Wah>::build(&d)),
+            Box::new(IntervalBitmapIndex::<Wah>::build(&d)),
+        ];
+        let kb: Vec<String> = methods
+            .iter()
+            .map(|m| format!("{:.0}", m.size_bytes() as f64 / 1024.0))
+            .collect();
+        let t = time_methods(&methods, &queries);
         table.push(vec![
             card.to_string(),
-            format!("{:.0}", bee.size_bytes() as f64 / 1024.0),
-            format!("{:.0}", bre.size_bytes() as f64 / 1024.0),
-            format!("{:.0}", bie.size_bytes() as f64 / 1024.0),
-            fmt_ms(bee_ms),
-            fmt_ms(bre_ms),
-            fmt_ms(bie_ms),
-            bee_b.to_string(),
-            bre_b.to_string(),
-            bie_b.to_string(),
+            kb[0].clone(),
+            kb[1].clone(),
+            kb[2].clone(),
+            fmt_ms(t[0].ms),
+            fmt_ms(t[1].ms),
+            fmt_ms(t[2].ms),
+            t[0].cost.bitmaps_accessed.to_string(),
+            t[1].cost.bitmaps_accessed.to_string(),
+            t[2].cost.bitmaps_accessed.to_string(),
         ]);
     }
     vec![table]
@@ -178,34 +200,28 @@ pub fn decomposition(scale: &Scale) -> Vec<Table> {
             "bitmap_reads",
         ],
     );
-    let mut reference: Option<Vec<ibis_core::RowSet>> = None;
+    let mut methods: Vec<Box<dyn AccessMethod>> = Vec::new();
+    let mut meta: Vec<(u16, usize, usize, usize)> = Vec::new();
     for base in [2u16, 4, 10, 101] {
         let idx = DecomposedBitmapIndex::<Wah>::with_base(&d, base);
-        let mut reads = 0usize;
-        let mut results = Vec::new();
-        let (_, ms) = time_ms(|| {
-            for q in &queries {
-                let (rows, c) = idx.execute_with_cost(q).expect("valid");
-                reads += c.bitmaps_accessed;
-                results.push(rows);
-            }
-        });
-        match &reference {
-            None => reference = Some(results),
-            Some(r) => assert_eq!(r, &results, "bases must agree"),
-        }
         let components = if base >= 100 {
             1
         } else {
             (100f64.ln() / (base as f64).ln()).ceil() as usize
         };
+        meta.push((base, components, idx.n_bitmaps(), idx.size_bytes()));
+        methods.push(Box::new(idx));
+    }
+    // The shared runner also asserts every base answers identically.
+    let timings = time_methods(&methods, &queries);
+    for ((base, components, n_bitmaps, size), t) in meta.into_iter().zip(&timings) {
         table.push(vec![
             base.to_string(),
             components.to_string(),
-            idx.n_bitmaps().to_string(),
-            format!("{:.0}", idx.size_bytes() as f64 / 1024.0),
-            fmt_ms(ms),
-            reads.to_string(),
+            n_bitmaps.to_string(),
+            format!("{:.0}", size as f64 / 1024.0),
+            fmt_ms(t.ms),
+            t.cost.bitmaps_accessed.to_string(),
         ]);
     }
     vec![table]
@@ -242,7 +258,7 @@ pub fn reorder(scale: &Scale) -> Vec<Table> {
 /// abl3 — uniform vs equi-depth quantization (VA vs VA+) at equal bit
 /// budgets on skewed data.
 pub fn vaplus(scale: &Scale) -> Vec<Table> {
-    let d = census_scaled(scale.census_rows.min(50_000), scale.seed + 4);
+    let d = Arc::new(census_scaled(scale.census_rows.min(50_000), scale.seed + 4));
     let bits: Vec<u8> = d
         .columns()
         .iter()
@@ -253,8 +269,10 @@ pub fn vaplus(scale: &Scale) -> Vec<Table> {
             full.saturating_sub(3).max(1)
         })
         .collect();
-    let va = VaFile::with_bits(&d, &bits);
-    let vap = VaPlusFile::with_bits(&d, &bits);
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(VaFile::with_bits(&d, &bits).bind(Arc::clone(&d))),
+        Box::new(VaPlusFile::with_bits(&d, &bits).bind(Arc::clone(&d))),
+    ];
     let spec = QuerySpec {
         n_queries: scale.queries,
         k: 3,
@@ -278,44 +296,18 @@ pub fn vaplus(scale: &Scale) -> Vec<Table> {
             "query_ms",
         ],
     );
-    let run_one = |name: &str, exec: &dyn Fn(&RangeQuery) -> (usize, usize, usize)| {
-        let mut cand = 0usize;
-        let mut refined = 0usize;
-        let mut fp = 0usize;
-        let (_, ms) = time_ms(|| {
-            for q in &queries {
-                let (c, r, f) = exec(q);
-                cand += c;
-                refined += r;
-                fp += f;
-            }
-        });
-        (name.to_string(), cand, refined, fp, ms)
-    };
-    let (n1, c1, r1, f1, ms1) = run_one("va_uniform", &|q| {
-        let (_, c) = va.execute_with_cost(&d, q).expect("valid");
-        (c.candidates, c.refined, c.false_positives)
-    });
-    table.push(vec![
-        n1,
-        format!("{:.0}", va.size_bytes() as f64 / 1024.0),
-        c1.to_string(),
-        r1.to_string(),
-        f1.to_string(),
-        fmt_ms(ms1),
-    ]);
-    let (n2, c2, r2, f2, ms2) = run_one("va_plus", &|q| {
-        let (_, c) = vap.execute_with_cost(&d, q).expect("valid");
-        (c.candidates, c.refined, c.false_positives)
-    });
-    table.push(vec![
-        n2,
-        format!("{:.0}", vap.size_bytes() as f64 / 1024.0),
-        c2.to_string(),
-        r2.to_string(),
-        f2.to_string(),
-        fmt_ms(ms2),
-    ]);
+    let sizes: Vec<usize> = methods.iter().map(|m| m.size_bytes()).collect();
+    let timings = time_methods(&methods, &queries);
+    for (t, size) in timings.iter().zip(sizes) {
+        table.push(vec![
+            t.name.into(),
+            format!("{:.0}", size as f64 / 1024.0),
+            t.cost.candidates.to_string(),
+            t.cost.rows_refined.to_string(),
+            t.cost.false_positives.to_string(),
+            fmt_ms(t.ms),
+        ]);
+    }
     vec![table]
 }
 
@@ -360,13 +352,19 @@ pub fn related_work(scale: &Scale) -> Vec<Table> {
     // R-tree insertion and 2^k subqueries dominate; keep this experiment at
     // a size where the exponential contenders still finish.
     let n = scale.rows.min(20_000);
-    let d = uniform_group(n, 8, 20, 0.20, scale.seed + 8);
-    let bee = EqualityBitmapIndex::<Wah>::build(&d);
-    let bre = RangeBitmapIndex::<Wah>::build(&d);
-    let va = VaFile::build(&d);
-    let mosaic = Mosaic::build(&d);
-    let bitstring = BitstringAugmented::build(&d);
-    let rtree = RTreeIncomplete::build(&d);
+    let d = Arc::new(uniform_group(n, 8, 20, 0.20, scale.seed + 8));
+    // Registration order fixes the column order below. The sequential scan
+    // rides in the registry, so the runner's cross-method agreement check
+    // doubles as the ground-truth comparison.
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(RangeBitmapIndex::<Wah>::build(&d)),
+        Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+        Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+        Box::new(Mosaic::build(&d)),
+        Box::new(BitstringAugmented::build(&d)),
+        Box::new(RTreeIncomplete::build(&d)),
+        Box::new(SequentialScan.bind(Arc::clone(&d))),
+    ];
 
     let mut table = Table::new(
         "ablation_relatedwork",
@@ -392,82 +390,15 @@ pub fn related_work(scale: &Scale) -> Vec<Table> {
             candidate_attrs: vec![],
         };
         let queries = workload(&d, &spec, scale.seed + 9 + k as u64);
-        let expected: Vec<_> = queries
+        let timings = time_methods(&methods, &queries);
+        let mut row = vec![k.to_string()];
+        row.extend(timings.iter().map(|t| fmt_ms(t.ms)));
+        let subqueries = timings
             .iter()
-            .map(|q| ibis_core::scan::execute(&d, q))
-            .collect();
-        let check = |rows: Vec<ibis_core::RowSet>| {
-            for (got, want) in rows.iter().zip(&expected) {
-                assert_eq!(got, want, "contender disagrees with scan");
-            }
-        };
-
-        let (rows, bre_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| bre.execute(q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let (rows, bee_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| bee.execute(q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let (rows, va_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| va.execute(&d, q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let (rows, mosaic_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| mosaic.execute(q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let (rows, bitstring_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| bitstring.execute(q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let mut subqueries = 0usize;
-        let (rows, rtree_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| {
-                    let (rows, s) = rtree.execute_with_stats(q).expect("ok");
-                    subqueries += s.subqueries;
-                    rows
-                })
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-        let (rows, scan_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| SequentialScan.execute(&d, q).expect("ok"))
-                .collect::<Vec<_>>()
-        });
-        check(rows);
-
-        table.push(vec![
-            k.to_string(),
-            fmt_ms(bre_ms),
-            fmt_ms(bee_ms),
-            fmt_ms(va_ms),
-            fmt_ms(mosaic_ms),
-            fmt_ms(bitstring_ms),
-            fmt_ms(rtree_ms),
-            fmt_ms(scan_ms),
-            subqueries.to_string(),
-        ]);
+            .find(|t| t.name == "r-tree")
+            .map_or(0, |t| t.cost.subqueries);
+        row.push(subqueries.to_string());
+        table.push(row);
     }
     vec![table]
 }
@@ -538,5 +469,20 @@ mod tests {
         // k=1 → 2 subqueries per query; k=8 → 256 per query.
         assert_eq!(sub[0], 4 * 2);
         assert_eq!(sub[4], 4 * 256);
+    }
+
+    #[test]
+    fn vaplus_reports_both_variants() {
+        let scale = Scale {
+            census_rows: 5_000,
+            queries: 5,
+            ..Scale::smoke()
+        };
+        let t = &vaplus(&scale)[0];
+        assert_eq!(t.rows[0][0], "va-file");
+        assert_eq!(t.rows[1][0], "va-plus-file");
+        // Lossy codes force refinement on both variants.
+        let refined: usize = t.rows[0][3].parse().unwrap();
+        assert!(refined > 0);
     }
 }

@@ -62,7 +62,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         let mut stats = AccessStats::default();
         let (_, ms) = time_ms(|| {
             for q in &queries {
-                let (_, s) = idx.execute_with_stats(q).expect("valid workload");
+                let (_, s) = idx.execute_with_cost(q).expect("valid workload");
                 stats += s;
             }
         });

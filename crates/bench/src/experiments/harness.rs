@@ -1,12 +1,14 @@
-//! Shared helpers: purpose-built datasets and index timing runners.
+//! Shared helpers: purpose-built datasets and the registry-driven timing
+//! runner every figure/table module funnels through.
 
 use crate::time_ms;
-use ibis_bitmap::{EqualityBitmapIndex, QueryCost, RangeBitmapIndex};
+use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
 use ibis_bitvec::Wah;
 use ibis_core::gen::uniform_column;
-use ibis_core::{Dataset, RangeQuery};
-use ibis_vafile::{VaCost, VaFile};
+use ibis_core::{AccessMethod, Dataset, RangeQuery, RowSet, WorkCounters};
+use ibis_vafile::VaFile;
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 
 /// A dataset of `n_cols` uniform columns sharing one cardinality and
 /// missing rate — the building block of the Fig. 4/5 sweeps (the paper
@@ -35,6 +37,66 @@ pub fn uniform_group(
     .expect("homogeneous columns")
 }
 
+/// Wall-clock time and accumulated work counters for one access method
+/// over a whole workload.
+#[derive(Clone, Debug)]
+pub struct MethodTiming {
+    /// The method's registry name (e.g. `"bitmap-range"`).
+    pub name: &'static str,
+    /// Milliseconds for the whole workload.
+    pub ms: f64,
+    /// Work counters summed across every query.
+    pub cost: WorkCounters,
+    /// Total rows matched across every query.
+    pub hits: usize,
+}
+
+/// Runs `queries` through every registered method, timing each and
+/// asserting that all methods agree on every answer (the suite never
+/// reports numbers from disagreeing implementations).
+///
+/// # Panics
+/// Panics if any method rejects a query or disagrees with the first
+/// registered method on any result.
+pub fn time_methods(
+    methods: &[Box<dyn AccessMethod>],
+    queries: &[RangeQuery],
+) -> Vec<MethodTiming> {
+    let mut reference: Option<Vec<RowSet>> = None;
+    methods
+        .iter()
+        .map(|m| {
+            let ((results, cost), ms) = time_ms(|| {
+                let mut cost = WorkCounters::zero();
+                let mut results = Vec::with_capacity(queries.len());
+                for q in queries {
+                    let (rows, c) = m.execute_with_cost(q).expect("valid workload");
+                    cost += c;
+                    results.push(rows);
+                }
+                (results, cost)
+            });
+            let hits = results.iter().map(RowSet::len).sum();
+            match &reference {
+                None => reference = Some(results),
+                Some(r) => assert_eq!(
+                    r,
+                    &results,
+                    "{} disagrees with {}",
+                    m.name(),
+                    methods[0].name()
+                ),
+            }
+            MethodTiming {
+                name: m.name(),
+                ms,
+                cost,
+                hits,
+            }
+        })
+        .collect()
+}
+
 /// Timing and work counters for the three contenders over one workload.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TrioTiming {
@@ -54,66 +116,32 @@ pub struct TrioTiming {
     pub realized_selectivity: f64,
 }
 
-/// Builds BEE (WAH), BRE (WAH) and the VA-file over `dataset` and times
-/// `queries` over each, asserting all three agree (the suite never reports
-/// numbers from disagreeing implementations).
+/// Builds the paper's three contenders — BEE (WAH), BRE (WAH) and the
+/// VA-file — over `dataset`, runs `queries` through each via the
+/// [`AccessMethod`] registry runner, and projects the per-method timings
+/// into the fixed [`TrioTiming`] shape the Fig. 4/5 tables consume.
 pub fn time_trio(dataset: &Dataset, queries: &[RangeQuery]) -> TrioTiming {
-    let bee = EqualityBitmapIndex::<Wah>::build(dataset);
-    let bre = RangeBitmapIndex::<Wah>::build(dataset);
-    let va = VaFile::build(dataset);
-    let mut t = TrioTiming::default();
-    let mut matched = 0usize;
-
-    let (bee_results, bee_ms) = time_ms(|| {
-        let mut cost = QueryCost::zero();
-        let mut results = Vec::with_capacity(queries.len());
-        for q in queries {
-            let (rows, c) = bee.execute_with_cost(q).expect("valid workload");
-            cost += c;
-            results.push(rows);
-        }
-        (results, cost)
-    });
-    t.bee_ms = bee_ms;
-    t.bee_bitmaps = bee_results.1.bitmaps_accessed;
-
-    let (bre_results, bre_ms) = time_ms(|| {
-        let mut cost = QueryCost::zero();
-        let mut results = Vec::with_capacity(queries.len());
-        for q in queries {
-            let (rows, c) = bre.execute_with_cost(q).expect("valid workload");
-            cost += c;
-            results.push(rows);
-        }
-        (results, cost)
-    });
-    t.bre_ms = bre_ms;
-    t.bre_bitmaps = bre_results.1.bitmaps_accessed;
-
-    let (va_results, va_ms) = time_ms(|| {
-        let mut cost = VaCost::default();
-        let mut results = Vec::with_capacity(queries.len());
-        for q in queries {
-            let (rows, c) = va.execute_with_cost(dataset, q).expect("valid workload");
-            cost.approx_fields_read += c.approx_fields_read;
-            results.push(rows);
-        }
-        (results, cost)
-    });
-    t.va_ms = va_ms;
-    t.va_fields = va_results.1.approx_fields_read;
-
-    for ((a, b), c) in bee_results.0.iter().zip(&bre_results.0).zip(&va_results.0) {
-        assert_eq!(a, b, "BEE and BRE disagree");
-        assert_eq!(a, c, "bitmaps and VA-file disagree");
-        matched += a.len();
-    }
-    t.realized_selectivity = if queries.is_empty() || dataset.n_rows() == 0 {
+    let base = Arc::new(dataset.clone());
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(EqualityBitmapIndex::<Wah>::build(dataset)),
+        Box::new(RangeBitmapIndex::<Wah>::build(dataset)),
+        Box::new(VaFile::build(dataset).bind(Arc::clone(&base))),
+    ];
+    let t = time_methods(&methods, queries);
+    let realized_selectivity = if queries.is_empty() || dataset.n_rows() == 0 {
         0.0
     } else {
-        matched as f64 / (queries.len() * dataset.n_rows()) as f64
+        t[0].hits as f64 / (queries.len() * dataset.n_rows()) as f64
     };
-    t
+    TrioTiming {
+        bee_ms: t[0].ms,
+        bre_ms: t[1].ms,
+        va_ms: t[2].ms,
+        bee_bitmaps: t[0].cost.bitmaps_accessed,
+        bre_bitmaps: t[1].cost.bitmaps_accessed,
+        va_fields: t[2].cost.approx_fields_read,
+        realized_selectivity,
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +168,28 @@ mod tests {
         // per (row, query) and the full k per (row, query).
         assert!(t.va_fields >= 10 * 1_500 && t.va_fields <= 10 * 4 * 1_500);
         assert!(t.realized_selectivity > 0.0);
+    }
+
+    #[test]
+    fn registry_runner_reports_per_method_counters() {
+        let d = Arc::new(uniform_group(800, 6, 10, 0.25, 11));
+        let methods: Vec<Box<dyn AccessMethod>> = vec![
+            Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+            Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+        ];
+        let spec = QuerySpec {
+            n_queries: 5,
+            k: 2,
+            global_selectivity: 0.1,
+            policy: MissingPolicy::IsNotMatch,
+            candidate_attrs: vec![],
+        };
+        let qs = workload(&d, &spec, 13);
+        let t = time_methods(&methods, &qs);
+        assert_eq!(t[0].name, "bitmap-equality");
+        assert_eq!(t[1].name, "va-file");
+        assert_eq!(t[0].hits, t[1].hits, "agreement implies equal hits");
+        assert!(t[0].cost.bitmaps_accessed > 0);
+        assert!(t[1].cost.approx_fields_read > 0);
     }
 }

@@ -13,14 +13,15 @@
 //! * BRE faster than BEE for these range queries.
 
 use crate::config::Scale;
+use crate::experiments::harness::time_methods;
 use crate::report::{fmt_ms, fmt_ratio, Table};
-use crate::time_ms;
 use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
 use ibis_bitvec::Wah;
 use ibis_core::gen::census_scaled;
-use ibis_core::{Dataset, Interval, MissingPolicy, Predicate, RangeQuery};
+use ibis_core::{AccessMethod, Dataset, Interval, MissingPolicy, Predicate, RangeQuery};
 use ibis_vafile::VaFile;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Range queries with fixed 20% attribute selectivity over `k` random
 /// attributes — the paper's real-data workload.
@@ -57,10 +58,9 @@ fn census_workload(d: &Dataset, n: usize, k: usize, seed: u64) -> Vec<RangeQuery
 
 /// Runs the compression and timing experiments.
 pub fn run(scale: &Scale) -> Vec<Table> {
-    let d = census_scaled(scale.census_rows, scale.seed);
+    let d = Arc::new(census_scaled(scale.census_rows, scale.seed));
     let bee = EqualityBitmapIndex::<Wah>::build(&d);
     let bre = RangeBitmapIndex::<Wah>::build(&d);
-    let va = VaFile::build(&d);
 
     // --- Compression table -------------------------------------------------
     let bee_report = bee.size_report();
@@ -138,6 +138,13 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     ]);
 
     // --- Timing table -------------------------------------------------------
+    // The indexes move into the engine-layer registry; the shared runner
+    // times each and asserts the three agree on every answer.
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(bee),
+        Box::new(bre),
+        Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+    ];
     let mut timing = Table::new(
         "real_query_time",
         "census stand-in query time, 20% attribute selectivity, missing-is-match (paper: bitmaps 3-10x faster than VA; BRE < BEE)",
@@ -145,34 +152,13 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     );
     for k in [2usize, 4, 8] {
         let queries = census_workload(&d, scale.queries, k, scale.seed + k as u64);
-        let (bee_rows, bee_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| bee.execute(q).expect("valid"))
-                .collect::<Vec<_>>()
-        });
-        let (bre_rows, bre_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| bre.execute(q).expect("valid"))
-                .collect::<Vec<_>>()
-        });
-        let (va_rows, va_ms) = time_ms(|| {
-            queries
-                .iter()
-                .map(|q| va.execute(&d, q).expect("valid"))
-                .collect::<Vec<_>>()
-        });
-        for ((a, b), c) in bee_rows.iter().zip(&bre_rows).zip(&va_rows) {
-            assert_eq!(a, b);
-            assert_eq!(a, c);
-        }
+        let t = time_methods(&methods, &queries);
         timing.push(vec![
             k.to_string(),
-            fmt_ms(bee_ms),
-            fmt_ms(bre_ms),
-            fmt_ms(va_ms),
-            fmt_ratio(va_ms / bre_ms.max(1e-9)),
+            fmt_ms(t[0].ms),
+            fmt_ms(t[1].ms),
+            fmt_ms(t[2].ms),
+            fmt_ratio(t[2].ms / t[1].ms.max(1e-9)),
         ]);
     }
 

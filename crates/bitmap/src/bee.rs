@@ -1,9 +1,10 @@
 //! Bitmap Equality Encoding (BEE) — §4.2 of the paper.
 
 use crate::cost::QueryCost;
+use crate::engine::BitmapExec;
 use crate::size::{AttrSize, SizeReport};
 use ibis_bitvec::BitStore;
-use ibis_core::{Dataset, Interval, MissingPolicy, RangeQuery, Result, RowSet};
+use ibis_core::{AccessMethod, Dataset, Interval, MissingPolicy, RangeQuery, Result, RowSet};
 
 /// Equality-encoded bitmap index over an incomplete relation.
 ///
@@ -205,37 +206,60 @@ impl<B: BitStore> EqualityBitmapIndex<B> {
         }
     }
 
-    /// Executes a query, returning matching row ids.
-    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
-        Ok(self.execute_with_cost(query)?.0)
-    }
-
-    /// Counts matching rows without materializing their ids — a COUNT(*)
-    /// aggregation straight off the final bitmap's population count.
-    pub fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
-        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
-        let mut cost = QueryCost::zero();
-        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
-            self.evaluate_interval(attr, iv, query.policy(), cost)
-        });
-        Ok(match acc {
-            None => self.n_rows,
-            Some(b) => b.count_ones(),
-        })
-    }
-
     /// Executes a query, also returning the work counters.
+    /// ([`AccessMethod::execute`] / [`AccessMethod::execute_count`] cover
+    /// the plain and counting forms.)
     pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
-        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
-        let mut cost = QueryCost::zero();
-        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
-            self.evaluate_interval(attr, iv, query.policy(), cost)
-        });
-        let rows = match acc {
-            None => RowSet::all(self.n_rows as u32),
-            Some(b) => RowSet::from_sorted(b.ones_positions()),
-        };
-        Ok((rows, cost))
+        crate::engine::run_with_cost(self, query)
+    }
+}
+
+impl<B: BitStore> BitmapExec for EqualityBitmapIndex<B> {
+    type Store = B;
+
+    fn exec_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn exec_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    fn exec_cardinality(&self, attr: usize) -> u16 {
+        self.attrs[attr].cardinality
+    }
+
+    fn exec_interval(
+        &self,
+        attr: usize,
+        iv: Interval,
+        policy: MissingPolicy,
+        cost: &mut QueryCost,
+    ) -> B {
+        self.evaluate_interval(attr, iv, policy, cost)
+    }
+}
+
+impl<B: BitStore> AccessMethod for EqualityBitmapIndex<B> {
+    fn name(&self) -> &'static str {
+        "bitmap-equality"
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
+        EqualityBitmapIndex::execute_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        EqualityBitmapIndex::size_bytes(self)
+    }
+
+    fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
+        crate::engine::run_count(self, query)
+    }
+
+    // §6: min(AS, 1−AS)·C + 1 bitmaps per dimension, scaled to words.
+    fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        crate::engine::estimate_words(self, query, |w, c| w.min(c - w) + 1.0)
     }
 }
 

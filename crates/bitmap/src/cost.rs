@@ -7,80 +7,35 @@
 //! analysis is phrased in exactly these terms ("the number of bitvectors
 //! used in the worst case … is `min(AS, 1 − AS)·C + 1`"; BRE uses "between
 //! 1 and 3 bitmaps per query dimension").
+//!
+//! Since the engine-layer unification the counter type itself lives in
+//! [`ibis_core::WorkCounters`], shared by every access method in the
+//! workspace; `QueryCost` remains as the bitmap-flavoured name for it.
 
-/// Work performed while executing one query (or one interval).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct QueryCost {
-    /// Stored bitmaps read (each counted once per read, as the paper counts
-    /// "bitvectors used").
-    pub bitmaps_accessed: usize,
-    /// Logical operations (AND/OR/XOR/NOT) executed.
-    pub logical_ops: usize,
-}
-
-impl QueryCost {
-    /// Zero cost.
-    pub fn zero() -> QueryCost {
-        QueryCost::default()
-    }
-
-    /// Records a stored-bitmap read.
-    #[inline]
-    pub fn read_bitmap(&mut self) {
-        self.bitmaps_accessed += 1;
-    }
-
-    /// Records `n` stored-bitmap reads.
-    #[inline]
-    pub fn read_bitmaps(&mut self, n: usize) {
-        self.bitmaps_accessed += n;
-    }
-
-    /// Records one logical operation.
-    #[inline]
-    pub fn op(&mut self) {
-        self.logical_ops += 1;
-    }
-}
-
-impl std::ops::Add for QueryCost {
-    type Output = QueryCost;
-    fn add(self, rhs: QueryCost) -> QueryCost {
-        QueryCost {
-            bitmaps_accessed: self.bitmaps_accessed + rhs.bitmaps_accessed,
-            logical_ops: self.logical_ops + rhs.logical_ops,
-        }
-    }
-}
-
-impl std::ops::AddAssign for QueryCost {
-    fn add_assign(&mut self, rhs: QueryCost) {
-        self.bitmaps_accessed += rhs.bitmaps_accessed;
-        self.logical_ops += rhs.logical_ops;
-    }
-}
+/// Work counters for bitmap query execution — an alias of the unified
+/// [`ibis_core::WorkCounters`]; the bitmap indexes fill
+/// `bitmaps_accessed`, `logical_ops`, and `words_processed`.
+pub type QueryCost = ibis_core::WorkCounters;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn accumulates() {
+    fn alias_accumulates_like_the_unified_type() {
         let mut c = QueryCost::zero();
         c.read_bitmap();
         c.read_bitmaps(2);
         c.op();
-        assert_eq!(
-            c,
-            QueryCost {
-                bitmaps_accessed: 3,
-                logical_ops: 1
-            }
-        );
+        assert_eq!(c.bitmaps_accessed, 3);
+        assert_eq!(c.logical_ops, 1);
         let d = c + c;
         assert_eq!(d.bitmaps_accessed, 6);
         let mut e = QueryCost::zero();
         e += d;
         assert_eq!(e, d);
+        // The alias really is the engine-layer type.
+        let w: ibis_core::WorkCounters = e;
+        assert_eq!(w.logical_ops, 2);
     }
 }

@@ -1,0 +1,108 @@
+//! Shared query driver behind every bitmap family's [`ibis_core::AccessMethod`]
+//! implementation.
+//!
+//! All four recommended encodings (BEE, BRE, BIE, decomposed) and both §4.2
+//! rejected in-band encodings execute a query the same way: validate the
+//! search key against the schema, evaluate each predicate's interval to a
+//! bitmap, and AND the per-predicate answers together (§4.1). Historically
+//! each family carried its own copy of that driver as inherent
+//! `execute`/`execute_count`/`execute_with_cost` methods; the [`BitmapExec`]
+//! view plus [`run_with_cost`]/[`run_count`] below hold the single shared
+//! copy, and the families differ only in how one interval is evaluated.
+
+use crate::cost::QueryCost;
+use ibis_bitvec::BitStore;
+use ibis_core::{Interval, MissingPolicy, RangeQuery, Result, RowSet};
+
+/// The uniform internal view of a bitmap index: just enough structure for
+/// the shared driver — schema dimensions plus per-interval evaluation.
+pub(crate) trait BitmapExec {
+    /// Bitmap backend.
+    type Store: BitStore;
+
+    /// Number of indexed rows.
+    fn exec_rows(&self) -> usize;
+
+    /// Number of indexed attributes.
+    fn exec_attrs(&self) -> usize;
+
+    /// Cardinality of attribute `attr`.
+    fn exec_cardinality(&self, attr: usize) -> u16;
+
+    /// Evaluates one (validated) interval over one attribute, accumulating
+    /// bitmap reads and logical ops into `cost`.
+    fn exec_interval(
+        &self,
+        attr: usize,
+        iv: Interval,
+        policy: MissingPolicy,
+        cost: &mut QueryCost,
+    ) -> Self::Store;
+}
+
+/// Executes `query` over `ix`, returning matching rows and work counters.
+/// `words_processed` is derived from the bitmap counters on the way out, so
+/// every family reports comparable work without touching its own counters.
+pub(crate) fn run_with_cost<T: BitmapExec>(
+    ix: &T,
+    query: &RangeQuery,
+) -> Result<(RowSet, QueryCost)> {
+    query.validate_schema(ix.exec_attrs(), |a| ix.exec_cardinality(a))?;
+    let mut cost = QueryCost::zero();
+    let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
+        ix.exec_interval(attr, iv, query.policy(), cost)
+    });
+    let rows = match acc {
+        None => RowSet::all(ix.exec_rows() as u32),
+        Some(b) => RowSet::from_sorted(b.ones_positions()),
+    };
+    cost.finish_bitmap_words(ix.exec_rows());
+    Ok((rows, cost))
+}
+
+/// Counts matching rows without materializing row ids — a COUNT(*) straight
+/// off the final bitmap's population count. This is the popcount override
+/// every bitmap family plugs into [`ibis_core::AccessMethod::execute_count`].
+pub(crate) fn run_count<T: BitmapExec>(ix: &T, query: &RangeQuery) -> Result<usize> {
+    query.validate_schema(ix.exec_attrs(), |a| ix.exec_cardinality(a))?;
+    let mut cost = QueryCost::zero();
+    let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
+        ix.exec_interval(attr, iv, query.policy(), cost)
+    });
+    Ok(match acc {
+        None => ix.exec_rows(),
+        Some(b) => b.count_ones(),
+    })
+}
+
+/// 64-bit words per stored bitmap — the unit the families' planner cost
+/// estimates are stated in (uncompressed bound, as in the paper's §6 rules).
+pub(crate) fn words_per_bitmap(n_rows: usize) -> f64 {
+    n_rows.div_ceil(64) as f64
+}
+
+/// Sums a per-predicate bitmap-read estimate over the search key and scales
+/// it to words; out-of-schema predicates price as infinite so the planner
+/// never picks a method that would just error.
+pub(crate) fn estimate_words<T: BitmapExec>(
+    ix: &T,
+    query: &RangeQuery,
+    reads_for: impl Fn(f64, f64) -> f64,
+) -> f64 {
+    let wpb = words_per_bitmap(ix.exec_rows());
+    query
+        .predicates()
+        .iter()
+        .map(|p| {
+            if p.attr >= ix.exec_attrs() {
+                return f64::INFINITY;
+            }
+            let c = ix.exec_cardinality(p.attr) as f64;
+            let w = (p.interval.hi.saturating_sub(p.interval.lo)) as f64 + 1.0;
+            if w > c {
+                return f64::INFINITY;
+            }
+            reads_for(w, c) * wpb
+        })
+        .sum()
+}

@@ -35,7 +35,7 @@
 //! ```
 //! use ibis_bitmap::RangeBitmapIndex;
 //! use ibis_bitvec::Wah;
-//! use ibis_core::{Cell, Dataset, MissingPolicy, Predicate, RangeQuery};
+//! use ibis_core::{AccessMethod, Cell, Dataset, MissingPolicy, Predicate, RangeQuery};
 //!
 //! let data = Dataset::from_rows(
 //!     &[("severity", 5)],
@@ -57,6 +57,7 @@ mod bie;
 mod bre;
 pub mod cost;
 mod decomposed;
+mod engine;
 pub mod rejected;
 pub mod reorder;
 pub mod size;

@@ -18,9 +18,12 @@
 //! recommended API.
 
 use crate::cost::QueryCost;
+use crate::engine::BitmapExec;
 use crate::size::{AttrSize, SizeReport};
 use ibis_bitvec::{BitStore, BitVec64};
-use ibis_core::{Dataset, Error, Interval, MissingPolicy, RangeQuery, Result, RowSet};
+use ibis_core::{
+    AccessMethod, Dataset, Error, Interval, MissingPolicy, RangeQuery, Result, RowSet,
+};
 
 /// Equality bitmaps with missing rows encoded as 1 in every value bitmap.
 /// Only answers queries under [`MissingPolicy::IsMatch`] — the encoding
@@ -154,23 +157,87 @@ impl<B: BitStore> InBandMatchEquality<B> {
         }
     }
 
+    /// Total bytes of all stored bitmaps.
+    pub fn size_bytes(&self) -> usize {
+        self.size_report().total_bytes()
+    }
+
     /// Executes a query; only [`MissingPolicy::IsMatch`] is supported.
+    ///
+    /// # Panics
+    /// Panics on a not-match query. (The [`AccessMethod`] surface returns
+    /// [`Error::UnsupportedPolicy`] instead.)
     pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
         assert_eq!(
             query.policy(),
             MissingPolicy::IsMatch,
             "in-band match encoding hard-wires match semantics"
         );
-        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
-        let mut cost = QueryCost::zero();
-        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
-            self.evaluate_interval(attr, iv, cost)
-        });
-        let rows = match acc {
-            None => RowSet::all(self.n_rows as u32),
-            Some(b) => RowSet::from_sorted(b.ones_positions()),
-        };
-        Ok((rows, cost))
+        crate::engine::run_with_cost(self, query)
+    }
+}
+
+impl<B: BitStore> BitmapExec for InBandMatchEquality<B> {
+    type Store = B;
+
+    fn exec_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn exec_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    fn exec_cardinality(&self, attr: usize) -> u16 {
+        self.attrs[attr].cardinality
+    }
+
+    fn exec_interval(
+        &self,
+        attr: usize,
+        iv: Interval,
+        _policy: MissingPolicy,
+        cost: &mut QueryCost,
+    ) -> B {
+        self.evaluate_interval(attr, iv, cost)
+    }
+}
+
+impl<B: BitStore> AccessMethod for InBandMatchEquality<B> {
+    fn name(&self) -> &'static str {
+        "bitmap-inband-match"
+    }
+
+    fn supports(&self, query: &RangeQuery) -> bool {
+        query.policy() == MissingPolicy::IsMatch
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
+        if !self.supports(query) {
+            return Err(Error::UnsupportedPolicy {
+                method: "bitmap-inband-match",
+            });
+        }
+        crate::engine::run_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        InBandMatchEquality::size_bytes(self)
+    }
+
+    fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
+        if !self.supports(query) {
+            return Err(Error::UnsupportedPolicy {
+                method: "bitmap-inband-match",
+            });
+        }
+        crate::engine::run_count(self, query)
+    }
+
+    // Like BEE, but the complement path pays the recovery (two extra reads
+    // plus ops) — objection #1 priced in.
+    fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        crate::engine::estimate_words(self, query, |w, c| if w <= c - w { w } else { c - w + 3.0 })
     }
 }
 
@@ -222,23 +289,91 @@ impl<B: BitStore> InBandNotMatchEquality<B> {
         }
     }
 
+    /// Total bytes of all stored bitmaps.
+    pub fn size_bytes(&self) -> usize {
+        self.size_report().total_bytes()
+    }
+
     /// Executes a query; only [`MissingPolicy::IsNotMatch`] is supported.
+    ///
+    /// # Panics
+    /// Panics on a match query. (The [`AccessMethod`] surface returns
+    /// [`Error::UnsupportedPolicy`] instead.)
     pub fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
         assert_eq!(
             query.policy(),
             MissingPolicy::IsNotMatch,
             "in-band not-match encoding hard-wires not-match semantics"
         );
-        query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
-        let mut cost = QueryCost::zero();
-        let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
-            self.evaluate_interval(attr, iv, cost)
-        });
-        let rows = match acc {
-            None => RowSet::all(self.n_rows as u32),
-            Some(b) => RowSet::from_sorted(b.ones_positions()),
-        };
-        Ok((rows, cost))
+        crate::engine::run_with_cost(self, query)
+    }
+}
+
+impl<B: BitStore> BitmapExec for InBandNotMatchEquality<B> {
+    type Store = B;
+
+    fn exec_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn exec_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    fn exec_cardinality(&self, attr: usize) -> u16 {
+        self.attrs[attr].cardinality
+    }
+
+    fn exec_interval(
+        &self,
+        attr: usize,
+        iv: Interval,
+        _policy: MissingPolicy,
+        cost: &mut QueryCost,
+    ) -> B {
+        self.evaluate_interval(attr, iv, cost)
+    }
+}
+
+impl<B: BitStore> AccessMethod for InBandNotMatchEquality<B> {
+    fn name(&self) -> &'static str {
+        "bitmap-inband-notmatch"
+    }
+
+    fn supports(&self, query: &RangeQuery) -> bool {
+        query.policy() == MissingPolicy::IsNotMatch
+    }
+
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, QueryCost)> {
+        if !self.supports(query) {
+            return Err(Error::UnsupportedPolicy {
+                method: "bitmap-inband-notmatch",
+            });
+        }
+        crate::engine::run_with_cost(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        InBandNotMatchEquality::size_bytes(self)
+    }
+
+    fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
+        if !self.supports(query) {
+            return Err(Error::UnsupportedPolicy {
+                method: "bitmap-inband-notmatch",
+            });
+        }
+        crate::engine::run_count(self, query)
+    }
+
+    // The complement path re-derives the present mask from all C value
+    // bitmaps — objection #1's cost for this variant.
+    fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        crate::engine::estimate_words(
+            self,
+            query,
+            |w, c| if w <= c - w { w } else { (c - w) + c + 1.0 },
+        )
     }
 }
 

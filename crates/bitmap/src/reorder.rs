@@ -86,7 +86,7 @@ mod tests {
     use crate::EqualityBitmapIndex;
     use ibis_bitvec::Wah;
     use ibis_core::gen::synthetic_scaled;
-    use ibis_core::{scan, MissingPolicy, Predicate, RangeQuery};
+    use ibis_core::{scan, AccessMethod, MissingPolicy, Predicate, RangeQuery};
 
     #[test]
     fn lexicographic_sorts_rows() {

@@ -8,7 +8,11 @@ use crate::BitVec64;
 /// Implementations: [`BitVec64`] (uncompressed), [`crate::Wah`] and
 /// [`crate::Bbc`] (compressed, with operations on the compressed form).
 /// Operands of a binary operation must have equal bit length.
-pub trait BitStore: Clone {
+///
+/// `Send + Sync` are supertraits so indexes generic over a store are
+/// shareable access methods (parallel batch execution, `Arc<dyn>`
+/// registries); every store is plain owned data, so this costs nothing.
+pub trait BitStore: Clone + Send + Sync {
     /// Encodes an uncompressed bit vector.
     fn from_bitvec(bits: &BitVec64) -> Self;
 

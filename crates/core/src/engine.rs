@@ -1,0 +1,254 @@
+//! The unified engine layer: one execution trait and one work-counter type
+//! shared by every index family.
+//!
+//! The paper's claims are comparative — BEE vs BRE vs VA-file vs the tree
+//! baselines, under both missing-data semantics — so every access method
+//! answers the same queries through the same surface: [`AccessMethod`].
+//! Costs are reported in one [`WorkCounters`] struct instead of the
+//! per-family counter types the crates grew historically (`QueryCost`,
+//! `AccessStats`, `VaCost` — now aliases of [`WorkCounters`]).
+
+use crate::parallel::{default_threads, parallel_map};
+use crate::{RangeQuery, Result, RowSet};
+use std::ops::{Add, AddAssign};
+
+/// Work performed while answering one query, across every index family.
+///
+/// Each family fills the counters that describe its physical work and
+/// leaves the rest at zero; [`WorkCounters::words_processed`] is the common
+/// currency (64-bit words touched) that makes families comparable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Bitmaps read from the index (bitmap families; the paper's primary
+    /// §6 cost metric).
+    pub bitmaps_accessed: usize,
+    /// Logical bitmap operations performed (AND/OR/XOR/NOT).
+    pub logical_ops: usize,
+    /// 64-bit words touched — bitmap words read, approximation bits
+    /// scanned, or raw cells compared, normalized to words.
+    pub words_processed: usize,
+    /// Tree nodes visited (R-tree, B+-tree families).
+    pub nodes_visited: usize,
+    /// Entries scanned inside visited nodes or pages.
+    pub entries_scanned: usize,
+    /// Rewritten subqueries executed (the 2^k expansion of the R-tree and
+    /// bitstring baselines, MOSAIC's per-attribute lookups).
+    pub subqueries: usize,
+    /// Row-id set unions/intersections between subquery results.
+    pub set_ops: usize,
+    /// Approximation fields read during a VA-file filter scan.
+    pub approx_fields_read: usize,
+    /// Candidate rows surviving the filter step (VA families).
+    pub candidates: usize,
+    /// Candidate rows re-checked against the base data.
+    pub rows_refined: usize,
+    /// Refined candidates that turned out not to match.
+    pub false_positives: usize,
+}
+
+impl WorkCounters {
+    /// All counters at zero.
+    pub fn zero() -> WorkCounters {
+        WorkCounters::default()
+    }
+
+    /// Records one bitmap read.
+    pub fn read_bitmap(&mut self) {
+        self.bitmaps_accessed += 1;
+    }
+
+    /// Records `n` bitmap reads.
+    pub fn read_bitmaps(&mut self, n: usize) {
+        self.bitmaps_accessed += n;
+    }
+
+    /// Records one logical bitmap operation.
+    pub fn op(&mut self) {
+        self.logical_ops += 1;
+    }
+
+    /// Derives [`WorkCounters::words_processed`] from the bitmap counters:
+    /// every bitmap read or combined touches `⌈n_rows / 64⌉` words (the
+    /// uncompressed bound the paper's §6 rules are stated in).
+    pub fn finish_bitmap_words(&mut self, n_rows: usize) {
+        self.words_processed = (self.bitmaps_accessed + self.logical_ops) * n_rows.div_ceil(64);
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+
+    fn add(mut self, rhs: WorkCounters) -> WorkCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        self.bitmaps_accessed += rhs.bitmaps_accessed;
+        self.logical_ops += rhs.logical_ops;
+        self.words_processed += rhs.words_processed;
+        self.nodes_visited += rhs.nodes_visited;
+        self.entries_scanned += rhs.entries_scanned;
+        self.subqueries += rhs.subqueries;
+        self.set_ops += rhs.set_ops;
+        self.approx_fields_read += rhs.approx_fields_read;
+        self.candidates += rhs.candidates;
+        self.rows_refined += rhs.rows_refined;
+        self.false_positives += rhs.false_positives;
+    }
+}
+
+/// One queryable index structure: the execution surface shared by the
+/// bitmap encodings, the VA-files, the tree baselines, and the sequential
+/// scan.
+///
+/// Required: [`AccessMethod::name`], [`AccessMethod::execute_with_cost`],
+/// and [`AccessMethod::size_bytes`]. Everything else has a default in terms
+/// of those, so an implementation is ~20 lines of delegation; specialized
+/// structures override the defaults where they can do better (e.g. the
+/// bitmap families answer [`AccessMethod::execute_count`] with a popcount,
+/// never materializing row ids).
+pub trait AccessMethod: Send + Sync {
+    /// Stable identifier used by the planner, `explain()` output, and
+    /// experiment tables (e.g. `"bitmap-range"`).
+    fn name(&self) -> &'static str;
+
+    /// Answers `query` exactly, also reporting the work performed.
+    fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)>;
+
+    /// Heap bytes of the index structure — the paper's size metric.
+    fn size_bytes(&self) -> usize;
+
+    /// Whether this method can answer `query` at all. Most methods answer
+    /// everything; the §4.2 rejected in-band encodings hard-wire one
+    /// [`crate::MissingPolicy`] and decline the other.
+    fn supports(&self, query: &RangeQuery) -> bool {
+        let _ = query;
+        true
+    }
+
+    /// Estimated cost of answering `query`, in 64-bit words processed —
+    /// the planner's ranking key (§6 generalized beyond BEE/BRE). The
+    /// default charges for reading the whole structure; real families
+    /// override with their per-predicate rules.
+    fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        let _ = query;
+        self.size_bytes() as f64 / 8.0
+    }
+
+    /// Answers `query` exactly.
+    fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        Ok(self.execute_with_cost(query)?.0)
+    }
+
+    /// Counts matching rows — a `COUNT(*)` aggregation. Bitmap families
+    /// override this with a popcount that never materializes row ids.
+    fn execute_count(&self, query: &RangeQuery) -> Result<usize> {
+        Ok(self.execute_with_cost(query)?.0.len())
+    }
+
+    /// Answers a batch of queries, fanning them over
+    /// [`crate::parallel::parallel_map`]. Results are in query order and
+    /// identical to sequential [`AccessMethod::execute`] calls; the first
+    /// error (if any) is returned.
+    fn execute_batch(&self, queries: &[RangeQuery]) -> Result<Vec<RowSet>> {
+        parallel_map(queries.to_vec(), default_threads(), |q| self.execute(&q))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interval, MissingPolicy, Predicate};
+
+    #[test]
+    fn counters_accumulate_and_add() {
+        let mut c = WorkCounters::zero();
+        c.read_bitmap();
+        c.read_bitmaps(2);
+        c.op();
+        assert_eq!(c.bitmaps_accessed, 3);
+        assert_eq!(c.logical_ops, 1);
+
+        let mut d = WorkCounters::zero();
+        d.subqueries = 4;
+        d.rows_refined = 7;
+        let sum = c + d;
+        assert_eq!(sum.bitmaps_accessed, 3);
+        assert_eq!(sum.subqueries, 4);
+        assert_eq!(sum.rows_refined, 7);
+
+        let mut e = WorkCounters::zero();
+        e += sum;
+        e += sum;
+        assert_eq!(e.logical_ops, 2);
+    }
+
+    #[test]
+    fn bitmap_words_follow_row_count() {
+        let mut c = WorkCounters::zero();
+        c.read_bitmaps(3);
+        c.op();
+        c.finish_bitmap_words(130); // 3 words per bitmap touch
+        assert_eq!(c.words_processed, 4 * 3);
+    }
+
+    /// A trivial in-memory method exercising every default implementation.
+    struct Everything {
+        n_rows: u32,
+    }
+
+    impl AccessMethod for Everything {
+        fn name(&self) -> &'static str {
+            "everything"
+        }
+
+        fn execute_with_cost(&self, _query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+            let mut c = WorkCounters::zero();
+            c.entries_scanned = self.n_rows as usize;
+            Ok((RowSet::all(self.n_rows), c))
+        }
+
+        fn size_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    fn q(lo: u16, hi: u16) -> RangeQuery {
+        RangeQuery::new(
+            vec![Predicate {
+                attr: 0,
+                interval: Interval::new(lo, hi),
+            }],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_delegate_to_execute_with_cost() {
+        let m = Everything { n_rows: 9 };
+        assert_eq!(m.execute(&q(1, 3)).unwrap(), RowSet::all(9));
+        assert_eq!(m.execute_count(&q(1, 3)).unwrap(), 9);
+        assert!(m.supports(&q(1, 3)));
+        assert_eq!(m.estimated_cost(&q(1, 3)), 8.0);
+
+        let queries: Vec<RangeQuery> = (1..=20).map(|i| q(1, i)).collect();
+        let batch = m.execute_batch(&queries).unwrap();
+        assert_eq!(batch.len(), 20);
+        for r in &batch {
+            assert_eq!(r, &RowSet::all(9));
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn AccessMethod> = Box::new(Everything { n_rows: 2 });
+        assert_eq!(boxed.name(), "everything");
+        assert_eq!(boxed.execute_count(&q(1, 1)).unwrap(), 2);
+    }
+}

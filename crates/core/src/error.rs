@@ -60,6 +60,13 @@ pub enum Error {
         /// Why the column cannot be represented.
         reason: &'static str,
     },
+    /// An access method was asked to run under a [`crate::MissingPolicy`]
+    /// it does not implement (the §4.2 rejected in-band encodings hard-wire
+    /// one semantics).
+    UnsupportedPolicy {
+        /// Name of the access method that declined the query.
+        method: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -101,6 +108,12 @@ impl fmt::Display for Error {
             }
             Error::UnrepresentableColumn { attr, reason } => {
                 write!(f, "attribute {attr} cannot be represented: {reason}")
+            }
+            Error::UnsupportedPolicy { method } => {
+                write!(
+                    f,
+                    "access method '{method}' does not support the query's missing-value policy"
+                )
             }
         }
     }

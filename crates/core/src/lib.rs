@@ -40,6 +40,7 @@ mod cell;
 mod column;
 pub mod csv;
 mod dataset;
+pub mod engine;
 mod error;
 pub mod gen;
 pub mod parallel;
@@ -54,6 +55,7 @@ pub mod wire;
 pub use cell::Cell;
 pub use column::{Column, ColumnBuilder};
 pub use dataset::{validate_row, Dataset, DatasetBuilder};
+pub use engine::{AccessMethod, WorkCounters};
 pub use error::{Error, Result};
 pub use query::{Interval, MissingPolicy, Predicate, RangeQuery};
 pub use rowset::RowSet;

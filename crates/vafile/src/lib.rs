@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bound;
 mod packed;
 mod quantizer;
 mod vafile;
 mod vaplus;
 
+pub use bound::{BoundVaFile, BoundVaPlusFile};
 pub use packed::PackedMatrix;
 pub use quantizer::Quantizer;
 pub use vafile::{VaCost, VaFile};

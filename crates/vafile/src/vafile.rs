@@ -16,18 +16,10 @@ pub(crate) struct VaAttr {
 
 /// Work performed by one VA-file query — the machine-independent companion
 /// to wall-clock time (the paper explains VA-file timing by the "about
-/// 500,000 vector approximations" it must scan).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct VaCost {
-    /// Approximation fields read during the filter scan.
-    pub approx_fields_read: usize,
-    /// Rows that survived the filter step.
-    pub candidates: usize,
-    /// Rows whose actual values were fetched in the refinement step.
-    pub refined: usize,
-    /// Candidates discarded by refinement (false positives of the filter).
-    pub false_positives: usize,
-}
+/// 500,000 vector approximations" it must scan). An alias of the unified
+/// [`ibis_core::WorkCounters`]; the VA families fill `approx_fields_read`,
+/// `candidates`, `rows_refined`, `false_positives`, and `words_processed`.
+pub type VaCost = ibis_core::WorkCounters;
 
 /// The VA-file over an incomplete relation.
 ///
@@ -218,10 +210,12 @@ impl VaFile {
             .collect();
 
         let mut out = Vec::new();
+        let mut bits_read = 0usize;
         'rows: for row in 0..self.n_rows() {
             let mut boundary = false;
             for plan in &plans {
                 cost.approx_fields_read += 1;
+                bits_read += plan.bits;
                 let code = self.packed.get(row, plan.offset, plan.bits);
                 if code == 0 {
                     // Missing: a filter-level match only under match
@@ -243,7 +237,7 @@ impl VaFile {
             cost.candidates += 1;
             if boundary {
                 // Refinement: fetch the record and re-check exactly.
-                cost.refined += 1;
+                cost.rows_refined += 1;
                 if query.matches_row(dataset, row) {
                     out.push(row as u32);
                 } else {
@@ -253,6 +247,10 @@ impl VaFile {
                 out.push(row as u32);
             }
         }
+        // Common work currency: approximation bits scanned plus the 16-bit
+        // cells fetched during refinement, in 64-bit words.
+        cost.words_processed =
+            (bits_read + cost.rows_refined * query.dimensionality() * 16).div_ceil(64);
         Ok((RowSet::from_sorted(out), cost))
     }
 }
@@ -397,7 +395,7 @@ mod tests {
         assert_eq!(rows, scan::execute(&d, &q));
         assert_eq!(rows.rows(), &[3]); // only the missing record matches
         assert_eq!(cost.candidates, 3); // records 0, 2, 3 pass the filter
-        assert_eq!(cost.refined, 2); // records 0 and 2 sit in boundary bins
+        assert_eq!(cost.rows_refined, 2); // records 0 and 2 sit in boundary bins
         assert_eq!(cost.false_positives, 2);
 
         let q = q.with_policy(MissingPolicy::IsNotMatch);
@@ -419,7 +417,7 @@ mod tests {
                     let q = RangeQuery::new(vec![Predicate::range(0, lo, hi)], policy).unwrap();
                     let (rows, cost) = va.execute_with_cost(&d, &q).unwrap();
                     assert_eq!(rows, scan::execute(&d, &q), "{policy} [{lo},{hi}]");
-                    assert_eq!(cost.refined, 0, "lossless codes never refine");
+                    assert_eq!(cost.rows_refined, 0, "lossless codes never refine");
                 }
             }
         }
@@ -441,7 +439,7 @@ mod tests {
             .unwrap();
             let (rows, cost) = va.execute_with_cost(&d, &q).unwrap();
             assert_eq!(rows, scan::execute(&d, &q), "{policy}");
-            assert!(cost.refined > 0, "coarse codes must refine");
+            assert!(cost.rows_refined > 0, "coarse codes must refine");
         }
     }
 

@@ -53,6 +53,12 @@ impl VaPlusFile {
         self.inner.n_rows()
     }
 
+    /// The underlying VA-file (layout and packed matrix are shared; only
+    /// the lookup tables differ).
+    pub fn inner(&self) -> &VaFile {
+        &self.inner
+    }
+
     /// Bits per approximation record.
     pub fn row_bits(&self) -> usize {
         self.inner.row_bits()
@@ -161,8 +167,8 @@ mod tests {
             let (ru, cu) = va.execute_with_cost(&d, &q).unwrap();
             let (rp, cp) = vap.execute_with_cost(&d, &q).unwrap();
             assert_eq!(ru, rp, "both must stay exact");
-            ref_uniform += cu.refined;
-            ref_plus += cp.refined;
+            ref_uniform += cu.rows_refined;
+            ref_plus += cp.rows_refined;
         }
         assert!(
             ref_plus < ref_uniform,

@@ -37,11 +37,15 @@ fn main() {
     .unwrap();
     for (name, q) in [("point", &point), ("range", &range)] {
         let plan = db.explain(q).unwrap();
+        let costs: Vec<String> = plan
+            .candidates
+            .iter()
+            .map(|c| format!("{} est. {:.0} words", c.name, c.estimated_cost))
+            .collect();
         println!(
-            "{name} query → {} (BEE est. {} bitmaps, BRE est. {}), {} rows",
-            plan.path,
-            plan.bee_bitmap_estimate,
-            plan.bre_bitmap_estimate,
+            "{name} query → {} ({}), {} rows",
+            plan.chosen,
+            costs.join(", "),
             db.count(q).unwrap()
         );
     }

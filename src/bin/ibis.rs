@@ -20,6 +20,7 @@ use ibis::core::stats::{column_stats, CompositionTable};
 use ibis::prelude::*;
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -297,8 +298,9 @@ fn save_index(idx: &dyn SavableIndex, out: &str) -> Result<(usize, usize), Strin
     Ok((idx.n_bitmaps(), idx.size_bytes()))
 }
 
-/// Sniffs a saved index file by magic and executes the query through it.
-fn execute_via_index_file(path: &str, d: &Dataset, q: &RangeQuery) -> Result<RowSet, String> {
+/// Sniffs a saved index file by magic and loads it as an engine-layer
+/// [`AccessMethod`], so the query path downstream is encoding-agnostic.
+fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMethod>, String> {
     // Sniff the header — 4-byte magic, u16 version, then (for bitmap
     // indexes) the length-prefixed backend name — so load errors come from
     // the one true (magic, backend) pair instead of a trial sequence.
@@ -331,7 +333,7 @@ fn execute_via_index_file(path: &str, d: &Dataset, q: &RangeQuery) -> Result<Row
         ($ty:ident, $backend:ty) => {{
             let idx = $ty::<$backend>::load(path).map_err(|e| e.to_string())?;
             check_rows(idx.n_rows())?;
-            idx.execute(q).map_err(|e| e.to_string())
+            Ok(Box::new(idx) as Box<dyn AccessMethod>)
         }};
         ($ty:ident) => {{
             match backend {
@@ -350,7 +352,7 @@ fn execute_via_index_file(path: &str, d: &Dataset, q: &RangeQuery) -> Result<Row
         b"IBVA" => {
             let va = VaFile::load(path).map_err(|e| e.to_string())?;
             check_rows(va.n_rows())?;
-            va.execute(d, q).map_err(|e| e.to_string())
+            Ok(Box::new(va.bind(Arc::clone(d))))
         }
         other => Err(format!("unrecognized index magic {other:02x?} in {path:?}")),
     }
@@ -362,7 +364,7 @@ fn query(args: &[String]) -> Result<(), String> {
         [p, q] => (p, q),
         _ => return Err("usage: ibis query FILE \"QUERY\" [flags]".into()),
     };
-    let d = load_dataset(path)?;
+    let d = Arc::new(load_dataset(path)?);
     let policy = if flags.contains_key("not-match") {
         MissingPolicy::IsNotMatch
     } else {
@@ -384,7 +386,9 @@ fn query(args: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     let rows = match flags.get("index") {
-        Some(idx) => execute_via_index_file(idx, &d, &q)?,
+        Some(idx) => load_access_method(idx, &d)?
+            .execute(&q)
+            .map_err(|e| e.to_string())?,
         None => ibis::core::scan::execute(&d, &q),
     };
     println!(
@@ -440,36 +444,38 @@ fn race(args: &[String]) -> Result<(), String> {
         candidate_attrs: vec![],
     };
     let queries = workload(&d, &spec, seed);
-    let time = |f: &dyn Fn(&RangeQuery) -> RowSet| -> (f64, usize) {
-        let start = std::time::Instant::now();
-        let hits = queries.iter().map(|q| f(q).len()).sum();
-        (start.elapsed().as_secs_f64() * 1e3, hits)
-    };
-    let bee = EqualityBitmapIndex::<Wah>::build(&d);
-    let bre = RangeBitmapIndex::<Wah>::build(&d);
-    let va = VaFile::build(&d);
-    let (bee_ms, h1) = time(&|q| bee.execute(q).expect("valid"));
-    let (bre_ms, h2) = time(&|q| bre.execute(q).expect("valid"));
-    let (va_ms, h3) = time(&|q| va.execute(&d, q).expect("valid"));
-    let (scan_ms, h4) = time(&|q| ibis::core::scan::execute(&d, q));
-    assert!(h1 == h2 && h2 == h3 && h3 == h4, "indexes disagree");
+    let d = Arc::new(d);
+    // The contenders, all through the one engine-layer trait (the scan
+    // rides along as the index-free baseline).
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+        Box::new(RangeBitmapIndex::<Wah>::build(&d)),
+        Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+        Box::new(SequentialScan.bind(Arc::clone(&d))),
+    ];
     println!(
         "{n} queries, k={k}, missing-is-match over {} rows:",
         d.n_rows()
     );
-    println!(
-        "  BEE  {bee_ms:>9.2} ms   ({:.1} KB)",
-        bee.size_bytes() as f64 / 1024.0
+    let mut hit_totals = Vec::new();
+    for m in &methods {
+        let start = std::time::Instant::now();
+        let hits: usize = queries
+            .iter()
+            .map(|q| m.execute(q).expect("valid workload query").len())
+            .sum();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        hit_totals.push(hits);
+        println!(
+            "  {:<16} {ms:>9.2} ms   ({:.1} KB)",
+            m.name(),
+            m.size_bytes() as f64 / 1024.0
+        );
+    }
+    assert!(
+        hit_totals.windows(2).all(|w| w[0] == w[1]),
+        "access methods disagree: {hit_totals:?}"
     );
-    println!(
-        "  BRE  {bre_ms:>9.2} ms   ({:.1} KB)",
-        bre.size_bytes() as f64 / 1024.0
-    );
-    println!(
-        "  VA   {va_ms:>9.2} ms   ({:.1} KB)",
-        va.size_bytes() as f64 / 1024.0
-    );
-    println!("  scan {scan_ms:>9.2} ms");
     Ok(())
 }
 

@@ -2,27 +2,41 @@
 //! query (the paper's §6 insights, made executable) plus append support via
 //! a delta store.
 //!
-//! The paper's conclusions give a decision rule:
+//! Every index family in the workspace implements the engine-layer
+//! [`AccessMethod`] trait, so [`IncompleteDb`] holds one uniform registry of
+//! boxed access methods and plans each query with a single rule: among the
+//! methods that support the query's semantics, take the lowest
+//! [`estimated_cost`](AccessMethod::estimated_cost) (in 64-bit words of
+//! index data touched), breaking ties by smaller
+//! [`size_bytes`](AccessMethod::size_bytes), then by registration order.
+//! That generalizes the paper's conclusions instead of hard-coding them:
 //!
-//! * equality encoding is "optimal for point queries" and wins for very
-//!   narrow ranges (cost `min(AS, 1−AS)·C + 1` bitmaps per dimension);
-//! * range encoding "typically offers the best time performance" for
-//!   range queries (≤ 3 bitmaps per dimension);
-//! * VA-files trade query time for by-far-the-smallest index, so they are
-//!   the fallback when memory is constrained.
+//! * equality encoding is "optimal for point queries" — its estimate
+//!   `Σ (min(w, C−w) + 1)` bitmaps is smallest when `w = 1`;
+//! * range encoding "typically offers the best time performance" for range
+//!   queries — ≤ 3 bitmaps per dimension regardless of width;
+//! * interval encoding ties range encoding on reads and wins the size
+//!   tie-break with roughly half the bitmaps, when it is registered;
+//! * VA-files trade query time for by-far-the-smallest index, so they take
+//!   over when no bitmap index is maintained;
+//! * a bound [`SequentialScan`] is always registered last, so every query
+//!   has a finite-cost path even with no indexes at all.
 //!
-//! [`IncompleteDb`] keeps whichever indexes its [`DbConfig`] enables, plans
-//! each query with exactly that rule ([`IncompleteDb::explain`] shows the
-//! decision), and merges results from an unindexed *delta store* so rows
+//! [`IncompleteDb::explain`] shows the decision — every candidate with its
+//! cost — and queries merge results from an unindexed *delta store* so rows
 //! can be appended without rebuilding — the update scenario the paper
 //! raises when it notes index size "becomes important as database updates
 //! become more frequent". [`IncompleteDb::compact`] folds the delta back
 //! into the indexes.
 
-use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+use ibis_baseline::SequentialScan;
+use ibis_bitmap::{
+    DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+};
 use ibis_bitvec::Wah;
-use ibis_core::{Cell, Dataset, RangeQuery, Result, RowSet};
-use ibis_vafile::VaFile;
+use ibis_core::{AccessMethod, Cell, Dataset, RangeQuery, Result, RowSet};
+use ibis_vafile::{VaFile, VaPlusFile};
+use std::sync::Arc;
 
 /// Which indexes an [`IncompleteDb`] maintains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,66 +45,86 @@ pub struct DbConfig {
     pub bee: bool,
     /// Maintain a range-encoded bitmap index (range-query specialist).
     pub bre: bool,
+    /// Maintain an interval-encoded bitmap index (range encoding's reads at
+    /// roughly half the storage).
+    pub bie: bool,
+    /// Maintain an attribute-value-decomposed bitmap index.
+    pub decomposed: bool,
     /// Maintain a VA-file (smallest footprint).
     pub va: bool,
+    /// Maintain a VA+-file (equi-depth bins for skewed data).
+    pub vaplus: bool,
 }
 
 impl Default for DbConfig {
-    /// Everything on — the planner always has its preferred index.
+    /// The paper's §6 trio — equality, range, and VA — so the planner
+    /// always has its preferred index for points, ranges, and memory
+    /// pressure alike.
     fn default() -> DbConfig {
         DbConfig {
             bee: true,
             bre: true,
             va: true,
+            ..DbConfig::none()
         }
     }
 }
 
 impl DbConfig {
+    /// No indexes at all: every query falls back to the registered
+    /// sequential scan.
+    pub fn none() -> DbConfig {
+        DbConfig {
+            bee: false,
+            bre: false,
+            bie: false,
+            decomposed: false,
+            va: false,
+            vaplus: false,
+        }
+    }
+
+    /// Every index family the workspace offers.
+    pub fn all() -> DbConfig {
+        DbConfig {
+            bee: true,
+            bre: true,
+            bie: true,
+            decomposed: true,
+            va: true,
+            vaplus: true,
+        }
+    }
+
     /// Memory-constrained profile: VA-file only (the paper's
     /// smallest-index regime).
     pub fn compact_profile() -> DbConfig {
         DbConfig {
-            bee: false,
-            bre: false,
             va: true,
+            ..DbConfig::none()
         }
     }
 }
 
-/// The access path the planner chose for a query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AccessPath {
-    /// Equality-encoded bitmap index.
-    Bee,
-    /// Range-encoded bitmap index.
-    Bre,
-    /// VA-file scan + refine.
-    Va,
-    /// Sequential scan (no suitable index enabled).
-    Scan,
-}
-
-impl std::fmt::Display for AccessPath {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AccessPath::Bee => write!(f, "bitmap-equality"),
-            AccessPath::Bre => write!(f, "bitmap-range"),
-            AccessPath::Va => write!(f, "va-file"),
-            AccessPath::Scan => write!(f, "sequential-scan"),
-        }
-    }
+/// One access method the planner considered, with its cost-model inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidatePlan {
+    /// The method's registry name (e.g. `"bitmap-equality"`).
+    pub name: &'static str,
+    /// Estimated 64-bit words of index data the method would touch.
+    pub estimated_cost: f64,
+    /// The method's storage footprint (the tie-breaker).
+    pub size_bytes: usize,
 }
 
 /// The planner's decision and its cost model inputs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
-    /// Chosen access path for the indexed (base) rows.
-    pub path: AccessPath,
-    /// Estimated bitmap reads under BEE (`Σ min(w, C−w) + 1`).
-    pub bee_bitmap_estimate: usize,
-    /// Estimated bitmap reads under BRE (≤ 3 per dimension).
-    pub bre_bitmap_estimate: usize,
+    /// Name of the chosen access method for the indexed (base) rows.
+    pub chosen: &'static str,
+    /// Every registered method that supports the query, in registration
+    /// order, with its estimated cost — the full §6 decision table.
+    pub candidates: Vec<CandidatePlan>,
     /// Rows the delta store will scan on top of the index.
     pub delta_rows: usize,
     /// Histogram-based estimate of matching base rows (independence
@@ -99,13 +133,13 @@ pub struct Plan {
 }
 
 /// An incomplete relation with maintained indexes and an append delta.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct IncompleteDb {
     config: DbConfig,
-    base: Dataset,
-    bee: Option<EqualityBitmapIndex<Wah>>,
-    bre: Option<RangeBitmapIndex<Wah>>,
-    va: Option<VaFile>,
+    base: Arc<Dataset>,
+    /// The engine-layer registry: one entry per maintained index, plus the
+    /// always-on sequential scan in last position.
+    methods: Vec<Arc<dyn AccessMethod>>,
     /// Appended rows not yet folded into the indexes, row-major.
     delta: Vec<Vec<Cell>>,
     /// Tombstoned row ids (base or delta numbering), applied as a result
@@ -116,21 +150,62 @@ pub struct IncompleteDb {
     histograms: Vec<Vec<usize>>,
 }
 
+impl std::fmt::Debug for IncompleteDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncompleteDb")
+            .field("config", &self.config)
+            .field(
+                "methods",
+                &self.methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .field("n_rows", &self.n_rows())
+            .field("delta_rows", &self.delta.len())
+            .field("deleted", &self.deleted.len())
+            .finish()
+    }
+}
+
+/// Builds the access-method registry for `base` under `config`. The
+/// sequential scan always comes last, so indexes win registration-order
+/// ties against it.
+fn build_methods(config: DbConfig, base: &Arc<Dataset>) -> Vec<Arc<dyn AccessMethod>> {
+    let mut methods: Vec<Arc<dyn AccessMethod>> = Vec::new();
+    if config.bee {
+        methods.push(Arc::new(EqualityBitmapIndex::<Wah>::build(base)));
+    }
+    if config.bre {
+        methods.push(Arc::new(RangeBitmapIndex::<Wah>::build(base)));
+    }
+    if config.bie {
+        methods.push(Arc::new(IntervalBitmapIndex::<Wah>::build(base)));
+    }
+    if config.decomposed {
+        methods.push(Arc::new(DecomposedBitmapIndex::<Wah>::build(base)));
+    }
+    if config.va {
+        methods.push(Arc::new(VaFile::build(base).bind(Arc::clone(base))));
+    }
+    if config.vaplus {
+        methods.push(Arc::new(VaPlusFile::build(base).bind(Arc::clone(base))));
+    }
+    methods.push(Arc::new(SequentialScan.bind(Arc::clone(base))));
+    methods
+}
+
 impl IncompleteDb {
-    /// Builds over `dataset` with the default (all-indexes) config.
+    /// Builds over `dataset` with the default config.
     pub fn new(dataset: Dataset) -> IncompleteDb {
         IncompleteDb::with_config(dataset, DbConfig::default())
     }
 
     /// Builds over `dataset`, maintaining only the configured indexes.
     pub fn with_config(dataset: Dataset, config: DbConfig) -> IncompleteDb {
+        let base = Arc::new(dataset);
         IncompleteDb {
             config,
-            bee: config.bee.then(|| EqualityBitmapIndex::build(&dataset)),
-            bre: config.bre.then(|| RangeBitmapIndex::build(&dataset)),
-            va: config.va.then(|| VaFile::build(&dataset)),
-            histograms: dataset.columns().iter().map(|c| c.value_counts()).collect(),
-            base: dataset,
+            methods: build_methods(config, &base),
+            histograms: base.columns().iter().map(|c| c.value_counts()).collect(),
+            base,
             delta: Vec::new(),
             deleted: std::collections::BTreeSet::new(),
         }
@@ -168,11 +243,14 @@ impl IncompleteDb {
         self.base.n_attrs()
     }
 
+    /// Names of the registered access methods, in planning order.
+    pub fn method_names(&self) -> Vec<&'static str> {
+        self.methods.iter().map(|m| m.name()).collect()
+    }
+
     /// Total bytes held by the maintained indexes.
     pub fn index_bytes(&self) -> usize {
-        self.bee.as_ref().map_or(0, |i| i.size_bytes())
-            + self.bre.as_ref().map_or(0, |i| i.size_bytes())
-            + self.va.as_ref().map_or(0, |i| i.size_bytes())
+        self.methods.iter().map(|m| m.size_bytes()).sum()
     }
 
     /// Appends one row (validated against the schema). The row lands in the
@@ -216,7 +294,7 @@ impl IncompleteDb {
                     .expect("delta rows validated on insert")
             })
             .collect();
-        self.base = Dataset::new(columns).expect("equal lengths by construction");
+        self.base = Arc::new(Dataset::new(columns).expect("equal lengths by construction"));
         self.histograms = self
             .base
             .columns()
@@ -225,15 +303,7 @@ impl IncompleteDb {
             .collect();
         self.delta.clear();
         self.deleted.clear();
-        if self.config.bee {
-            self.bee = Some(EqualityBitmapIndex::build(&self.base));
-        }
-        if self.config.bre {
-            self.bre = Some(RangeBitmapIndex::build(&self.base));
-        }
-        if self.config.va {
-            self.va = Some(VaFile::build(&self.base));
-        }
+        self.methods = build_methods(self.config, &self.base);
     }
 
     /// Estimated matching base rows from the cached histograms (product of
@@ -261,58 +331,47 @@ impl IncompleteDb {
         sel * n as f64
     }
 
-    /// Plans a query: which access path, at what estimated bitmap cost.
+    /// Plans a query: ranks every registered access method that supports it
+    /// by `(estimated_cost, size_bytes, registration order)` and reports
+    /// the whole decision table.
     pub fn explain(&self, query: &RangeQuery) -> Result<Plan> {
         query.validate(&self.base)?;
-        let mut bee_cost = 0usize;
-        let mut bre_cost = 0usize;
-        for p in query.predicates() {
-            let c = self.base.column(p.attr).cardinality() as usize;
-            let w = p.interval.width() as usize;
-            bee_cost += w.min(c - w) + 1;
-            bre_cost += 3;
+        let candidates: Vec<CandidatePlan> = self
+            .methods
+            .iter()
+            .filter(|m| m.supports(query))
+            .map(|m| CandidatePlan {
+                name: m.name(),
+                estimated_cost: m.estimated_cost(query),
+                size_bytes: m.size_bytes(),
+            })
+            .collect();
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let b = &candidates[best];
+            if c.estimated_cost < b.estimated_cost
+                || (c.estimated_cost == b.estimated_cost && c.size_bytes < b.size_bytes)
+            {
+                best = i;
+            }
         }
-        let path = if self.config.bee && (query.is_point() || bee_cost < bre_cost) {
-            AccessPath::Bee
-        } else if self.config.bre {
-            AccessPath::Bre
-        } else if self.config.bee {
-            AccessPath::Bee
-        } else if self.config.va {
-            AccessPath::Va
-        } else {
-            AccessPath::Scan
-        };
         Ok(Plan {
-            path,
-            bee_bitmap_estimate: bee_cost,
-            bre_bitmap_estimate: bre_cost,
+            chosen: candidates[best].name,
+            candidates,
             delta_rows: self.delta.len(),
             estimated_rows: self.estimate_rows(query),
         })
     }
 
-    /// Executes a query over base + delta, via the planned access path.
+    /// Executes a query over base + delta, via the planned access method.
     pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
         let plan = self.explain(query)?;
-        let base_rows = match plan.path {
-            AccessPath::Bee => self
-                .bee
-                .as_ref()
-                .expect("planned => enabled")
-                .execute(query)?,
-            AccessPath::Bre => self
-                .bre
-                .as_ref()
-                .expect("planned => enabled")
-                .execute(query)?,
-            AccessPath::Va => self
-                .va
-                .as_ref()
-                .expect("planned => enabled")
-                .execute(&self.base, query)?,
-            AccessPath::Scan => ibis_core::scan::execute(&self.base, query),
-        };
+        let method = self
+            .methods
+            .iter()
+            .find(|m| m.name() == plan.chosen)
+            .expect("chosen from this registry");
+        let base_rows = method.execute(query)?;
         // Delta rows are scanned with the semantic definition directly.
         let offset = self.base.n_rows() as u32;
         let policy = query.policy();
@@ -333,6 +392,18 @@ impl IncompleteDb {
                 .filter(|r| !self.deleted.contains(r))
                 .collect(),
         ))
+    }
+
+    /// Executes a batch of queries, planning each independently and fanning
+    /// the work out across threads (delta and tombstone merging included).
+    pub fn execute_batch(&self, queries: &[RangeQuery]) -> Result<Vec<RowSet>> {
+        ibis_core::parallel::parallel_map(
+            queries.to_vec(),
+            ibis_core::parallel::default_threads(),
+            |q| self.execute(&q),
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Counts matching rows.
@@ -371,7 +442,7 @@ mod tests {
     fn planner_prefers_bee_for_points_and_bre_for_ranges() {
         let d = db();
         let point = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
-        assert_eq!(d.explain(&point).unwrap().path, AccessPath::Bee);
+        assert_eq!(d.explain(&point).unwrap().chosen, "bitmap-equality");
         // A wide range on a high-cardinality attribute.
         let attr = (0..d.n_attrs())
             .find(|&a| d.base.column(a).cardinality() >= 50)
@@ -382,7 +453,7 @@ mod tests {
             MissingPolicy::IsMatch,
         )
         .unwrap();
-        assert_eq!(d.explain(&range).unwrap().path, AccessPath::Bre);
+        assert_eq!(d.explain(&range).unwrap().chosen, "bitmap-range");
     }
 
     #[test]
@@ -390,19 +461,67 @@ mod tests {
         let data = census_scaled(200, 402);
         let vonly = IncompleteDb::with_config(data.clone(), DbConfig::compact_profile());
         let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
-        assert_eq!(vonly.explain(&q).unwrap().path, AccessPath::Va);
-        let none = IncompleteDb::with_config(
-            data,
-            DbConfig {
-                bee: false,
-                bre: false,
-                va: false,
-            },
-        );
-        assert_eq!(none.explain(&q).unwrap().path, AccessPath::Scan);
+        assert_eq!(vonly.explain(&q).unwrap().chosen, "va-file");
+        let none = IncompleteDb::with_config(data, DbConfig::none());
+        assert_eq!(none.explain(&q).unwrap().chosen, "sequential-scan");
         assert_eq!(none.index_bytes(), 0);
+        assert_eq!(none.method_names(), vec!["sequential-scan"]);
         // All paths agree regardless of config.
         assert_eq!(vonly.execute(&q).unwrap(), none.execute(&q).unwrap());
+    }
+
+    #[test]
+    fn planner_prefers_interval_encoding_when_registered() {
+        // The §6 acceptance case: interval encoding ties range encoding at
+        // ≤ 3 bitmap reads per dimension but stores roughly half the
+        // bitmaps, so once registered it must win the size tie-break.
+        let data = census_scaled(400, 407);
+        let d = IncompleteDb::with_config(data, DbConfig::all());
+        let attr = (0..d.n_attrs())
+            .find(|&a| d.base.column(a).cardinality() >= 50)
+            .unwrap();
+        let c = d.base.column(attr).cardinality();
+        let range = RangeQuery::new(
+            vec![Predicate::range(attr, 5, c - 4)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        let plan = d.explain(&range).unwrap();
+        assert_eq!(plan.chosen, "bitmap-interval");
+        let cost = |name: &str| {
+            plan.candidates
+                .iter()
+                .find(|cand| cand.name == name)
+                .unwrap()
+                .estimated_cost
+        };
+        assert_eq!(cost("bitmap-interval"), cost("bitmap-range"));
+        // Points still go to equality encoding even with everything on.
+        let point = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(d.explain(&point).unwrap().chosen, "bitmap-equality");
+    }
+
+    #[test]
+    fn explain_reports_every_candidate() {
+        let d = db();
+        let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+        let plan = d.explain(&q).unwrap();
+        let names: Vec<&str> = plan.candidates.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bitmap-equality",
+                "bitmap-range",
+                "va-file",
+                "sequential-scan"
+            ]
+        );
+        for c in &plan.candidates {
+            assert!(c.estimated_cost.is_finite(), "{c:?}");
+            assert!(c.estimated_cost > 0.0, "{c:?}");
+        }
+        // The scan is costed but stores nothing.
+        assert_eq!(plan.candidates.last().unwrap().size_bytes, 0);
     }
 
     #[test]
@@ -421,6 +540,24 @@ mod tests {
                 assert_eq!(d.execute(&q).unwrap(), scan::execute(&data, &q), "{policy}");
             }
         }
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_execution() {
+        let data = census_scaled(300, 408);
+        let mut d = IncompleteDb::new(data.clone());
+        d.insert(&vec![m(); data.n_attrs()]).unwrap();
+        d.delete(0);
+        let spec = QuerySpec {
+            n_queries: 12,
+            k: 3,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&data, &spec, 409);
+        let sequential: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        assert_eq!(d.execute_batch(&queries).unwrap(), sequential);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!
 //! ## Quickstart
 //!
+//! Every index family implements the engine-layer
+//! [`AccessMethod`](ibis_core::AccessMethod) trait, and [`db::IncompleteDb`]
+//! plans across whichever methods it maintains:
+//!
 //! ```
 //! use ibis::prelude::*;
 //!
@@ -33,19 +37,27 @@
 //! )
 //! .unwrap();
 //!
-//! // Index it three ways.
-//! let bee = EqualityBitmapIndex::<Wah>::build(&data);
-//! let bre = RangeBitmapIndex::<Wah>::build(&data);
-//! let va = VaFile::build(&data);
+//! // A database maintaining the default index trio (BEE + BRE + VA).
+//! let db = IncompleteDb::new(data.clone());
 //!
 //! // One query, both semantics.
 //! let key = vec![Predicate::range(0, 2, 3), Predicate::range(1, 3, 5)];
 //! for policy in MissingPolicy::ALL {
 //!     let q = RangeQuery::new(key.clone(), policy).unwrap();
 //!     let truth = ibis::core::scan::execute(&data, &q);
-//!     assert_eq!(bee.execute(&q).unwrap(), truth);
-//!     assert_eq!(bre.execute(&q).unwrap(), truth);
-//!     assert_eq!(va.execute(&data, &q).unwrap(), truth);
+//!     assert_eq!(db.execute(&q).unwrap(), truth);
+//!
+//!     // The planner explains its choice: every candidate with its cost
+//!     // (on a 3-row relation the VA-file's few words of codes win).
+//!     let plan = db.explain(&q).unwrap();
+//!     assert_eq!(plan.chosen, "va-file");
+//!     assert_eq!(plan.candidates.len(), 4); // bee, bre, va, seqscan
+//!
+//!     // Or drive one index directly through the common trait.
+//!     let bee = EqualityBitmapIndex::<Wah>::build(&data);
+//!     let (rows, cost) = bee.execute_with_cost(&q).unwrap();
+//!     assert_eq!(rows, truth);
+//!     assert!(cost.bitmaps_accessed > 0);
 //! }
 //! ```
 
@@ -72,5 +84,7 @@ pub mod prelude {
     };
     pub use ibis_vafile::{VaFile, VaPlusFile};
 
-    pub use crate::db::{AccessPath, DbConfig, IncompleteDb, Plan};
+    pub use ibis_core::{AccessMethod, WorkCounters};
+
+    pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan};
 }
