@@ -1,6 +1,7 @@
 //! The index-free baseline: a full sequential scan.
 
 use crate::AccessStats;
+use ibis_core::parallel::{partition, ExecPool};
 use ibis_core::{scan, AccessMethod, Dataset, RangeQuery, Result, RowSet, WorkCounters};
 use std::sync::Arc;
 
@@ -36,6 +37,43 @@ impl SequentialScan {
         Ok((rows, stats))
     }
 
+    /// Executes a query with a row-range–partitioned parallel scan: the
+    /// rows split into up to `threads` contiguous slices, each worker scans
+    /// its slice ([`scan::execute_range`]) with its own partial counters,
+    /// and the ordered partial `RowSet`s are concatenated. Rows and merged
+    /// counters are identical to [`Self::execute_with_cost`] for any thread
+    /// count — per-slice entry counts sum to `n · k`, and the word total is
+    /// derived once from that sum (not from per-slice roundings).
+    pub fn execute_with_cost_threads(
+        &self,
+        dataset: &Dataset,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, AccessStats)> {
+        let n = dataset.n_rows();
+        if threads <= 1 || n < 2 {
+            return self.execute_with_cost(dataset, query);
+        }
+        query.validate(dataset)?;
+        let k = query.dimensionality().max(1);
+        let partials = ExecPool::new(threads).map(partition(n, threads), |range| {
+            let entries = range.len() * k;
+            let rows = scan::execute_range(dataset, query, range);
+            (rows, entries)
+        });
+        let mut stats = AccessStats::default();
+        let mut parts = Vec::with_capacity(partials.len());
+        for (rows, entries) in partials {
+            stats.merge(AccessStats {
+                entries_scanned: entries,
+                ..AccessStats::default()
+            });
+            parts.push(rows);
+        }
+        stats.words_processed = stats.entries_scanned.div_ceil(4);
+        Ok((RowSet::concat_sorted(parts), stats))
+    }
+
     /// Binds the scan to a dataset, producing an [`AccessMethod`] the
     /// engine-layer registry can hold (and fall back to when no index
     /// covers a query).
@@ -65,6 +103,14 @@ impl AccessMethod for BoundScan {
 
     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
         SequentialScan.execute_with_cost(&self.base, query)
+    }
+
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        SequentialScan.execute_with_cost_threads(&self.base, query, threads)
     }
 
     /// The scan stores nothing beyond the base relation.
@@ -98,6 +144,28 @@ mod tests {
         assert_eq!(rows, scan::execute(&d, &q));
         assert_eq!(stats.entries_scanned, 400);
         assert_eq!(stats.words_processed, 100);
+    }
+
+    #[test]
+    fn partitioned_scan_matches_sequential_rows_and_cost() {
+        let d = synthetic_scaled(203, 8); // odd count: uneven final slice
+        for policy in MissingPolicy::ALL {
+            let q = RangeQuery::new(
+                vec![Predicate::range(0, 1, 1), Predicate::range(200, 1, 10)],
+                policy,
+            )
+            .unwrap();
+            let seq = SequentialScan.execute_with_cost(&d, &q).unwrap();
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    SequentialScan
+                        .execute_with_cost_threads(&d, &q, threads)
+                        .unwrap(),
+                    seq,
+                    "{policy} t={threads}"
+                );
+            }
+        }
     }
 
     #[test]

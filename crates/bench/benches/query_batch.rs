@@ -1,7 +1,9 @@
 //! Batch execution through the engine layer: 100 queries in the Fig. 5(a)
 //! shape (8-dimensional, 1% global selectivity), answered one at a time via
 //! [`AccessMethod::execute`] versus all at once via
-//! [`AccessMethod::execute_batch`], per index family.
+//! [`AccessMethod::execute_batch`], per index family — plus a thread axis
+//! (`batch-t1` vs `batch-t8` via [`AccessMethod::execute_batch_threads`])
+//! measuring the fan-out speedup of the parallel execution layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibis_bench::experiments::harness::uniform_group;
@@ -43,6 +45,12 @@ fn benches(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("batch", m.name()), |b| {
             b.iter(|| black_box(m.execute_batch(&queries).unwrap()))
         });
+        for threads in [1usize, 8] {
+            g.bench_function(
+                BenchmarkId::new(format!("batch-t{threads}"), m.name()),
+                |b| b.iter(|| black_box(m.execute_batch_threads(&queries, threads).unwrap())),
+            );
+        }
     }
     g.finish();
 }

@@ -6,13 +6,43 @@
 //! cargo run --release -p ibis-bench --bin figures            # paper scale
 //! IBIS_ROWS=10000 IBIS_CENSUS_ROWS=20000 \
 //!     cargo run --release -p ibis-bench --bin figures        # laptop scale
+//! cargo run --release -p ibis-bench --bin figures -- --threads 8
 //! ```
+//!
+//! `--threads N` pins the parallel execution degree for every timed query
+//! (equivalent to setting `IBIS_THREADS=N`); answers and work counters are
+//! identical across degrees, only wall-clock moves.
 
 use ibis_bench::config::Scale;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                ibis_core::parallel::set_threads(n);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --threads N)");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = Scale::from_env();
-    eprintln!("running all experiments at scale {scale:?}");
+    eprintln!(
+        "running all experiments at scale {scale:?} with {} thread(s)",
+        ibis_core::parallel::configured_threads()
+    );
     for (name, runner) in ibis_bench::experiments::all() {
         eprintln!("--- {name}");
         let (tables, ms) = ibis_bench::time_ms(|| runner(&scale));

@@ -51,9 +51,10 @@ pub struct MethodTiming {
     pub hits: usize,
 }
 
-/// Runs `queries` through every registered method, timing each and
-/// asserting that all methods agree on every answer (the suite never
-/// reports numbers from disagreeing implementations).
+/// Runs `queries` through every registered method at the configured
+/// parallelism degree, timing each and asserting that all methods agree on
+/// every answer (the suite never reports numbers from disagreeing
+/// implementations).
 ///
 /// # Panics
 /// Panics if any method rejects a query or disagrees with the first
@@ -61,6 +62,17 @@ pub struct MethodTiming {
 pub fn time_methods(
     methods: &[Box<dyn AccessMethod>],
     queries: &[RangeQuery],
+) -> Vec<MethodTiming> {
+    time_methods_at(methods, queries, ibis_core::parallel::configured_threads())
+}
+
+/// [`time_methods`] with an explicit intra-query parallelism degree, the
+/// knob `figures --threads N` exposes. Results (and merged counters) are
+/// identical across degrees; only `ms` moves.
+pub fn time_methods_at(
+    methods: &[Box<dyn AccessMethod>],
+    queries: &[RangeQuery],
+    threads: usize,
 ) -> Vec<MethodTiming> {
     let mut reference: Option<Vec<RowSet>> = None;
     methods
@@ -70,7 +82,9 @@ pub fn time_methods(
                 let mut cost = WorkCounters::zero();
                 let mut results = Vec::with_capacity(queries.len());
                 for q in queries {
-                    let (rows, c) = m.execute_with_cost(q).expect("valid workload");
+                    let (rows, c) = m
+                        .execute_with_cost_threads(q, threads)
+                        .expect("valid workload");
                     cost += c;
                     results.push(rows);
                 }
@@ -168,6 +182,32 @@ mod tests {
         // per (row, query) and the full k per (row, query).
         assert!(t.va_fields >= 10 * 1_500 && t.va_fields <= 10 * 4 * 1_500);
         assert!(t.realized_selectivity > 0.0);
+    }
+
+    #[test]
+    fn timings_agree_across_parallel_degrees() {
+        let d = Arc::new(uniform_group(900, 8, 10, 0.2, 17));
+        let methods: Vec<Box<dyn AccessMethod>> = vec![
+            Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+            Box::new(RangeBitmapIndex::<Wah>::build(&d)),
+            Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+        ];
+        let spec = QuerySpec {
+            n_queries: 6,
+            k: 3,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let qs = workload(&d, &spec, 19);
+        let t1 = time_methods_at(&methods, &qs, 1);
+        for threads in [2, 8] {
+            let tp = time_methods_at(&methods, &qs, threads);
+            for (a, b) in t1.iter().zip(&tp) {
+                assert_eq!(a.hits, b.hits, "{} t={threads}", a.name);
+                assert_eq!(a.cost, b.cost, "{} t={threads}", a.name);
+            }
+        }
     }
 
     #[test]

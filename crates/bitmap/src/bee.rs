@@ -249,6 +249,14 @@ impl<B: BitStore> AccessMethod for EqualityBitmapIndex<B> {
         EqualityBitmapIndex::execute_with_cost(self, query)
     }
 
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, QueryCost)> {
+        crate::engine::run_with_cost_threads(self, query, threads)
+    }
+
     fn size_bytes(&self) -> usize {
         EqualityBitmapIndex::size_bytes(self)
     }

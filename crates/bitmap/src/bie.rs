@@ -246,6 +246,14 @@ impl<B: BitStore> AccessMethod for IntervalBitmapIndex<B> {
         IntervalBitmapIndex::execute_with_cost(self, query)
     }
 
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, QueryCost)> {
+        crate::engine::run_with_cost_threads(self, query, threads)
+    }
+
     fn size_bytes(&self) -> usize {
         IntervalBitmapIndex::size_bytes(self)
     }

@@ -290,6 +290,14 @@ impl<B: BitStore> AccessMethod for RangeBitmapIndex<B> {
         RangeBitmapIndex::execute_with_cost(self, query)
     }
 
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, QueryCost)> {
+        crate::engine::run_with_cost_threads(self, query, threads)
+    }
+
     fn size_bytes(&self) -> usize {
         RangeBitmapIndex::size_bytes(self)
     }

@@ -324,6 +324,14 @@ impl<B: BitStore> AccessMethod for DecomposedBitmapIndex<B> {
         DecomposedBitmapIndex::execute_with_cost(self, query)
     }
 
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, QueryCost)> {
+        crate::engine::run_with_cost_threads(self, query, threads)
+    }
+
     fn size_bytes(&self) -> usize {
         DecomposedBitmapIndex::size_bytes(self)
     }

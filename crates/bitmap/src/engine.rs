@@ -12,6 +12,7 @@
 
 use crate::cost::QueryCost;
 use ibis_bitvec::BitStore;
+use ibis_core::parallel::ExecPool;
 use ibis_core::{Interval, MissingPolicy, RangeQuery, Result, RowSet};
 
 /// The uniform internal view of a bitmap index: just enough structure for
@@ -56,6 +57,50 @@ pub(crate) fn run_with_cost<T: BitmapExec>(
         None => RowSet::all(ix.exec_rows() as u32),
         Some(b) => RowSet::from_sorted(b.ones_positions()),
     };
+    cost.finish_bitmap_words(ix.exec_rows());
+    Ok((rows, cost))
+}
+
+/// Executes `query` over `ix` with up to `threads` workers: the
+/// per-predicate interval evaluations (bitmap fetch + OR/complement
+/// combine) fan out across attributes, and the final AND reduction over the
+/// compressed per-predicate answers runs as a parallel tree-reduce
+/// ([`ExecPool::reduce`]). Bit-identical to [`run_with_cost`] — the AND of
+/// exact bitmaps is associative, each interval's cost accrues into its own
+/// counter before an ordered merge, and the reduce performs exactly `k − 1`
+/// combines — so the reported [`QueryCost`] matches the sequential run
+/// field for field.
+pub(crate) fn run_with_cost_threads<T>(
+    ix: &T,
+    query: &RangeQuery,
+    threads: usize,
+) -> Result<(RowSet, QueryCost)>
+where
+    T: BitmapExec + Sync,
+{
+    // One predicate (or none) has no intra-query parallelism to exploit.
+    if threads <= 1 || query.dimensionality() < 2 {
+        return run_with_cost(ix, query);
+    }
+    query.validate_schema(ix.exec_attrs(), |a| ix.exec_cardinality(a))?;
+    let policy = query.policy();
+    let pool = ExecPool::new(threads);
+    let partials: Vec<(T::Store, QueryCost)> = pool.map(query.predicates().to_vec(), |p| {
+        let mut c = QueryCost::zero();
+        let b = ix.exec_interval(p.attr, p.interval, policy, &mut c);
+        (b, c)
+    });
+    let mut cost = QueryCost::zero();
+    let mut answers = Vec::with_capacity(partials.len());
+    for (b, c) in partials {
+        cost += c;
+        answers.push(b);
+    }
+    cost.logical_ops += answers.len() - 1; // the k−1 ANDs of the reduce
+    let acc = pool
+        .reduce(answers, |a, b| a.and(&b))
+        .expect("dimensionality >= 2");
+    let rows = RowSet::from_sorted(acc.ones_positions());
     cost.finish_bitmap_words(ix.exec_rows());
     Ok((rows, cost))
 }
@@ -105,4 +150,77 @@ pub(crate) fn estimate_words<T: BitmapExec>(
             reads_for(w, c) * wpb
         })
         .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bee::EqualityBitmapIndex;
+    use crate::bre::RangeBitmapIndex;
+    use ibis_bitvec::Wah;
+    use ibis_core::{Cell, Dataset, Predicate, RangeQuery};
+
+    fn data() -> Dataset {
+        let m = Cell::MISSING;
+        let v = Cell::present;
+        Dataset::from_rows(
+            &[("a", 6), ("b", 6), ("c", 6)],
+            &[
+                vec![v(5), v(2), v(1)],
+                vec![m, v(5), v(4)],
+                vec![v(3), m, v(2)],
+                vec![v(2), v(4), m],
+                vec![v(6), v(1), v(6)],
+                vec![v(1), v(3), v(3)],
+                vec![m, m, m],
+                vec![v(4), v(6), v(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threaded_driver_matches_sequential_rows_and_cost() {
+        let d = data();
+        let bee = EqualityBitmapIndex::<Wah>::build(&d);
+        let bre = RangeBitmapIndex::<Wah>::build(&d);
+        for policy in ibis_core::MissingPolicy::ALL {
+            let q = RangeQuery::new(
+                vec![
+                    Predicate::range(0, 2, 5),
+                    Predicate::range(1, 1, 4),
+                    Predicate::range(2, 2, 6),
+                ],
+                policy,
+            )
+            .unwrap();
+            let seq_bee = run_with_cost(&bee, &q).unwrap();
+            let seq_bre = run_with_cost(&bre, &q).unwrap();
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    run_with_cost_threads(&bee, &q, threads).unwrap(),
+                    seq_bee,
+                    "bee {policy} t={threads}"
+                );
+                assert_eq!(
+                    run_with_cost_threads(&bre, &q, threads).unwrap(),
+                    seq_bre,
+                    "bre {policy} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_driver_falls_back_on_narrow_queries() {
+        let d = data();
+        let bee = EqualityBitmapIndex::<Wah>::build(&d);
+        for preds in [vec![], vec![Predicate::point(1, 4)]] {
+            let q = RangeQuery::new(preds, ibis_core::MissingPolicy::IsNotMatch).unwrap();
+            assert_eq!(
+                run_with_cost_threads(&bee, &q, 8).unwrap(),
+                run_with_cost(&bee, &q).unwrap()
+            );
+        }
+    }
 }

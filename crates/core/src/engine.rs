@@ -8,7 +8,7 @@
 //! per-family counter types the crates grew historically (`QueryCost`,
 //! `AccessStats`, `VaCost` — now aliases of [`WorkCounters`]).
 
-use crate::parallel::{default_threads, parallel_map};
+use crate::parallel::{configured_threads, ExecPool};
 use crate::{RangeQuery, Result, RowSet};
 use std::ops::{Add, AddAssign};
 
@@ -72,6 +72,15 @@ impl WorkCounters {
     /// uncompressed bound the paper's §6 rules are stated in).
     pub fn finish_bitmap_words(&mut self, n_rows: usize) {
         self.words_processed = (self.bitmaps_accessed + self.logical_ops) * n_rows.div_ceil(64);
+    }
+
+    /// Folds another counter set into this one, field by field. Partitioned
+    /// execution gives each worker its own `WorkCounters`; because every
+    /// field is a plain sum, merging partials in any order reproduces the
+    /// counters a sequential run would have reported — the associativity
+    /// the parallel conformance tests assert.
+    pub fn merge(&mut self, other: WorkCounters) {
+        *self += other;
     }
 }
 
@@ -138,9 +147,31 @@ pub trait AccessMethod: Send + Sync {
         self.size_bytes() as f64 / 8.0
     }
 
+    /// Answers `query` exactly, using up to `threads` workers for the
+    /// intra-query work (row-range–partitioned scans, per-attribute bitmap
+    /// fetch/combine). The contract, enforced by the conformance suite: for
+    /// any `threads`, the returned `RowSet` **and** the merged
+    /// `WorkCounters` are identical to [`AccessMethod::execute_with_cost`].
+    /// The default ignores `threads` and runs sequentially; families with a
+    /// parallel plan override it.
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        let _ = threads;
+        self.execute_with_cost(query)
+    }
+
     /// Answers `query` exactly.
     fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
         Ok(self.execute_with_cost(query)?.0)
+    }
+
+    /// Answers `query` exactly with up to `threads` workers (see
+    /// [`AccessMethod::execute_with_cost_threads`]).
+    fn execute_threads(&self, query: &RangeQuery, threads: usize) -> Result<RowSet> {
+        Ok(self.execute_with_cost_threads(query, threads)?.0)
     }
 
     /// Counts matching rows — a `COUNT(*)` aggregation. Bitmap families
@@ -149,14 +180,19 @@ pub trait AccessMethod: Send + Sync {
         Ok(self.execute_with_cost(query)?.0.len())
     }
 
-    /// Answers a batch of queries, fanning them over
-    /// [`crate::parallel::parallel_map`]. Results are in query order and
+    /// Answers a batch of independent queries, fanning them over up to
+    /// `threads` workers via [`ExecPool`]. Results are in query order and
     /// identical to sequential [`AccessMethod::execute`] calls; the first
-    /// error (if any) is returned.
+    /// error (in query order) is returned, and a worker panic surfaces as
+    /// [`crate::Error::WorkerPanicked`] instead of aborting the process.
+    fn execute_batch_threads(&self, queries: &[RangeQuery], threads: usize) -> Result<Vec<RowSet>> {
+        ExecPool::new(threads).try_map(queries.to_vec(), |q| self.execute(&q))
+    }
+
+    /// Answers a batch of queries at the process-wide configured degree
+    /// ([`crate::parallel::configured_threads`]).
     fn execute_batch(&self, queries: &[RangeQuery]) -> Result<Vec<RowSet>> {
-        parallel_map(queries.to_vec(), default_threads(), |q| self.execute(&q))
-            .into_iter()
-            .collect()
+        self.execute_batch_threads(queries, configured_threads())
     }
 }
 
@@ -250,5 +286,70 @@ mod tests {
         let boxed: Box<dyn AccessMethod> = Box::new(Everything { n_rows: 2 });
         assert_eq!(boxed.name(), "everything");
         assert_eq!(boxed.execute_count(&q(1, 1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn merge_equals_add_assign() {
+        let mut a = WorkCounters::zero();
+        a.read_bitmaps(2);
+        a.candidates = 5;
+        let mut b = WorkCounters::zero();
+        b.op();
+        b.candidates = 3;
+        let mut merged = a;
+        merged.merge(b);
+        assert_eq!(merged, a + b);
+        assert_eq!(merged.candidates, 8);
+    }
+
+    #[test]
+    fn threaded_defaults_match_sequential() {
+        let m = Everything { n_rows: 31 };
+        let query = q(1, 4);
+        let (seq_rows, seq_cost) = m.execute_with_cost(&query).unwrap();
+        for threads in [1, 2, 8] {
+            let (rows, cost) = m.execute_with_cost_threads(&query, threads).unwrap();
+            assert_eq!(rows, seq_rows);
+            assert_eq!(cost, seq_cost);
+            assert_eq!(m.execute_threads(&query, threads).unwrap(), seq_rows);
+        }
+        let queries: Vec<RangeQuery> = (1..=9).map(|i| q(1, i)).collect();
+        for threads in [1, 3] {
+            let batch = m.execute_batch_threads(&queries, threads).unwrap();
+            assert_eq!(batch.len(), 9);
+            assert!(batch.iter().all(|r| r == &RowSet::all(31)));
+        }
+    }
+
+    /// A method that panics on execution, to prove batch fan-out contains
+    /// worker panics instead of taking down the process.
+    struct Exploding;
+
+    impl AccessMethod for Exploding {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+
+        fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+            panic!("kaboom on {:?}", query.predicates()[0].interval);
+        }
+
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn batch_contains_worker_panics_as_errors() {
+        let m = Exploding;
+        let queries: Vec<RangeQuery> = (1..=8).map(|i| q(1, i)).collect();
+        for threads in [1, 4] {
+            match m.execute_batch_threads(&queries, threads) {
+                Err(crate::Error::WorkerPanicked { detail }) => {
+                    assert!(detail.contains("kaboom"), "{detail}")
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
     }
 }

@@ -67,6 +67,13 @@ pub enum Error {
         /// Name of the access method that declined the query.
         method: &'static str,
     },
+    /// A worker thread panicked inside [`crate::parallel::ExecPool`]. The
+    /// panic is contained on the worker and surfaced here instead of
+    /// aborting the process.
+    WorkerPanicked {
+        /// The panic message (or a placeholder for non-string payloads).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -114,6 +121,9 @@ impl fmt::Display for Error {
                     f,
                     "access method '{method}' does not support the query's missing-value policy"
                 )
+            }
+            Error::WorkerPanicked { ref detail } => {
+                write!(f, "worker thread panicked: {detail}")
             }
         }
     }

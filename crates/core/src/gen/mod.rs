@@ -2,7 +2,7 @@
 //! (Table 7) and query workloads with controlled global selectivity.
 //!
 //! The real census extract used in the paper (463,733 records × 48
-//! attributes) is not publicly available; [`census`] generates a synthetic
+//! attributes) is not publicly available; [`census_paper`] generates a synthetic
 //! stand-in that reproduces the *published marginals* — the Table 7
 //! cardinality × missing-rate cross-tab, the 2–165 cardinality range, the
 //! 0–98.5% missing range (8 attributes above 90%) — with Zipf-skewed value

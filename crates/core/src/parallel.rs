@@ -1,52 +1,301 @@
-//! A minimal scoped-thread parallel map for index construction.
+//! The workspace's parallel execution layer: a bounded scoped-thread pool
+//! ([`ExecPool`]) shared by index construction and query execution.
 //!
 //! Index builds are embarrassingly parallel across attributes (the paper's
-//! synthetic dataset has 450 of them), so a simple chunked `thread::scope`
-//! covers the need without pulling a thread-pool dependency.
+//! synthetic dataset has 450 of them), and query execution is embarrassingly
+//! parallel across row ranges (sequential and VA-file scans), across
+//! predicates (per-attribute bitmap fetch/combine), and across the queries
+//! of a batch. A simple chunked `thread::scope` covers all of it without a
+//! thread-pool dependency.
+//!
+//! Guarantees, relied on by the engine layer and its conformance suite:
+//!
+//! * **Deterministic ordering** — [`ExecPool::map`]/[`ExecPool::try_map`]
+//!   chunk the input into contiguous runs and flatten worker outputs in
+//!   input order, so results are positionally identical to a sequential
+//!   map; [`ExecPool::reduce`] folds chunk partials left-to-right, so any
+//!   associative combiner yields the same value as a sequential fold.
+//! * **Panic containment** — a panicking closure inside
+//!   [`ExecPool::try_map`] surfaces as [`Error::WorkerPanicked`] instead of
+//!   aborting the process; sibling items already computed are discarded.
+//! * **Configurability** — the process-wide degree used by the engine's
+//!   default entry points comes from [`configured_threads`]: an explicit
+//!   [`set_threads`] call (the CLI's `--threads` flag) wins over the
+//!   `IBIS_THREADS` environment variable (the CI matrix knob), which wins
+//!   over [`default_threads`].
+
+use crate::{Error, Result};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override installed by [`set_threads`];
+/// `0` means "not set" (fall through to `IBIS_THREADS` / auto-detect).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide parallelism degree (clamped to at least 1).
+/// Used by the CLI `--threads` flag and the bench harness; takes precedence
+/// over the `IBIS_THREADS` environment variable.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The parallelism degree the engine's default entry points use:
+/// [`set_threads`] override, else `IBIS_THREADS` (if a positive integer),
+/// else [`default_threads`].
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::env::var("IBIS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_threads)
+}
+
+/// A sensible default worker count: available parallelism, capped at 8
+/// (both index builds and query scans are memory-bandwidth-bound well
+/// before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Splits `0..n` into at most `parts` contiguous, non-empty ranges covering
+/// every index exactly once, in order. The unit of row-range partitioning:
+/// each range is one worker's slice of a partitioned scan.
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let chunk = n.div_ceil(parts);
+    (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect()
+}
+
+/// A bounded worker pool over scoped OS threads.
+///
+/// `ExecPool` is a value, not a resource: it holds only the configured
+/// degree, and each call spins up scoped workers that join before the call
+/// returns (so borrowed data flows freely into closures). Degree 1 runs
+/// inline with no threads at all.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl Default for ExecPool {
+    fn default() -> ExecPool {
+        ExecPool::current()
+    }
+}
+
+impl ExecPool {
+    /// A pool of up to `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ExecPool {
+        ExecPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The pool at the process-wide configured degree
+    /// ([`configured_threads`]).
+    pub fn current() -> ExecPool {
+        ExecPool::new(configured_threads())
+    }
+
+    /// The configured degree.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies the fallible `f` to every item, fanning contiguous chunks
+    /// over the pool. Results come back in input order. The first failure
+    /// (in input order) is returned; a panicking closure is contained and
+    /// surfaces as [`Error::WorkerPanicked`] instead of taking down the
+    /// process.
+    pub fn try_map<T, U, F>(&self, items: Vec<T>, f: F) -> Result<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> Result<U> + Sync,
+    {
+        let n = items.len();
+        let threads = self.threads.min(n).max(1);
+
+        // One worker's share: apply `f` until the first failure, containing
+        // panics so they report instead of unwinding through the scope.
+        let run_chunk = |chunk: Vec<T>| -> (Vec<U>, Option<Error>) {
+            let mut out = Vec::with_capacity(chunk.len());
+            for item in chunk {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(Ok(u)) => out.push(u),
+                    Ok(Err(e)) => return (out, Some(e)),
+                    Err(payload) => {
+                        return (
+                            out,
+                            Some(Error::WorkerPanicked {
+                                detail: panic_detail(payload),
+                            }),
+                        )
+                    }
+                }
+            }
+            (out, None)
+        };
+
+        if threads == 1 || n < 2 {
+            let (out, err) = run_chunk(items);
+            return match err {
+                None => Ok(out),
+                Some(e) => Err(e),
+            };
+        }
+
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_size));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+
+        let run_chunk = &run_chunk;
+        let mut parts: Vec<(Vec<U>, Option<Error>)> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                .collect();
+            for h in handles {
+                // Workers contain their own panics, so a join failure can
+                // only come from outside `f` (e.g. allocation); report it
+                // the same way rather than poisoning the scope.
+                parts.push(h.join().unwrap_or_else(|payload| {
+                    (
+                        Vec::new(),
+                        Some(Error::WorkerPanicked {
+                            detail: panic_detail(payload),
+                        }),
+                    )
+                }));
+            }
+        });
+
+        // Chunks are in input order, and each worker stopped at its first
+        // failure, so the first failing chunk holds the first failure.
+        let mut out = Vec::with_capacity(n);
+        for (part, err) in parts {
+            out.extend(part);
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the infallible `f` to every item in parallel, returning
+    /// results in input order.
+    ///
+    /// # Panics
+    /// Panics with `"worker panicked: …"` if `f` panics on any item (the
+    /// panic is contained on the worker and re-raised on the caller).
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        match self.try_map(items, |item| Ok(f(item))) {
+            Ok(out) => out,
+            Err(Error::WorkerPanicked { detail }) => panic!("worker panicked: {detail}"),
+            Err(e) => panic!("worker panicked: {e}"),
+        }
+    }
+
+    /// Reduces `items` with the associative `combine`, folding contiguous
+    /// chunks on workers and the chunk partials left-to-right. For any
+    /// associative combiner the result equals the sequential left fold, and
+    /// exactly `items.len() − 1` combines are performed regardless of the
+    /// degree — so work counters charged per combine stay exact under
+    /// parallelism. Returns `None` on empty input.
+    pub fn reduce<T, F>(&self, items: Vec<T>, combine: F) -> Option<T>
+    where
+        T: Send,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return None;
+        }
+        // A worker is only worth spawning with ≥ 2 items to combine.
+        let threads = self.threads.min(n / 2).max(1);
+        if threads == 1 || n < 4 {
+            let mut it = items.into_iter();
+            let first = it.next().expect("n > 0");
+            return Some(it.fold(first, &combine));
+        }
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_size));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let combine = &combine;
+        let partials: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut it = chunk.into_iter();
+                        let first = it.next().expect("chunks are non-empty");
+                        it.fold(first, combine)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => panic!("worker panicked: {}", panic_detail(payload)),
+                })
+                .collect()
+        });
+        let mut it = partials.into_iter();
+        let first = it.next().expect("at least one chunk");
+        Some(it.fold(first, combine))
+    }
+}
+
+/// Renders a contained panic payload for [`Error::WorkerPanicked`].
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Applies `f` to every item, fanning the work over up to `n_threads` OS
 /// threads, and returns results in input order. Falls back to a plain map
 /// for tiny inputs or `n_threads <= 1`.
+///
+/// Thin wrapper over [`ExecPool::map`], kept for the index-build call
+/// sites; panics from `f` re-raise on the caller as `"worker panicked"`.
 pub fn parallel_map<T, U, F>(items: Vec<T>, n_threads: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let n = items.len();
-    let threads = n_threads.min(n).max(1);
-    if threads == 1 || n < 2 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Chunk indices round-robin-free: contiguous slices keep outputs
-    // trivially ordered.
-    let chunk_size = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk_size));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-
-    let f = &f;
-    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("worker panicked"));
-        }
-    });
-    out.into_iter().flatten().collect()
-}
-
-/// A sensible default worker count: available parallelism, capped at 8
-/// (index builds are memory-bandwidth-bound well before that).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+    ExecPool::new(n_threads).map(items, f)
 }
 
 #[cfg(test)]
@@ -80,5 +329,112 @@ mod tests {
             assert!(x != 1, "boom");
             x
         });
+    }
+
+    #[test]
+    fn try_map_contains_panics_instead_of_aborting() {
+        // The satellite bug: a panicking closure must surface as an Error,
+        // not take down the process.
+        for threads in [1, 2, 8] {
+            let err = ExecPool::new(threads)
+                .try_map((0..100u32).collect(), |x| {
+                    assert!(x != 57, "boom at {x}");
+                    Ok(x)
+                })
+                .unwrap_err();
+            match err {
+                Error::WorkerPanicked { detail } => {
+                    assert!(detail.contains("boom at 57"), "{detail}")
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_returns_first_error_in_input_order() {
+        let fail_at = |bad: Vec<u32>| {
+            ExecPool::new(4)
+                .try_map((0..64u32).collect(), |x| {
+                    if bad.contains(&x) {
+                        Err(Error::ZeroCardinality { attr: x as usize })
+                    } else {
+                        Ok(x)
+                    }
+                })
+                .unwrap_err()
+        };
+        assert_eq!(fail_at(vec![50, 3, 20]), Error::ZeroCardinality { attr: 3 });
+    }
+
+    #[test]
+    fn try_map_ok_matches_sequential() {
+        for threads in [1, 2, 3, 16] {
+            let got = ExecPool::new(threads)
+                .try_map((0..33u32).collect(), |x| Ok(x + 1))
+                .unwrap();
+            assert_eq!(got, (1..=33).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold_for_associative_ops() {
+        // String concatenation is associative but not commutative, so any
+        // reordering would corrupt the result.
+        let words: Vec<String> = (0..57).map(|i| format!("{i},")).collect();
+        let expect = words.concat();
+        for threads in [1, 2, 5, 8] {
+            let got = ExecPool::new(threads)
+                .reduce(words.clone(), |a, b| a + &b)
+                .unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        assert_eq!(
+            ExecPool::new(4).reduce(Vec::<u32>::new(), |a, b| a + b),
+            None
+        );
+        assert_eq!(ExecPool::new(4).reduce(vec![9u32], |a, b| a + b), Some(9));
+    }
+
+    #[test]
+    fn reduce_performs_exactly_n_minus_one_combines() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for (n, threads) in [(1usize, 4usize), (2, 4), (7, 3), (64, 8), (65, 8)] {
+            let combines = AtomicUsize::new(0);
+            ExecPool::new(threads).reduce((0..n as u64).collect(), |a, b| {
+                combines.fetch_add(1, Ordering::Relaxed);
+                a + b
+            });
+            assert_eq!(
+                combines.load(Ordering::Relaxed),
+                n - 1,
+                "n={n} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_in_order() {
+        for (n, parts) in [(0usize, 4usize), (1, 4), (5, 2), (64, 8), (65, 8), (7, 100)] {
+            let ranges = partition(n, parts);
+            assert!(ranges.len() <= parts.max(1));
+            let flat: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+            assert_eq!(flat, (0..n).collect::<Vec<usize>>(), "n={n} parts={parts}");
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn thread_override_beats_environment() {
+        // NB: set_threads is process-global; restore the unset marker so
+        // parallel-running tests that read configured_threads() only ever
+        // see a positive degree (any positive value is valid for them).
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        set_threads(0); // clamps to 1
+        assert_eq!(configured_threads(), 1);
+        assert!(default_threads() >= 1);
+        assert!(ExecPool::current().threads() >= 1);
+        assert_eq!(ExecPool::default().threads(), ExecPool::current().threads());
     }
 }

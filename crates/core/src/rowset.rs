@@ -44,6 +44,26 @@ impl RowSet {
         }
     }
 
+    /// Concatenates partial results from a row-range–partitioned scan:
+    /// `parts[i]`'s rows must all precede `parts[i+1]`'s (workers scan
+    /// disjoint, ascending row ranges, so their partial `RowSet`s already
+    /// arrive in global order and a straight concatenation is the merge).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the parts are not in strictly ascending
+    /// order overall.
+    pub fn concat_sorted(parts: impl IntoIterator<Item = RowSet>) -> RowSet {
+        let mut rows: Vec<u32> = Vec::new();
+        for part in parts {
+            debug_assert!(
+                rows.is_empty() || part.rows.is_empty() || rows.last() < part.rows.first(),
+                "parts must be in ascending row order"
+            );
+            rows.extend_from_slice(&part.rows);
+        }
+        RowSet::from_sorted(rows)
+    }
+
     /// Number of rows in the set.
     #[inline]
     pub fn len(&self) -> usize {
@@ -229,5 +249,19 @@ mod tests {
     fn from_iterator() {
         let s: RowSet = [5u32, 1, 5].into_iter().collect();
         assert_eq!(s.rows(), &[1, 5]);
+    }
+
+    #[test]
+    fn concat_sorted_merges_partition_parts() {
+        let parts = vec![rs(&[0, 2]), RowSet::new(), rs(&[5, 7]), rs(&[9])];
+        assert_eq!(RowSet::concat_sorted(parts).rows(), &[0, 2, 5, 7, 9]);
+        assert_eq!(RowSet::concat_sorted(Vec::new()), RowSet::new());
+        // Equivalent to union over disjoint ascending parts.
+        let a = rs(&[1, 3]);
+        let b = rs(&[6, 8]);
+        assert_eq!(
+            RowSet::concat_sorted(vec![a.clone(), b.clone()]),
+            a.union(&b)
+        );
     }
 }

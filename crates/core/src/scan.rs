@@ -4,6 +4,7 @@
 //! [`execute`]: for any dataset and query, an index's result must equal the
 //! scan's result exactly (the paper's techniques are exact, not approximate).
 
+use crate::parallel::{partition, ExecPool};
 use crate::{Dataset, MissingPolicy, RangeQuery, RowSet};
 
 /// Evaluates `query` over `dataset` by scanning every record.
@@ -12,7 +13,18 @@ use crate::{Dataset, MissingPolicy, RangeQuery, RowSet};
 /// is both faster than row-at-a-time and mirrors how the columnar indexes
 /// decompose the query.
 pub fn execute(dataset: &Dataset, query: &RangeQuery) -> RowSet {
-    let n = dataset.n_rows() as u32;
+    execute_range(dataset, query, 0..dataset.n_rows())
+}
+
+/// Evaluates `query` over the row slice `rows` of `dataset` — one worker's
+/// share of a partitioned scan. `execute(d, q)` is exactly
+/// `execute_range(d, q, 0..n)`, and concatenating the results of disjoint
+/// ascending ranges reproduces the full scan.
+pub fn execute_range(
+    dataset: &Dataset,
+    query: &RangeQuery,
+    rows: std::ops::Range<usize>,
+) -> RowSet {
     let policy = query.policy();
     let mut survivors: Option<Vec<u32>> = None;
     for p in query.predicates() {
@@ -20,7 +32,7 @@ pub fn execute(dataset: &Dataset, query: &RangeQuery) -> RowSet {
         let raw = col.raw();
         let iv = p.interval;
         let next = match survivors.take() {
-            None => (0..n)
+            None => (rows.start as u32..rows.end as u32)
                 .filter(|&r| cell_ok(raw[r as usize], iv.lo, iv.hi, policy))
                 .collect(),
             Some(prev) => prev
@@ -31,9 +43,25 @@ pub fn execute(dataset: &Dataset, query: &RangeQuery) -> RowSet {
         survivors = Some(next);
     }
     match survivors {
-        None => RowSet::all(n), // empty search key matches everything
-        Some(rows) => RowSet::from_sorted(rows),
+        // Empty search key matches everything in the slice.
+        None => RowSet::from_sorted((rows.start as u32..rows.end as u32).collect()),
+        Some(out) => RowSet::from_sorted(out),
     }
+}
+
+/// Evaluates `query` with a row-range–partitioned parallel scan: the rows
+/// are split into up to `threads` contiguous slices, each worker runs
+/// [`execute_range`] on its slice, and the ordered partial results are
+/// concatenated. Bit-identical to [`execute`] for any thread count.
+pub fn execute_partitioned(dataset: &Dataset, query: &RangeQuery, threads: usize) -> RowSet {
+    let n = dataset.n_rows();
+    if threads <= 1 || n < 2 {
+        return execute(dataset, query);
+    }
+    let parts = ExecPool::new(threads).map(partition(n, threads), |range| {
+        execute_range(dataset, query, range)
+    });
+    RowSet::concat_sorted(parts)
 }
 
 /// Thin adapter over [`MissingPolicy::cell_matches`] — the single semantic
@@ -135,5 +163,43 @@ mod tests {
         let d = data();
         let q = RangeQuery::new(vec![Predicate::point(1, 9)], MissingPolicy::IsNotMatch).unwrap();
         assert_eq!(execute(&d, &q).rows(), &[5]);
+    }
+
+    #[test]
+    fn partitioned_scan_is_bit_identical_to_sequential() {
+        let d = data();
+        for policy in MissingPolicy::ALL {
+            for lo in 1..=10u16 {
+                for hi in lo..=10u16 {
+                    let q = RangeQuery::new(
+                        vec![Predicate::range(0, lo, hi), Predicate::range(1, 1, 7)],
+                        policy,
+                    )
+                    .unwrap();
+                    let seq = execute(&d, &q);
+                    for threads in [1, 2, 3, 8] {
+                        assert_eq!(
+                            execute_partitioned(&d, &q, threads),
+                            seq,
+                            "{policy} [{lo},{hi}] t={threads}"
+                        );
+                    }
+                }
+            }
+        }
+        // Empty search key: every slice contributes its full range.
+        let q = RangeQuery::new(vec![], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(execute_partitioned(&d, &q, 4), RowSet::all(6));
+    }
+
+    #[test]
+    fn execute_range_covers_slices() {
+        let d = data();
+        let q = RangeQuery::new(vec![Predicate::range(0, 4, 6)], MissingPolicy::IsMatch).unwrap();
+        let full = execute(&d, &q);
+        let left = execute_range(&d, &q, 0..3);
+        let right = execute_range(&d, &q, 3..6);
+        assert_eq!(RowSet::concat_sorted(vec![left, right]), full);
+        assert_eq!(execute_range(&d, &q, 2..2), RowSet::new());
     }
 }

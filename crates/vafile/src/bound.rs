@@ -86,6 +86,15 @@ impl AccessMethod for BoundVaFile {
         self.file.execute_with_cost(&self.base, query)
     }
 
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        self.file
+            .execute_with_cost_threads(&self.base, query, threads)
+    }
+
     fn size_bytes(&self) -> usize {
         self.file.size_bytes()
     }
@@ -102,6 +111,15 @@ impl AccessMethod for BoundVaPlusFile {
 
     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
         self.file.execute_with_cost(&self.base, query)
+    }
+
+    fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        self.file
+            .execute_with_cost_threads(&self.base, query, threads)
     }
 
     fn size_bytes(&self) -> usize {

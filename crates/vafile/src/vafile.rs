@@ -1,6 +1,7 @@
 //! The VA-file index with missing-data support (§4.5).
 
 use crate::{PackedMatrix, Quantizer};
+use ibis_core::parallel::{partition, ExecPool};
 use ibis_core::{Dataset, MissingPolicy, RangeQuery, Result, RowSet};
 
 /// Per-attribute layout inside the packed approximation file.
@@ -169,27 +170,59 @@ impl VaFile {
         dataset: &Dataset,
         query: &RangeQuery,
     ) -> Result<(RowSet, VaCost)> {
+        self.execute_with_cost_threads(dataset, query, 1)
+    }
+
+    /// Executes a query with a row-range–partitioned parallel filter scan:
+    /// up to `threads` workers each run the filter + refinement loop over a
+    /// contiguous row slice, and the ordered partial results are
+    /// concatenated. Rows and counters are identical to the sequential run
+    /// for any thread count — every counter is a per-row sum, and the word
+    /// total is derived once from the merged bit/refinement totals (summing
+    /// per-partition `div_ceil`s would over-count).
+    pub fn execute_with_cost_threads(
+        &self,
+        dataset: &Dataset,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, VaCost)> {
         query.validate_schema(self.attrs.len(), |a| self.attrs[a].cardinality)?;
         assert_eq!(
             dataset.n_rows(),
             self.n_rows(),
             "dataset/index row mismatch"
         );
-        let policy = query.policy();
-        let mut cost = VaCost::default();
+        let plans = self.plan_predicates(query);
+        let n = self.n_rows();
+        let (parts, mut cost, bits_read) = if threads <= 1 || n < 2 {
+            let (out, cost, bits) = self.scan_range(dataset, query, &plans, 0..n);
+            (vec![out], cost, bits)
+        } else {
+            let partials = ExecPool::new(threads).map(partition(n, threads), |range| {
+                self.scan_range(dataset, query, &plans, range)
+            });
+            let mut cost = VaCost::default();
+            let mut bits_read = 0usize;
+            let mut parts = Vec::with_capacity(partials.len());
+            for (out, c, bits) in partials {
+                cost.merge(c);
+                bits_read += bits;
+                parts.push(out);
+            }
+            (parts, cost, bits_read)
+        };
+        // Common work currency: approximation bits scanned plus the 16-bit
+        // cells fetched during refinement, in 64-bit words.
+        cost.words_processed =
+            (bits_read + cost.rows_refined * query.dimensionality() * 16).div_ceil(64);
+        let rows = RowSet::concat_sorted(parts.into_iter().map(RowSet::from_sorted));
+        Ok((rows, cost))
+    }
 
-        // Per-predicate bin intervals: VA(v1) ..= VA(v2), plus whether each
-        // boundary bin is exact (fully inside the value interval).
-        struct Plan {
-            offset: usize,
-            bits: usize,
-            b1: u16,
-            b2: u16,
-            /// Candidate rows in these bins need refinement.
-            needs_refine_low: bool,
-            needs_refine_high: bool,
-        }
-        let plans: Vec<Plan> = query
+    /// Per-predicate bin intervals: VA(v1) ..= VA(v2), plus whether each
+    /// boundary bin is exact (fully inside the value interval).
+    fn plan_predicates(&self, query: &RangeQuery) -> Vec<Plan> {
+        query
             .predicates()
             .iter()
             .map(|p| {
@@ -207,13 +240,27 @@ impl VaFile {
                     needs_refine_high: !a.quantizer.bin_inside(b2, p.interval.lo, p.interval.hi),
                 }
             })
-            .collect();
+            .collect()
+    }
 
+    /// One worker's share of the filter scan: filter + refinement over the
+    /// row slice `rows`, returning matching ids, this slice's counters
+    /// (`words_processed` left unset — the caller derives it from merged
+    /// totals), and the approximation bits scanned.
+    fn scan_range(
+        &self,
+        dataset: &Dataset,
+        query: &RangeQuery,
+        plans: &[Plan],
+        rows: std::ops::Range<usize>,
+    ) -> (Vec<u32>, VaCost, usize) {
+        let policy = query.policy();
+        let mut cost = VaCost::default();
         let mut out = Vec::new();
         let mut bits_read = 0usize;
-        'rows: for row in 0..self.n_rows() {
+        'rows: for row in rows {
             let mut boundary = false;
-            for plan in &plans {
+            for plan in plans {
                 cost.approx_fields_read += 1;
                 bits_read += plan.bits;
                 let code = self.packed.get(row, plan.offset, plan.bits);
@@ -247,12 +294,20 @@ impl VaFile {
                 out.push(row as u32);
             }
         }
-        // Common work currency: approximation bits scanned plus the 16-bit
-        // cells fetched during refinement, in 64-bit words.
-        cost.words_processed =
-            (bits_read + cost.rows_refined * query.dimensionality() * 16).div_ceil(64);
-        Ok((RowSet::from_sorted(out), cost))
+        (out, cost, bits_read)
     }
+}
+
+/// One predicate's compiled filter step: its field location in the packed
+/// matrix and its bin interval (see [`VaFile::plan_predicates`]).
+struct Plan {
+    offset: usize,
+    bits: usize,
+    b1: u16,
+    b2: u16,
+    /// Candidate rows in these bins need refinement.
+    needs_refine_low: bool,
+    needs_refine_high: bool,
 }
 
 impl VaFile {
@@ -487,6 +542,33 @@ mod tests {
         assert!(va.execute(&d, &q).is_err());
         let q = RangeQuery::new(vec![Predicate::point(0, 7)], MissingPolicy::IsMatch).unwrap();
         assert!(va.execute(&d, &q).is_err());
+    }
+
+    #[test]
+    fn partitioned_scan_matches_sequential_rows_and_cost() {
+        // Lossy codes so the partitioned path exercises refinement and the
+        // word total mixes bits scanned with cells fetched.
+        let d = Dataset::new(vec![
+            Column::from_raw("a", 50, (0..100).map(|i| (i % 51) as u16).collect()).unwrap(),
+            Column::from_raw("b", 20, (0..100).map(|i| ((i * 7) % 21) as u16).collect()).unwrap(),
+        ])
+        .unwrap();
+        let va = VaFile::with_bits(&d, &[3, 2]);
+        for policy in MissingPolicy::ALL {
+            let q = RangeQuery::new(
+                vec![Predicate::range(0, 10, 30), Predicate::range(1, 5, 15)],
+                policy,
+            )
+            .unwrap();
+            let seq = va.execute_with_cost(&d, &q).unwrap();
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    va.execute_with_cost_threads(&d, &q, threads).unwrap(),
+                    seq,
+                    "{policy} t={threads}"
+                );
+            }
+        }
     }
 
     #[test]

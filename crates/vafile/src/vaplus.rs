@@ -83,6 +83,18 @@ impl VaPlusFile {
         self.inner.execute_with_cost(dataset, query)
     }
 
+    /// Executes a query with a partitioned parallel filter scan; see
+    /// [`VaFile::execute_with_cost_threads`].
+    pub fn execute_with_cost_threads(
+        &self,
+        dataset: &Dataset,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, VaCost)> {
+        self.inner
+            .execute_with_cost_threads(dataset, query, threads)
+    }
+
     /// Serializes the file. The format is identical to [`VaFile`]'s — the
     /// lookup tables already carry the equi-depth boundaries.
     pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {

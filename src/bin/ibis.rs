@@ -65,10 +65,13 @@ commands:
   index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
       build and save an index (va ignores --backend)
   query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
+        [--threads N]
       run a textual query (e.g. \"age between 2 and 5 and q5 = 1\");
-      uses a saved index when given, otherwise scans
-  race FILE [--queries N] [--k K] [--seed S]
-      time BEE/BRE/VA on a generated workload over FILE
+      uses a saved index when given, otherwise scans; --threads sets the
+      parallel degree (default: IBIS_THREADS or the machine's cores)
+  race FILE [--queries N] [--k K] [--seed S] [--threads N]
+      time BEE/BRE/VA on a generated workload over FILE at the given
+      parallel degree
 ";
 
 /// Pulls `--name value` out of `args`; returns the remaining positionals.
@@ -111,6 +114,21 @@ fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
     Dataset::load(path).map_err(|e| format!("cannot load dataset {path:?}: {e}"))
+}
+
+/// `--threads N` if given (must be ≥ 1), else the configured degree
+/// (`IBIS_THREADS` or the machine default).
+fn parse_threads(flags: &std::collections::BTreeMap<String, String>) -> Result<usize, String> {
+    match flags.get("threads") {
+        Some(s) => {
+            let n: usize = num(s, "thread count")?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(n)
+        }
+        None => Ok(ibis::core::parallel::configured_threads()),
+    }
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
@@ -385,11 +403,12 @@ fn query(args: &[String]) -> Result<(), String> {
         None => parse_query(&d, text, policy),
     }
     .map_err(|e| e.to_string())?;
+    let threads = parse_threads(&flags)?;
     let rows = match flags.get("index") {
         Some(idx) => load_access_method(idx, &d)?
-            .execute(&q)
+            .execute_threads(&q, threads)
             .map_err(|e| e.to_string())?,
-        None => ibis::core::scan::execute(&d, &q),
+        None => ibis::core::scan::execute_partitioned(&d, &q, threads),
     };
     println!(
         "{} rows match under {policy} (selectivity {:.3}%)",
@@ -444,6 +463,7 @@ fn race(args: &[String]) -> Result<(), String> {
         candidate_attrs: vec![],
     };
     let queries = workload(&d, &spec, seed);
+    let threads = parse_threads(&flags)?;
     let d = Arc::new(d);
     // The contenders, all through the one engine-layer trait (the scan
     // rides along as the index-free baseline).
@@ -454,7 +474,7 @@ fn race(args: &[String]) -> Result<(), String> {
         Box::new(SequentialScan.bind(Arc::clone(&d))),
     ];
     println!(
-        "{n} queries, k={k}, missing-is-match over {} rows:",
+        "{n} queries, k={k}, missing-is-match, {threads} thread(s) over {} rows:",
         d.n_rows()
     );
     let mut hit_totals = Vec::new();
@@ -462,7 +482,11 @@ fn race(args: &[String]) -> Result<(), String> {
         let start = std::time::Instant::now();
         let hits: usize = queries
             .iter()
-            .map(|q| m.execute(q).expect("valid workload query").len())
+            .map(|q| {
+                m.execute_threads(q, threads)
+                    .expect("valid workload query")
+                    .len()
+            })
             .sum();
         let ms = start.elapsed().as_secs_f64() * 1e3;
         hit_totals.push(hits);
@@ -538,13 +562,29 @@ mod tests {
         run(&[
             s("query"),
             data.clone(),
-            text,
+            text.clone(),
             s("--index"),
             idx,
             s("--not-match"),
+            s("--threads"),
+            s("2"),
         ])
         .unwrap();
-        run(&[s("race"), data, s("--queries"), s("5"), s("--k"), s("2")]).unwrap();
+        assert!(
+            run(&[s("query"), data.clone(), text, s("--threads"), s("0")]).is_err(),
+            "zero threads rejected"
+        );
+        run(&[
+            s("race"),
+            data,
+            s("--queries"),
+            s("5"),
+            s("--k"),
+            s("2"),
+            s("--threads"),
+            s("2"),
+        ])
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -130,6 +130,10 @@ pub struct Plan {
     /// Histogram-based estimate of matching base rows (independence
     /// assumption across attributes; exact for one-attribute keys).
     pub estimated_rows: f64,
+    /// Worker threads the executor will use for this query (the configured
+    /// degree: `set_threads` override, else `IBIS_THREADS`, else the
+    /// machine default). Results are identical for any value.
+    pub parallelism: usize,
 }
 
 /// An incomplete relation with maintained indexes and an append delta.
@@ -360,18 +364,26 @@ impl IncompleteDb {
             candidates,
             delta_rows: self.delta.len(),
             estimated_rows: self.estimate_rows(query),
+            parallelism: ibis_core::parallel::configured_threads(),
         })
     }
 
-    /// Executes a query over base + delta, via the planned access method.
+    /// Executes a query over base + delta, via the planned access method,
+    /// at the configured parallelism degree.
     pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        self.execute_threads(query, ibis_core::parallel::configured_threads())
+    }
+
+    /// [`Self::execute`] with an explicit intra-query parallelism degree.
+    /// The answer is identical for any `threads`.
+    pub fn execute_threads(&self, query: &RangeQuery, threads: usize) -> Result<RowSet> {
         let plan = self.explain(query)?;
         let method = self
             .methods
             .iter()
             .find(|m| m.name() == plan.chosen)
             .expect("chosen from this registry");
-        let base_rows = method.execute(query)?;
+        let base_rows = method.execute_threads(query, threads)?;
         // Delta rows are scanned with the semantic definition directly.
         let offset = self.base.n_rows() as u32;
         let policy = query.policy();
@@ -395,15 +407,25 @@ impl IncompleteDb {
     }
 
     /// Executes a batch of queries, planning each independently and fanning
-    /// the work out across threads (delta and tombstone merging included).
+    /// the work out across the configured worker pool (delta and tombstone
+    /// merging included). A panic on any worker surfaces as
+    /// [`ibis_core::Error::WorkerPanicked`] instead of aborting.
     pub fn execute_batch(&self, queries: &[RangeQuery]) -> Result<Vec<RowSet>> {
-        ibis_core::parallel::parallel_map(
-            queries.to_vec(),
-            ibis_core::parallel::default_threads(),
-            |q| self.execute(&q),
-        )
-        .into_iter()
-        .collect()
+        self.execute_batch_threads(queries, ibis_core::parallel::configured_threads())
+    }
+
+    /// [`Self::execute_batch`] with an explicit fan-out degree. Queries run
+    /// whole (planning included) on the pool's workers; results come back
+    /// in input order regardless of `threads`. Each worker runs its query
+    /// sequentially — the batch itself is the parallelism, so fanning out
+    /// again inside each query would only oversubscribe the pool.
+    pub fn execute_batch_threads(
+        &self,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> Result<Vec<RowSet>> {
+        ibis_core::parallel::ExecPool::new(threads)
+            .try_map(queries.to_vec(), |q| self.execute_threads(&q, 1))
     }
 
     /// Counts matching rows.
@@ -558,6 +580,48 @@ mod tests {
         let queries = workload(&data, &spec, 409);
         let sequential: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
         assert_eq!(d.execute_batch(&queries).unwrap(), sequential);
+    }
+
+    #[test]
+    fn plan_reports_parallelism_and_answers_are_degree_independent() {
+        let data = census_scaled(300, 411);
+        let mut d = IncompleteDb::new(data.clone());
+        d.insert(&vec![m(); data.n_attrs()]).unwrap();
+        d.delete(0);
+        let q = RangeQuery::new(
+            vec![Predicate::range(0, 1, 2), Predicate::range(1, 1, 3)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        let plan = d.explain(&q).unwrap();
+        assert!(plan.parallelism >= 1);
+        let seq = d.execute_threads(&q, 1).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(d.execute_threads(&q, threads).unwrap(), seq, "t={threads}");
+        }
+        assert_eq!(d.execute(&q).unwrap(), seq);
+    }
+
+    #[test]
+    fn execute_batch_threads_matches_at_any_degree() {
+        let data = census_scaled(200, 412);
+        let d = IncompleteDb::new(data.clone());
+        let spec = QuerySpec {
+            n_queries: 9,
+            k: 2,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsNotMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&data, &spec, 413);
+        let sequential: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                d.execute_batch_threads(&queries, threads).unwrap(),
+                sequential,
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

@@ -119,13 +119,35 @@ fn conformance_pass(d: &Arc<Dataset>, ctx: &str, seed: u64) {
                     "{} count {policy} q{qi} ({ctx})",
                     m.name()
                 );
+                // Parallel execution is an implementation detail: for every
+                // degree, both the rows AND the merged work counters must be
+                // bit-identical to the sequential run.
+                let (seq_rows, seq_cost) = m.execute_with_cost(q).unwrap();
+                for threads in [2usize, 8] {
+                    let (par_rows, par_cost) = m.execute_with_cost_threads(q, threads).unwrap();
+                    assert_eq!(
+                        par_rows,
+                        seq_rows,
+                        "{} rows diverge at t={threads} {policy} q{qi} ({ctx})",
+                        m.name()
+                    );
+                    assert_eq!(
+                        par_cost,
+                        seq_cost,
+                        "{} counters diverge at t={threads} {policy} q{qi} ({ctx})",
+                        m.name()
+                    );
+                }
             }
-            // Batch execution must agree with the sequential loop.
+            // Batch execution must agree with the sequential loop, at the
+            // default and at an explicit fan-out degree.
             if queries.iter().all(|q| m.supports(q)) {
-                let batch = m.execute_batch(&queries).unwrap();
                 let sequential: Vec<RowSet> =
                     queries.iter().map(|q| m.execute(q).unwrap()).collect();
+                let batch = m.execute_batch(&queries).unwrap();
                 assert_eq!(batch, sequential, "{} batch ({ctx})", m.name());
+                let fanned = m.execute_batch_threads(&queries, 4).unwrap();
+                assert_eq!(fanned, sequential, "{} batch t=4 ({ctx})", m.name());
             }
         }
     }

@@ -9,7 +9,13 @@
 //! prints mean wall-clock time per iteration — no statistics, outlier
 //! analysis, or HTML reports. Good enough for the relative comparisons the
 //! benches here are read for, and it keeps `cargo bench` runnable offline.
+//!
+//! Like real criterion, passing `--test` on the command line (e.g.
+//! `cargo bench --bench query_batch -- --test`) runs every benchmark body
+//! exactly once without timing — the smoke mode CI uses to keep the benches
+//! compiling and panic-free without paying for measurement.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -156,7 +162,23 @@ impl Bencher {
     }
 }
 
+/// `true` when the process was invoked with `--test` (criterion's smoke
+/// mode): run each benchmark once, skip timing output.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    if test_mode() {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{label:<50} (test mode: 1 iter, untimed)");
+        return;
+    }
     let mut b = Bencher {
         iterations: sample_size as u64,
         elapsed: Duration::ZERO,

@@ -336,7 +336,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize`, `a..b`,
+    /// Length specifications accepted by [`vec`](fn@vec): a fixed `usize`, `a..b`,
     /// or `a..=b`.
     pub trait SizeBounds {
         /// Inclusive `(min, max)` length bounds.
@@ -362,7 +362,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec`](fn@vec).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
