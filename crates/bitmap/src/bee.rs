@@ -322,7 +322,10 @@ impl<B: BitStore> EqualityBitmapIndex<B> {
                     "value-bitmap count disagrees with cardinality",
                 ));
             }
-            let mut values = Vec::with_capacity(n_values);
+            // Validated against the u16 cardinality above, but keep the
+            // preallocation capped so a corrupt header can never trigger an
+            // unbounded reservation (same guard as `BitVec64::read_from`).
+            let mut values = Vec::with_capacity(n_values.min(1 << 16));
             for _ in 0..n_values {
                 values.push(B::read_from(r)?);
             }

@@ -333,7 +333,10 @@ impl<B: BitStore> IntervalBitmapIndex<B> {
                     "window count disagrees with cardinality",
                 ));
             }
-            let mut windows = Vec::with_capacity(n_windows);
+            // Validated against the u16 cardinality above, but keep the
+            // preallocation capped so a corrupt header can never trigger an
+            // unbounded reservation (same guard as `BitVec64::read_from`).
+            let mut windows = Vec::with_capacity(n_windows.min(1 << 16));
             for _ in 0..n_windows {
                 let win = B::read_from(r)?;
                 if win.len() != n_rows {

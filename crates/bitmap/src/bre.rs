@@ -357,7 +357,10 @@ impl<B: BitStore> RangeBitmapIndex<B> {
                     "threshold-bitmap count disagrees with cardinality",
                 ));
             }
-            let mut thresholds = Vec::with_capacity(n_thresholds);
+            // Validated against the u16 cardinality above, but keep the
+            // preallocation capped so a corrupt header can never trigger an
+            // unbounded reservation (same guard as `BitVec64::read_from`).
+            let mut thresholds = Vec::with_capacity(n_thresholds.min(1 << 16));
             for _ in 0..n_thresholds {
                 let t = B::read_from(r)?;
                 if t.len() != n_rows {

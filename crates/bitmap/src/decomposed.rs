@@ -406,18 +406,31 @@ impl<B: BitStore> DecomposedBitmapIndex<B> {
             };
             let present = B::read_from(r)?;
             let n_components = read_len(r)?;
+            // Bound the count before any work proportional to it: a corrupt
+            // header can claim up to 2^64 components, and even a no-op loop
+            // of that length is a denial of service.
+            if n_components == 0 || n_components > 64 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "component count out of range",
+                ));
+            }
             // base^n_components must cover the domain without being absurd.
             let mut span = 1u64;
             for _ in 0..n_components {
                 span = span.saturating_mul(base as u64);
             }
-            if n_components == 0 || n_components > 64 || span < cardinality as u64 {
+            if span < cardinality as u64 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     "component count disagrees with base and cardinality",
                 ));
             }
-            let mut components = Vec::with_capacity(n_components);
+            // `n_components ≤ 64` and `len < 2^16` are validated above/below,
+            // but keep both preallocations capped so a corrupt header can
+            // never trigger an unbounded reservation (same guard as
+            // `BitVec64::read_from`).
+            let mut components = Vec::with_capacity(n_components.min(64));
             for _ in 0..n_components {
                 let len = read_len(r)?;
                 if len != base as usize - 1 {
@@ -426,7 +439,7 @@ impl<B: BitStore> DecomposedBitmapIndex<B> {
                         "threshold count disagrees with digit base",
                     ));
                 }
-                let mut comp = Vec::with_capacity(len);
+                let mut comp = Vec::with_capacity(len.min(1 << 16));
                 for _ in 0..len {
                     let t = B::read_from(r)?;
                     if t.len() != n_rows {

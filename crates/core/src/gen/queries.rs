@@ -87,7 +87,8 @@ pub fn workload(dataset: &Dataset, spec: &QuerySpec, seed: u64) -> Vec<RangeQuer
                 let lo = rng.gen_range(1..=(c - w + 1));
                 Predicate {
                     attr,
-                    interval: Interval::new(lo, lo + w - 1),
+                    interval: Interval::checked(lo, lo + w - 1)
+                        .expect("generated interval is within the domain"),
                 }
             })
             .collect();

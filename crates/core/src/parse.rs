@@ -292,13 +292,10 @@ impl<'a> Parser<'a> {
                 self.expect(Tok::And, "'and'")?;
                 let at = self.here();
                 let hi = check(at, self.expect_value(attr, "an upper bound")?)?;
-                if lo > hi {
-                    return Err(ParseError {
-                        position: at,
-                        message: format!("empty interval [{lo}, {hi}]"),
-                    });
-                }
-                Interval::new(lo, hi)
+                Interval::checked(lo, hi).ok_or(ParseError {
+                    position: at,
+                    message: format!("empty interval [{lo}, {hi}]"),
+                })?
             }
             Some(Tok::In) => {
                 self.expect(Tok::LBracket, "'['")?;
@@ -308,23 +305,22 @@ impl<'a> Parser<'a> {
                 let at = self.here();
                 let hi = check(at, self.expect_value(attr, "an upper bound")?)?;
                 self.expect(Tok::RBracket, "']'")?;
-                if lo > hi {
-                    return Err(ParseError {
-                        position: at,
-                        message: format!("empty interval [{lo}, {hi}]"),
-                    });
-                }
-                Interval::new(lo, hi)
+                Interval::checked(lo, hi).ok_or(ParseError {
+                    position: at,
+                    message: format!("empty interval [{lo}, {hi}]"),
+                })?
             }
             Some(Tok::Le) => {
                 let at = self.here();
                 let v = check(at, self.expect_value(attr, "a bound")?)?;
-                Interval::new(1, v)
+                // `check` guarantees 1 ≤ v ≤ c, so both prefix and suffix
+                // intervals pass the fallible constructor.
+                Interval::checked(1, v).expect("validated bound")
             }
             Some(Tok::Ge) => {
                 let at = self.here();
                 let v = check(at, self.expect_value(attr, "a bound")?)?;
-                Interval::new(v, c)
+                Interval::checked(v, c).expect("validated bound")
             }
             other => {
                 return Err(ParseError {

@@ -49,10 +49,25 @@ pub struct Interval {
 }
 
 impl Interval {
-    /// `lo ..= hi`.
+    /// `lo ..= hi`. The bounds are stored as given; use [`Interval::checked`]
+    /// to reject inverted bounds and the `0` missing sentinel at the source.
     #[inline]
     pub const fn new(lo: u16, hi: u16) -> Interval {
         Interval { lo, hi }
+    }
+
+    /// Fallible constructor: `None` if `lo` is `0` (0 is the in-band missing
+    /// sentinel in every encoding, never a domain value) or if `hi < lo`.
+    /// Parse and workload-generation paths build intervals through here, and
+    /// [`RangeQuery::new`] enforces the same rule, so no access method ever
+    /// sees an interval that collides with the sentinel.
+    #[inline]
+    pub const fn checked(lo: u16, hi: u16) -> Option<Interval> {
+        if lo == 0 || hi < lo {
+            None
+        } else {
+            Some(Interval { lo, hi })
+        }
     }
 
     /// The single-value interval `v ..= v` (a point predicate).
@@ -67,10 +82,20 @@ impl Interval {
         self.lo <= v && v <= self.hi
     }
 
-    /// Number of domain values covered.
+    /// Number of domain values covered; 0 for an empty (inverted) interval.
     #[inline]
     pub const fn width(self) -> u32 {
-        self.hi as u32 - self.lo as u32 + 1
+        if self.hi < self.lo {
+            0
+        } else {
+            self.hi as u32 - self.lo as u32 + 1
+        }
+    }
+
+    /// `true` if the interval covers no values (`hi < lo`).
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.hi < self.lo
     }
 
     /// `true` if this is a point predicate (`v1 == v2`).
@@ -80,8 +105,12 @@ impl Interval {
     }
 
     /// The paper's attribute selectivity `AS = (v2 − v1 + 1) / C` over a
-    /// domain of cardinality `cardinality`.
+    /// domain of cardinality `cardinality`. An empty interval or an empty
+    /// domain selects nothing: the result is 0, never NaN or infinite.
     pub fn attribute_selectivity(self, cardinality: u16) -> f64 {
+        if cardinality == 0 {
+            return 0.0;
+        }
         self.width() as f64 / cardinality as f64
     }
 }
@@ -133,7 +162,7 @@ impl RangeQuery {
             }
         }
         for p in &predicates {
-            if p.interval.lo == 0 || p.interval.lo > p.interval.hi {
+            if Interval::checked(p.interval.lo, p.interval.hi).is_none() {
                 return Err(Error::InvalidInterval {
                     attr: p.attr,
                     lo: p.interval.lo,
@@ -343,6 +372,38 @@ mod tests {
         assert!(iv.contains(3) && iv.contains(7) && !iv.contains(8) && !iv.contains(2));
         assert!((iv.attribute_selectivity(10) - 0.5).abs() < 1e-12);
         assert!(Interval::point(4).is_point());
+    }
+
+    #[test]
+    fn inverted_interval_is_empty_not_underflowing() {
+        // width() on an inverted interval used to underflow (debug panic);
+        // an empty interval now simply covers zero values.
+        let iv = Interval::new(7, 3);
+        assert_eq!(iv.width(), 0);
+        assert!(iv.is_empty());
+        assert!(!iv.contains(5));
+        assert_eq!(iv.attribute_selectivity(10), 0.0);
+        assert_eq!(Interval::new(u16::MAX, 0).width(), 0);
+        assert!(!Interval::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn checked_constructor_rejects_sentinel_and_inversion() {
+        assert_eq!(Interval::checked(1, 5), Some(Interval::new(1, 5)));
+        assert_eq!(Interval::checked(4, 4), Some(Interval::point(4)));
+        assert_eq!(Interval::checked(0, 5), None); // 0 is the missing sentinel
+        assert_eq!(Interval::checked(0, 0), None);
+        assert_eq!(Interval::checked(5, 4), None); // inverted
+        assert_eq!(
+            Interval::checked(u16::MAX, u16::MAX),
+            Some(Interval::point(u16::MAX))
+        );
+    }
+
+    #[test]
+    fn zero_cardinality_selectivity_is_zero() {
+        assert_eq!(Interval::new(1, 5).attribute_selectivity(0), 0.0);
+        assert_eq!(Interval::new(5, 1).attribute_selectivity(0), 0.0);
     }
 
     #[test]

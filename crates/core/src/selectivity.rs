@@ -54,11 +54,19 @@ pub fn global_selectivity_uniform(as_: f64, pm: f64, k: usize, policy: MissingPo
 /// this regime at 50% missing (its realized GS drops to 0.84%).
 pub fn attribute_selectivity_for(gs: f64, pm: f64, k: usize, policy: MissingPolicy) -> f64 {
     assert!(k > 0, "query dimensionality must be positive");
-    assert!((0.0..=1.0).contains(&pm), "missing rate must be in [0,1]");
-    assert!(
-        (0.0..=1.0).contains(&gs),
-        "global selectivity must be in [0,1]"
-    );
+    // Out-of-range and non-finite rates are clamped rather than asserted or
+    // propagated: a NaN here would otherwise flow through `powf` into every
+    // downstream width computation.
+    let pm = if pm.is_finite() {
+        pm.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let gs = if gs.is_finite() {
+        gs.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let per_attr = gs.powf(1.0 / k as f64);
     let as_ = match policy {
         MissingPolicy::IsMatch => {
@@ -79,7 +87,15 @@ pub fn attribute_selectivity_for(gs: f64, pm: f64, k: usize, policy: MissingPoli
 
 /// Maps an attribute selectivity onto a discrete interval width over a
 /// domain of cardinality `c`: `round(AS · C)` clamped to `1..=C`.
+///
+/// Degenerate inputs yield clamped values instead of panics or NaN: a
+/// zero-cardinality domain admits no interval (width 0 — `clamp(1, 0)` used
+/// to panic here), and a non-finite `AS` is treated as 0 (minimum width).
 pub fn interval_width(as_: f64, c: u16) -> u16 {
+    if c == 0 {
+        return 0;
+    }
+    let as_ = if as_.is_finite() { as_ } else { 0.0 };
     let w = (as_ * c as f64).round() as i64;
     w.clamp(1, c as i64) as u16
 }
@@ -168,5 +184,36 @@ mod tests {
     #[should_panic(expected = "dimensionality")]
     fn zero_dimensionality_rejected() {
         attribute_selectivity_for(0.01, 0.1, 0, MissingPolicy::IsMatch);
+    }
+
+    #[test]
+    fn zero_cardinality_width_is_zero() {
+        // clamp(1, 0) used to panic for c = 0.
+        assert_eq!(interval_width(0.5, 0), 0);
+        assert_eq!(interval_width(0.0, 0), 0);
+        assert_eq!(interval_width(f64::NAN, 0), 0);
+    }
+
+    #[test]
+    fn non_finite_selectivity_clamps_to_minimum_width() {
+        assert_eq!(interval_width(f64::NAN, 10), 1);
+        assert_eq!(interval_width(f64::INFINITY, 10), 1);
+        assert_eq!(interval_width(f64::NEG_INFINITY, 10), 1);
+        assert_eq!(interval_width(-3.0, 10), 1);
+    }
+
+    #[test]
+    fn degenerate_inversion_inputs_stay_sane() {
+        for policy in MissingPolicy::ALL {
+            // gs = 0: an unreachable target clamps to AS = 0 without NaN.
+            assert_eq!(attribute_selectivity_for(0.0, 0.3, 2, policy), 0.0);
+            // NaN / out-of-range inputs clamp instead of propagating.
+            for bad in [f64::NAN, -1.0, 2.0, f64::INFINITY] {
+                let a = attribute_selectivity_for(bad, 0.3, 2, policy);
+                assert!((0.0..=1.0).contains(&a), "gs={bad} → {a}");
+                let b = attribute_selectivity_for(0.01, bad, 2, policy);
+                assert!((0.0..=1.0).contains(&b), "pm={bad} → {b}");
+            }
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! The regression-corpus repro format: a minimized failing case as a small
+//! line-oriented text file, human-diffable and replayed forever by the
+//! tier-1 regression test.
+//!
+//! ```text
+//! ibis-oracle repro v1
+//! # failure: differential/bitmap-interval — answer diverges: ...
+//! attr a0 4
+//! attr a1 2
+//! row 1 0
+//! row 3 2
+//! query match 0:1..3 1:2..2
+//! query not-match
+//! ```
+//!
+//! `attr <name> <cardinality>` lines declare the schema in order; `row`
+//! lines list raw cells (`0` is the missing sentinel); `query` lines carry
+//! the policy and zero or more `attr:lo..hi` raw predicates — raw, so a
+//! repro can preserve a deliberately malformed key.
+
+use crate::check::Failure;
+use crate::gen::{Case, RawPred, RawQuery};
+use ibis_core::{Column, Dataset, MissingPolicy};
+
+/// Serializes a minimized case (plus the failure it reproduces, as a
+/// comment) into the repro text format.
+pub fn format_repro(case: &Case, failure: &Failure) -> String {
+    let mut out = String::from("ibis-oracle repro v1\n");
+    for line in format!("{} — {}", failure.check, failure.detail).lines() {
+        out.push_str("# failure: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for c in case.dataset.columns() {
+        out.push_str(&format!("attr {} {}\n", c.name(), c.cardinality()));
+    }
+    for r in 0..case.dataset.n_rows() {
+        out.push_str("row");
+        for c in case.dataset.columns() {
+            out.push_str(&format!(" {}", c.raw()[r]));
+        }
+        out.push('\n');
+    }
+    for q in &case.queries {
+        out.push_str("query ");
+        out.push_str(match q.policy {
+            MissingPolicy::IsMatch => "match",
+            MissingPolicy::IsNotMatch => "not-match",
+        });
+        for p in &q.preds {
+            out.push_str(&format!(" {}:{}..{}", p.attr, p.lo, p.hi));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the repro text format back into a runnable case.
+pub fn parse_repro(text: &str) -> Result<Case, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("ibis-oracle repro v1") => {}
+        other => return Err(format!("bad header line: {other:?}")),
+    }
+    let mut schema: Vec<(String, u16)> = Vec::new();
+    let mut rows: Vec<Vec<u16>> = Vec::new();
+    let mut queries: Vec<RawQuery> = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("attr") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: attr needs a name", ln + 2))?;
+                let card: u16 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad cardinality", ln + 2))?;
+                schema.push((name.to_string(), card));
+            }
+            Some("row") => {
+                let cells: Result<Vec<u16>, _> = parts.map(|s| s.parse::<u16>()).collect();
+                let cells = cells.map_err(|e| format!("line {}: bad cell: {e}", ln + 2))?;
+                if cells.len() != schema.len() {
+                    return Err(format!(
+                        "line {}: row has {} cells, schema has {} attrs",
+                        ln + 2,
+                        cells.len(),
+                        schema.len()
+                    ));
+                }
+                rows.push(cells);
+            }
+            Some("query") => {
+                let policy = match parts.next() {
+                    Some("match") => MissingPolicy::IsMatch,
+                    Some("not-match") => MissingPolicy::IsNotMatch,
+                    other => return Err(format!("line {}: bad policy {other:?}", ln + 2)),
+                };
+                let mut preds = Vec::new();
+                for tok in parts {
+                    let (attr, iv) = tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("line {}: bad predicate {tok:?}", ln + 2))?;
+                    let (lo, hi) = iv
+                        .split_once("..")
+                        .ok_or_else(|| format!("line {}: bad interval {iv:?}", ln + 2))?;
+                    preds.push(RawPred {
+                        attr: attr
+                            .parse()
+                            .map_err(|e| format!("line {}: bad attr: {e}", ln + 2))?,
+                        lo: lo
+                            .parse()
+                            .map_err(|e| format!("line {}: bad lo: {e}", ln + 2))?,
+                        hi: hi
+                            .parse()
+                            .map_err(|e| format!("line {}: bad hi: {e}", ln + 2))?,
+                    });
+                }
+                queries.push(RawQuery { policy, preds });
+            }
+            Some(other) => return Err(format!("line {}: unknown directive {other:?}", ln + 2)),
+            None => {}
+        }
+    }
+    if schema.is_empty() {
+        return Err("repro declares no attributes".to_string());
+    }
+    let columns: Result<Vec<Column>, String> = schema
+        .iter()
+        .enumerate()
+        .map(|(a, (name, card))| {
+            let raw: Vec<u16> = rows.iter().map(|r| r[a]).collect();
+            Column::from_raw(name.clone(), *card, raw).map_err(|e| format!("column {name}: {e}"))
+        })
+        .collect();
+    let dataset = Dataset::new(columns?).map_err(|e| format!("repro dataset is invalid: {e}"))?;
+    Ok(Case { dataset, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    fn dummy_failure() -> Failure {
+        Failure {
+            check: "differential/test".to_string(),
+            detail: "multi\nline detail".to_string(),
+        }
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        for idx in [0, 1, 2, 7] {
+            let case = gen_case(21, idx);
+            if case.dataset.n_attrs() == 0 {
+                continue;
+            }
+            let text = format_repro(&case, &dummy_failure());
+            let back = parse_repro(&text).expect("parse back");
+            assert_eq!(back.dataset, case.dataset, "dataset mismatch idx {idx}");
+            assert_eq!(back.queries, case.queries, "queries mismatch idx {idx}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_context() {
+        assert!(parse_repro("nope").is_err());
+        assert!(parse_repro("ibis-oracle repro v1\n").is_err()); // no attrs
+        assert!(parse_repro("ibis-oracle repro v1\nattr a0 4\nrow 1 2\n").is_err());
+        assert!(parse_repro("ibis-oracle repro v1\nattr a0 4\nquery maybe\n").is_err());
+        assert!(parse_repro("ibis-oracle repro v1\nattr a0 4\nquery match 0:1-2\n").is_err());
+    }
+
+    #[test]
+    fn raw_invalid_predicates_survive_the_roundtrip() {
+        // A repro preserving an inverted interval must come back inverted —
+        // that is the whole point of storing raw predicates.
+        let text = "ibis-oracle repro v1\nattr a0 4\nrow 2\nquery match 0:3..2\n";
+        let case = parse_repro(text).unwrap();
+        assert_eq!(case.queries[0].preds[0].lo, 3);
+        assert_eq!(case.queries[0].preds[0].hi, 2);
+        assert!(!case.queries[0].expect_constructible());
+    }
+}

@@ -1,0 +1,284 @@
+//! Seeded adversarial case generation.
+//!
+//! Each case is a dataset plus a handful of *raw* queries — raw because the
+//! oracle deliberately generates malformed search keys (inverted intervals,
+//! the `lo = 0` missing-sentinel collision, out-of-domain bounds, duplicate
+//! or out-of-range attributes) alongside well-formed ones, and asserts that
+//! the construction/validation layer rejects them with an error instead of
+//! panicking or mis-answering.
+
+use ibis_core::{Cell, Column, Dataset, MissingPolicy, Predicate, RangeQuery, Result};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One raw `attr: lo ..= hi` conjunct. Unlike [`Predicate`] inside a built
+/// query, nothing about it is guaranteed valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawPred {
+    /// Queried attribute index (possibly out of range).
+    pub attr: usize,
+    /// Lower bound (possibly 0 — the missing sentinel — or above `hi`).
+    pub lo: u16,
+    /// Upper bound (possibly outside the attribute's domain).
+    pub hi: u16,
+}
+
+/// A raw search key plus policy, before any validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawQuery {
+    /// Missing-data semantics to query under.
+    pub policy: MissingPolicy,
+    /// The conjuncts; empty means the paper's "empty search key".
+    pub preds: Vec<RawPred>,
+}
+
+impl RawQuery {
+    /// Attempts to build the real [`RangeQuery`]; the construction layer is
+    /// expected to reject invalid raw keys here.
+    pub fn to_query(&self) -> Result<RangeQuery> {
+        RangeQuery::new(
+            self.preds
+                .iter()
+                .map(|p| Predicate::range(p.attr, p.lo, p.hi))
+                .collect(),
+            self.policy,
+        )
+    }
+
+    /// Whether [`RangeQuery::new`] is *expected* to accept this key
+    /// (interval bounds well-formed and no duplicate attributes); mirrors
+    /// the documented contract so the oracle can detect drift.
+    pub fn expect_constructible(&self) -> bool {
+        let mut attrs: Vec<usize> = self.preds.iter().map(|p| p.attr).collect();
+        attrs.sort_unstable();
+        attrs.windows(2).all(|w| w[0] != w[1])
+            && self.preds.iter().all(|p| p.lo >= 1 && p.lo <= p.hi)
+    }
+}
+
+/// One oracle case: a dataset and the raw queries to drive through it.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// The (possibly degenerate) relation under test.
+    pub dataset: Dataset,
+    /// Raw queries, valid and adversarial alike.
+    pub queries: Vec<RawQuery>,
+}
+
+/// Row counts that straddle the compressed-bitmap group boundaries: WAH
+/// packs 31 bitmap bits per 32-bit word (31/62/992 = 1, 2, 32 groups) and
+/// the uncompressed store packs 64 per word. 0 and 1 cover the empty and
+/// singleton relations.
+const ROW_POOL: &[usize] = &[
+    0, 1, 2, 3, 5, 8, 30, 31, 32, 33, 61, 62, 63, 64, 65, 93, 96, 127, 128, 992,
+];
+
+/// Small domains, including the degenerate single-value domain.
+const SMALL_C_POOL: &[u16] = &[1, 1, 2, 3, 4, 5, 8, 16];
+
+/// Large domains, including the full `u16` range whose `C + 1` would
+/// overflow; exercised with few rows/attrs to keep index builds bounded.
+const BIG_C_POOL: &[u16] = &[255, 4096, 65535];
+
+fn pick<T: Copy>(rng: &mut StdRng, pool: &[T]) -> T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn pick_policy(rng: &mut StdRng) -> MissingPolicy {
+    if rng.gen_range(0..2) == 0 {
+        MissingPolicy::IsMatch
+    } else {
+        MissingPolicy::IsNotMatch
+    }
+}
+
+/// Deterministically generates case `idx` of the stream owned by `seed`.
+pub fn gen_case(seed: u64, idx: usize) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Every 13th case probes a large domain; those stay tiny in rows and
+    // attributes so the C-proportional index families build in bounded time.
+    let big_domain = idx % 13 == 7;
+    let (n_attrs, n_rows) = if big_domain {
+        (1 + idx % 2, pick(&mut rng, &[0usize, 1, 2, 3, 31]))
+    } else {
+        (rng.gen_range(1..=4), pick(&mut rng, ROW_POOL))
+    };
+    let columns: Vec<Column> = (0..n_attrs)
+        .map(|a| {
+            let c = if big_domain {
+                pick(&mut rng, BIG_C_POOL)
+            } else {
+                pick(&mut rng, SMALL_C_POOL)
+            };
+            // Missing profile: none / all / a random in-between rate.
+            let missing_rate = match rng.gen_range(0..5) {
+                0 => 0.0,
+                1 => 1.0,
+                _ => rng.gen_range(0.05..0.6),
+            };
+            let raw: Vec<u16> = (0..n_rows)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < missing_rate {
+                        0 // the in-band missing sentinel
+                    } else {
+                        rng.gen_range(1..=c)
+                    }
+                })
+                .collect();
+            Column::from_raw(format!("a{a}"), c, raw).expect("generated column is valid")
+        })
+        .collect();
+    let dataset = Dataset::new(columns).expect("generated dataset is valid");
+
+    let card = |attr: usize| dataset.column(attr).cardinality();
+    let valid_interval = |rng: &mut StdRng, c: u16| -> (u16, u16) {
+        let lo = rng.gen_range(1..=c);
+        (lo, rng.gen_range(lo..=c))
+    };
+
+    let mut queries = Vec::new();
+    // The empty search key (k = 0): matches every row under both policies.
+    queries.push(RawQuery {
+        policy: pick_policy(&mut rng),
+        preds: vec![],
+    });
+    // k = all attributes, random valid intervals.
+    queries.push(RawQuery {
+        policy: pick_policy(&mut rng),
+        preds: (0..n_attrs)
+            .map(|attr| {
+                let (lo, hi) = valid_interval(&mut rng, card(attr));
+                RawPred { attr, lo, hi }
+            })
+            .collect(),
+    });
+    // Boundary-touching single-attribute query: point at 1, point at C,
+    // full domain, prefix, or suffix.
+    {
+        let attr = rng.gen_range(0..n_attrs);
+        let c = card(attr);
+        let mid = 1 + (c - 1) / 2;
+        let (lo, hi) = match rng.gen_range(0..5) {
+            0 => (1, 1),
+            1 => (c, c),
+            2 => (1, c),
+            3 => (1, mid),
+            _ => (mid, c),
+        };
+        queries.push(RawQuery {
+            policy: pick_policy(&mut rng),
+            preds: vec![RawPred { attr, lo, hi }],
+        });
+    }
+    // A random valid key over a subset of attributes.
+    {
+        let k = rng.gen_range(1..=n_attrs);
+        queries.push(RawQuery {
+            policy: pick_policy(&mut rng),
+            preds: (0..k)
+                .map(|attr| {
+                    let (lo, hi) = valid_interval(&mut rng, card(attr));
+                    RawPred { attr, lo, hi }
+                })
+                .collect(),
+        });
+    }
+    // Half the cases add one deliberately malformed key; the oracle asserts
+    // it is rejected with an error (not a panic, not an answer).
+    if rng.gen_range(0..2) == 0 {
+        let attr = rng.gen_range(0..n_attrs);
+        let c = card(attr);
+        let preds = match rng.gen_range(0..5) {
+            // Inverted interval — the historical `width()` underflow.
+            0 => vec![RawPred {
+                attr,
+                lo: c,
+                hi: c.wrapping_sub(1), // (1, 0) when C = 1
+            }],
+            // lo = 0 collides with the in-band missing sentinel.
+            1 => vec![RawPred { attr, lo: 0, hi: c }],
+            // Upper bound outside the domain (schema-invalid); at C = 65535
+            // no such bound exists, so probe an out-of-range attribute.
+            2 => match c.checked_add(1) {
+                Some(hi) => vec![RawPred { attr, lo: 1, hi }],
+                None => vec![RawPred {
+                    attr: n_attrs,
+                    lo: 1,
+                    hi: 1,
+                }],
+            },
+            // Duplicate attribute.
+            3 => vec![
+                RawPred { attr, lo: 1, hi: c },
+                RawPred { attr, lo: 1, hi: 1 },
+            ],
+            // Attribute index out of range.
+            _ => vec![RawPred {
+                attr: n_attrs + rng.gen_range(0..3),
+                lo: 1,
+                hi: 1,
+            }],
+        };
+        queries.push(RawQuery {
+            policy: pick_policy(&mut rng),
+            preds,
+        });
+    }
+    Case { dataset, queries }
+}
+
+/// `true` if a cell is missing in `dataset[row][attr]` — helper shared by
+/// the bridge metamorphic check and the shrinker.
+pub(crate) fn cell_missing(dataset: &Dataset, row: u32, attr: usize) -> bool {
+    attr < dataset.n_attrs()
+        && Cell::from_raw(dataset.column(attr).raw()[row as usize]).is_missing()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case(7, 3);
+        let b = gen_case(7, 3);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn adversarial_shapes_appear_in_a_modest_stream() {
+        let mut saw_empty_relation = false;
+        let mut saw_card_one = false;
+        let mut saw_big_domain = false;
+        let mut saw_invalid_query = false;
+        let mut saw_wah_boundary = false;
+        for idx in 0..80 {
+            let case = gen_case(11, idx);
+            saw_empty_relation |= case.dataset.n_rows() == 0;
+            saw_card_one |=
+                (0..case.dataset.n_attrs()).any(|a| case.dataset.column(a).cardinality() == 1);
+            saw_big_domain |=
+                (0..case.dataset.n_attrs()).any(|a| case.dataset.column(a).cardinality() > 1000);
+            saw_invalid_query |= case.queries.iter().any(|q| !q.expect_constructible());
+            saw_wah_boundary |= [31, 62, 992].contains(&case.dataset.n_rows());
+        }
+        assert!(saw_empty_relation, "no empty relation generated");
+        assert!(saw_card_one, "no cardinality-1 column generated");
+        assert!(saw_big_domain, "no large domain generated");
+        assert!(saw_invalid_query, "no malformed query generated");
+        assert!(saw_wah_boundary, "no WAH-boundary row count generated");
+    }
+
+    #[test]
+    fn expect_constructible_matches_range_query_new() {
+        for idx in 0..40 {
+            for q in gen_case(13, idx).queries {
+                assert_eq!(
+                    q.to_query().is_ok(),
+                    q.expect_constructible(),
+                    "contract drift on {q:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! # ibis-oracle
+//!
+//! A seeded differential + metamorphic correctness oracle for every access
+//! method in the workspace.
+//!
+//! The paper's central claim is that all of its index families return the
+//! *same* answer set under both missing-data semantics — they differ only in
+//! cost. This crate turns that claim into an always-on adversarial test rig:
+//!
+//! * [`gen`] derives adversarial **datasets** (empty relation, one row,
+//!   cardinality 1 and 65535, all-missing/no-missing columns, row counts
+//!   straddling the 31-bit WAH group and 64-bit word boundaries) and
+//!   adversarial **queries** (point, full-domain, boundary-touching, empty
+//!   search key, all-attribute keys, plus deliberately malformed keys —
+//!   inverted intervals, the `lo = 0` missing-sentinel collision,
+//!   out-of-domain bounds, duplicate and out-of-range attributes) from a
+//!   seed, deterministically;
+//! * [`check`] executes each case through every registered
+//!   [`AccessMethod`](ibis_core::AccessMethod) over every bit-store backend,
+//!   at thread degrees {1, 3, 8}, after a persistence round-trip, and after
+//!   row-by-row append, asserting every answer equals the sequential-scan
+//!   ground truth — and verifies the metamorphic identities (interval
+//!   split, semantics bridge, row-permutation invariance). Malformed
+//!   queries must be *rejected with an error*, never panic, never
+//!   mis-answer;
+//! * [`shrink`] minimizes a failing case (rows, columns, queries,
+//!   predicates, interval bounds, cardinalities) while it still fails;
+//! * [`corpus`] serializes minimized repros into `tests/regressions/`,
+//!   where a tier-1 replay test re-runs them forever after.
+//!
+//! The [`run`] entry point drives the loop; the `ibis oracle` CLI
+//! subcommand wraps it:
+//!
+//! ```text
+//! cargo run -p ibis --bin ibis -- oracle --cases 500 --seed 1
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod corpus;
+pub mod gen;
+pub mod registry;
+pub mod shrink;
+
+pub use check::{CaseResult, Failure};
+pub use gen::{Case, RawPred, RawQuery};
+
+use std::path::PathBuf;
+
+/// Configuration for one oracle run.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Number of generated cases to execute.
+    pub cases: usize,
+    /// Master seed; the same `(seed, cases)` pair replays identically.
+    pub seed: u64,
+    /// Directory minimized repros are written to (`tests/regressions/` in
+    /// the CLI); `None` skips writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Stop after this many failing cases (each is shrunk and recorded).
+    pub max_failures: usize,
+    /// Budget of extra case executions the shrinker may spend per failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            cases: 200,
+            seed: 1,
+            corpus_dir: None,
+            max_failures: 3,
+            shrink_budget: 300,
+        }
+    }
+}
+
+/// One failing case, minimized.
+#[derive(Debug)]
+pub struct FoundBug {
+    /// Index of the generated case that failed.
+    pub case_idx: usize,
+    /// The first failure the minimized case still exhibits.
+    pub failure: Failure,
+    /// The minimized case itself.
+    pub minimized: Case,
+    /// Where the repro was written, when a corpus directory was configured.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Outcome of an oracle run.
+#[derive(Debug, Default)]
+pub struct OracleReport {
+    /// Cases executed (may stop early at `max_failures`).
+    pub cases_run: usize,
+    /// Individual assertions evaluated across all cases.
+    pub checks_run: u64,
+    /// Failing cases, minimized.
+    pub bugs: Vec<FoundBug>,
+}
+
+impl OracleReport {
+    /// `true` when every case passed every check.
+    pub fn ok(&self) -> bool {
+        self.bugs.is_empty()
+    }
+}
+
+/// Runs `cfg.cases` generated cases; on failure, shrinks to a minimal repro
+/// and (when configured) writes it to the corpus directory.
+///
+/// While the run is active the global panic hook is silenced: the checker
+/// converts panics into failures via `catch_unwind`, and the shrinker may
+/// re-trigger the same panic hundreds of times. The previous hook is
+/// restored on return.
+pub fn run(cfg: &OracleConfig) -> OracleReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_inner(cfg);
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+fn run_inner(cfg: &OracleConfig) -> OracleReport {
+    let mut report = OracleReport::default();
+    for idx in 0..cfg.cases {
+        let case = gen::gen_case(cfg.seed, idx);
+        let result = check::check_case(&case);
+        report.cases_run += 1;
+        report.checks_run += result.checks;
+        if result.failures.is_empty() {
+            continue;
+        }
+        let mut budget = cfg.shrink_budget;
+        let minimized = shrink::shrink(&case, &mut budget);
+        let failure = check::check_case(&minimized)
+            .failures
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| result.failures.into_iter().next().expect("case failed"));
+        let repro_path = cfg.corpus_dir.as_ref().and_then(|dir| {
+            let name = format!("oracle-{}-{idx}.repro", cfg.seed);
+            let path = dir.join(name);
+            let text = corpus::format_repro(&minimized, &failure);
+            std::fs::create_dir_all(dir).ok()?;
+            std::fs::write(&path, text).ok()?;
+            Some(path)
+        });
+        report.bugs.push(FoundBug {
+            case_idx: idx,
+            failure,
+            minimized,
+            repro_path,
+        });
+        if report.bugs.len() >= cfg.max_failures {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_clean_and_deterministic() {
+        let cfg = OracleConfig {
+            cases: 6,
+            seed: 99,
+            ..OracleConfig::default()
+        };
+        let a = run(&cfg);
+        assert!(a.ok(), "unexpected failures: {:?}", a.bugs);
+        let b = run(&cfg);
+        assert_eq!(a.checks_run, b.checks_run, "run is not deterministic");
+        assert!(a.checks_run > 0);
+    }
+}

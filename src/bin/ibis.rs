@@ -42,6 +42,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("race") => race(&args[1..]),
+        Some("oracle") => oracle(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -72,6 +73,12 @@ commands:
   race FILE [--queries N] [--k K] [--seed S] [--threads N]
       time BEE/BRE/VA on a generated workload over FILE at the given
       parallel degree
+  oracle [--cases N] [--seed S] [--corpus DIR] [--max-failures N]
+      run the differential + metamorphic correctness oracle: N generated
+      adversarial cases through every access method (all stores, thread
+      degrees 1/3/8, persistence round-trip, row appends) against the
+      scan ground truth; failing cases are shrunk to minimal repros in
+      DIR (default tests/regressions)
 ";
 
 /// Pulls `--name value` out of `args`; returns the remaining positionals.
@@ -503,6 +510,61 @@ fn race(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn oracle(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args);
+    let cfg = ibis::oracle::OracleConfig {
+        cases: flags
+            .get("cases")
+            .map_or(Ok(200), |s| num(s, "case count"))?,
+        seed: flags.get("seed").map_or(Ok(1), |s| num(s, "seed"))?,
+        corpus_dir: Some(
+            flags
+                .get("corpus")
+                .map_or_else(|| "tests/regressions".into(), std::path::PathBuf::from),
+        ),
+        max_failures: flags
+            .get("max-failures")
+            .map_or(Ok(3), |s| num(s, "failure cap"))?,
+        ..ibis::oracle::OracleConfig::default()
+    };
+    println!(
+        "oracle: {} cases, seed {}, repros → {}",
+        cfg.cases,
+        cfg.seed,
+        cfg.corpus_dir
+            .as_deref()
+            .unwrap_or_else(|| std::path::Path::new("-"))
+            .display()
+    );
+    let start = std::time::Instant::now();
+    let report = ibis::oracle::run(&cfg);
+    println!(
+        "ran {} cases / {} checks in {:.1}s",
+        report.cases_run,
+        report.checks_run,
+        start.elapsed().as_secs_f64()
+    );
+    if report.ok() {
+        println!("all checks passed");
+        return Ok(());
+    }
+    for bug in &report.bugs {
+        println!("FAILED case {}: {}", bug.case_idx, bug.failure.check);
+        println!("  {}", bug.failure.detail.lines().next().unwrap_or(""));
+        println!(
+            "  minimized to {} rows × {} attrs, {} queries{}",
+            bug.minimized.dataset.n_rows(),
+            bug.minimized.dataset.n_attrs(),
+            bug.minimized.queries.len(),
+            match &bug.repro_path {
+                Some(p) => format!(" — repro written to {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    Err(format!("{} failing case(s)", report.bugs.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +586,25 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&["frobnicate".to_string()]).is_err());
         assert!(run(&[]).is_ok()); // help
+    }
+
+    #[test]
+    fn oracle_subcommand_runs_a_small_clean_batch() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_oracle_{}", std::process::id()));
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("oracle"),
+            s("--cases"),
+            s("4"),
+            s("--seed"),
+            s("99"),
+            s("--corpus"),
+            dir.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        // A clean run writes nothing into the corpus directory.
+        assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`bitvec`] — uncompressed, WAH- and BBC-compressed bit vectors;
 //! * [`bitmap`] — the paper's BEE and BRE bitmap indexes;
 //! * [`vafile`] — the paper's VA-file and the VA+-file extension;
-//! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index.
+//! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index;
+//! * [`oracle`] — seeded differential + metamorphic correctness oracle over
+//!   every access method (see the `ibis oracle` CLI subcommand).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +69,7 @@ pub use ibis_baseline as baseline;
 pub use ibis_bitmap as bitmap;
 pub use ibis_bitvec as bitvec;
 pub use ibis_core as core;
+pub use ibis_oracle as oracle;
 pub use ibis_vafile as vafile;
 
 /// Commonly used items in one import.

@@ -6,37 +6,79 @@
 use ibis::core::gen::census_scaled;
 use ibis::prelude::*;
 use proptest::prelude::*;
+use std::sync::LazyLock;
+
+// Each helper's build (48-attr census dataset plus an index over it — the
+// interval index alone is ~C/2 window bitmaps per attribute) is far more
+// expensive than the read it feeds, and the proptest bodies run 128 times
+// per test; build each byte image once per process and hand out clones.
 
 fn dataset_bytes() -> Vec<u8> {
-    let d = census_scaled(60, 501);
-    let mut buf = Vec::new();
-    d.write_to(&mut buf).unwrap();
-    buf
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 501);
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        buf
+    });
+    BYTES.clone()
 }
 
 fn bee_bytes() -> Vec<u8> {
-    let d = census_scaled(60, 502);
-    let mut buf = Vec::new();
-    EqualityBitmapIndex::<Wah>::build(&d)
-        .write_to(&mut buf)
-        .unwrap();
-    buf
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 502);
+        let mut buf = Vec::new();
+        EqualityBitmapIndex::<Wah>::build(&d)
+            .write_to(&mut buf)
+            .unwrap();
+        buf
+    });
+    BYTES.clone()
 }
 
 fn bre_bytes() -> Vec<u8> {
-    let d = census_scaled(60, 503);
-    let mut buf = Vec::new();
-    RangeBitmapIndex::<Bbc>::build(&d)
-        .write_to(&mut buf)
-        .unwrap();
-    buf
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 503);
+        let mut buf = Vec::new();
+        RangeBitmapIndex::<Bbc>::build(&d)
+            .write_to(&mut buf)
+            .unwrap();
+        buf
+    });
+    BYTES.clone()
 }
 
 fn va_bytes() -> Vec<u8> {
-    let d = census_scaled(60, 504);
-    let mut buf = Vec::new();
-    VaFile::build(&d).write_to(&mut buf).unwrap();
-    buf
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 504);
+        let mut buf = Vec::new();
+        VaFile::build(&d).write_to(&mut buf).unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
+fn bie_bytes() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 505);
+        let mut buf = Vec::new();
+        IntervalBitmapIndex::<Wah>::build(&d)
+            .write_to(&mut buf)
+            .unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
+fn dec_bytes() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 506);
+        let mut buf = Vec::new();
+        DecomposedBitmapIndex::<Wah>::build(&d)
+            .write_to(&mut buf)
+            .unwrap();
+        buf
+    });
+    BYTES.clone()
 }
 
 proptest! {
@@ -79,6 +121,59 @@ proptest! {
         let i = pos % buf.len();
         buf[i] ^= byte;
         let _ = VaFile::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn mutated_bie_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = bie_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = IntervalBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn mutated_decomposed_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = dec_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = DecomposedBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn header_length_fields_never_cause_huge_preallocation(word in any::<u64>()) {
+        // Overwrite each reader's length-bearing header fields (row count,
+        // attr count, and the first per-attr count that drives the
+        // `Vec::with_capacity` at the top of the payload loop) with an
+        // arbitrary u64 — reads must fail cleanly without first reserving
+        // the claimed amount. Allocation-failure aborts would show up here
+        // as crashes under the default allocator once the claimed length
+        // exceeded memory; the capped readers never get that far.
+        let le = word.to_le_bytes();
+        for (make, sniff_len) in [
+            (dataset_bytes as fn() -> Vec<u8>, 6usize),
+            (bee_bytes, 6),
+            (bre_bytes, 6),
+            (bie_bytes, 6),
+            (dec_bytes, 6),
+            (va_bytes, 6),
+        ] {
+            let base = make();
+            // Length fields start right after magic(4)+version(2); also hit
+            // two later offsets that land inside per-attr length prefixes.
+            for off in [sniff_len, sniff_len + 8, sniff_len + 24] {
+                if off + 8 > base.len() {
+                    continue;
+                }
+                let mut buf = base.clone();
+                buf[off..off + 8].copy_from_slice(&le);
+                let _ = Dataset::read_from(&mut buf.as_slice());
+                let _ = EqualityBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+                let _ = RangeBitmapIndex::<Bbc>::read_from(&mut buf.as_slice());
+                let _ = IntervalBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+                let _ = DecomposedBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
+                let _ = VaFile::read_from(&mut buf.as_slice());
+            }
+        }
     }
 
     #[test]

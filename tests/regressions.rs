@@ -1,0 +1,77 @@
+//! Tier-1 replay of the oracle regression corpus: every minimized repro in
+//! `tests/regressions/` — each one a bug the oracle once found (or an
+//! adversarial shape kept as a standing guard) — is parsed and re-run
+//! through the full check battery. On a healthy tree every case passes
+//! every check; a reappearing bug fails here with the original context.
+
+use ibis::oracle::{check, corpus};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+fn repro_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/regressions exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_seeded() {
+    assert!(
+        repro_files().len() >= 5,
+        "regression corpus unexpectedly small: {:?}",
+        repro_files()
+    );
+}
+
+#[test]
+fn every_repro_parses() {
+    for path in repro_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        corpus::parse_repro(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn replay_regression_corpus() {
+    for path in repro_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = corpus::parse_repro(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let result = check::check_case(&case);
+        assert!(
+            result.failures.is_empty(),
+            "{} regressed: {} of {} checks failed; first: {} — {}",
+            path.display(),
+            result.failures.len(),
+            result.checks,
+            result.failures[0].check,
+            result.failures[0].detail
+        );
+    }
+}
+
+#[test]
+fn repro_serialization_roundtrips_on_the_corpus() {
+    // format_repro(parse_repro(x)) must preserve the case exactly, so a
+    // repro rewritten by a future oracle run stays byte-equivalent in
+    // content (comments aside).
+    for path in repro_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = corpus::parse_repro(&text).unwrap();
+        let failure = check::Failure {
+            check: "x".into(),
+            detail: "y".into(),
+        };
+        let rewritten = corpus::format_repro(&case, &failure);
+        let back = corpus::parse_repro(&rewritten).unwrap();
+        assert_eq!(back.dataset, case.dataset, "{}", path.display());
+        assert_eq!(back.queries, case.queries, "{}", path.display());
+    }
+}
