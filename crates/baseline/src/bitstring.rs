@@ -171,7 +171,10 @@ impl AccessMethod for BitstringAugmented {
     }
 
     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
-        BitstringAugmented::execute_with_cost(self, query)
+        let mut span = ibis_obs::span("bitstring.scan");
+        let (rows, cost) = BitstringAugmented::execute_with_cost(self, query)?;
+        cost.record_into(&mut span);
+        Ok((rows, cost))
     }
 
     fn size_bytes(&self) -> usize {

@@ -93,7 +93,10 @@ impl AccessMethod for Mosaic {
     }
 
     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
-        Mosaic::execute_with_cost(self, query)
+        let mut span = ibis_obs::span("mosaic.lookup");
+        let (rows, cost) = Mosaic::execute_with_cost(self, query)?;
+        cost.record_into(&mut span);
+        Ok((rows, cost))
     }
 
     fn size_bytes(&self) -> usize {

@@ -580,7 +580,10 @@ impl AccessMethod for RTreeIncomplete {
     }
 
     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
-        RTreeIncomplete::execute_with_cost(self, query)
+        let mut span = ibis_obs::span("rtree.descend");
+        let (rows, cost) = RTreeIncomplete::execute_with_cost(self, query)?;
+        cost.record_into(&mut span);
+        Ok((rows, cost))
     }
 
     fn size_bytes(&self) -> usize {

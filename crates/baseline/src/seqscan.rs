@@ -26,6 +26,7 @@ impl SequentialScan {
         dataset: &Dataset,
         query: &RangeQuery,
     ) -> Result<(RowSet, AccessStats)> {
+        let mut span = ibis_obs::span("scan.scan");
         let rows = self.execute(dataset, query)?;
         let entries = dataset.n_rows() * query.dimensionality().max(1);
         let stats = AccessStats {
@@ -34,6 +35,7 @@ impl SequentialScan {
             words_processed: entries.div_ceil(4),
             ..AccessStats::default()
         };
+        stats.record_into(&mut span);
         Ok((rows, stats))
     }
 
@@ -56,9 +58,17 @@ impl SequentialScan {
         }
         query.validate(dataset)?;
         let k = query.dimensionality().max(1);
+        // As in the VA-file: chunk spans carry the per-slice entry counts,
+        // the wrapping `scan.scan` span the once-derived word total.
+        let mut scan_span = ibis_obs::span("scan.scan");
         let partials = ExecPool::new(threads).map(partition(n, threads), |range| {
+            let mut span = ibis_obs::span("scan.chunk");
+            span.add_field("rows", range.len() as u64);
             let entries = range.len() * k;
             let rows = scan::execute_range(dataset, query, range);
+            if span.is_recording() {
+                span.add_field("entries_scanned", entries as u64);
+            }
             (rows, entries)
         });
         let mut stats = AccessStats::default();
@@ -71,6 +81,14 @@ impl SequentialScan {
             parts.push(rows);
         }
         stats.words_processed = stats.entries_scanned.div_ceil(4);
+        if scan_span.is_recording() {
+            let words_only = AccessStats {
+                words_processed: stats.words_processed,
+                ..AccessStats::default()
+            };
+            words_only.record_into(&mut scan_span);
+        }
+        drop(scan_span);
         Ok((RowSet::concat_sorted(parts), stats))
     }
 

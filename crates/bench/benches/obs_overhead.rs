@@ -1,0 +1,70 @@
+//! Overhead of the observability layer: the same query workload executed
+//! with the recorder disabled (the default — every span entry point is a
+//! no-op behind one relaxed atomic load) versus enabled, plus the raw cost
+//! of a disabled `span!` site. The disabled numbers are the ones that must
+//! match the pre-instrumentation baseline within noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_bench::experiments::harness::uniform_group;
+use ibis_bitmap::EqualityBitmapIndex;
+use ibis_bitvec::Wah;
+use ibis_core::gen::{workload, QuerySpec};
+use ibis_core::{AccessMethod, MissingPolicy};
+use ibis_vafile::VaFile;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N_ROWS: usize = 50_000;
+const N_QUERIES: usize = 20;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    let d = Arc::new(uniform_group(N_ROWS, 16, 10, 0.10, 23));
+    let methods: Vec<Box<dyn AccessMethod>> = vec![
+        Box::new(EqualityBitmapIndex::<Wah>::build(&d)),
+        Box::new(VaFile::build(&d).bind(Arc::clone(&d))),
+    ];
+    let spec = QuerySpec {
+        n_queries: N_QUERIES,
+        k: 4,
+        global_selectivity: 0.01,
+        policy: MissingPolicy::IsMatch,
+        candidate_attrs: vec![],
+    };
+    let queries = workload(&d, &spec, 31);
+    for m in &methods {
+        for (mode, recorder) in [
+            ("disabled", ibis_obs::Recorder::disabled()),
+            ("enabled", ibis_obs::Recorder::enabled()),
+        ] {
+            g.bench_function(BenchmarkId::new(mode, m.name()), |b| {
+                recorder.install();
+                b.iter(|| {
+                    let rows: Vec<_> = queries
+                        .iter()
+                        .map(|q| m.execute_threads(q, 2).unwrap())
+                        .collect();
+                    black_box(rows)
+                });
+                // Discard whatever the enabled runs recorded.
+                ibis_obs::Recorder::disabled().install();
+            });
+        }
+    }
+    // The per-site cost of a disabled span: one relaxed load, no clock read.
+    g.bench_function("disabled-span-site", |b| {
+        ibis_obs::Recorder::disabled().install();
+        b.iter(|| {
+            for _ in 0..1000 {
+                let mut s = ibis_obs::span("bench.site");
+                s.add_field("x", 1);
+                black_box(&s);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -41,18 +41,63 @@ pub(crate) trait BitmapExec {
     ) -> Self::Store;
 }
 
+/// Attaches one fetch/reduce phase's counters to `span`, with the phase's
+/// share of `words_processed` derived by the same §6 rule the final
+/// [`QueryCost::finish_bitmap_words`] applies — so the per-phase deltas a
+/// profile shows sum exactly to the query's final counters.
+fn record_phase(span: &mut ibis_obs::SpanGuard, phase: &QueryCost, words_per_bitmap: usize) {
+    if !span.is_recording() {
+        return;
+    }
+    let mut phase = *phase;
+    phase.words_processed = phase
+        .bitmaps_accessed
+        .saturating_add(phase.logical_ops)
+        .saturating_mul(words_per_bitmap);
+    phase.record_into(span);
+}
+
 /// Executes `query` over `ix`, returning matching rows and work counters.
 /// `words_processed` is derived from the bitmap counters on the way out, so
 /// every family reports comparable work without touching its own counters.
+///
+/// Each per-predicate interval evaluation runs under a `bitmap.fetch` span
+/// and the final AND of the per-predicate answers under `bitmap.and_reduce`,
+/// both carrying their counter deltas. Fetch-then-reduce performs the same
+/// `k − 1` ANDs in the same order as the historical interleaved fold, so
+/// rows and counters are unchanged.
 pub(crate) fn run_with_cost<T: BitmapExec>(
     ix: &T,
     query: &RangeQuery,
 ) -> Result<(RowSet, QueryCost)> {
     query.validate_schema(ix.exec_attrs(), |a| ix.exec_cardinality(a))?;
+    let wpb = ix.exec_rows().div_ceil(64);
     let mut cost = QueryCost::zero();
-    let acc = crate::fold_query(query, &mut cost, |attr, iv, cost| {
-        ix.exec_interval(attr, iv, query.policy(), cost)
-    });
+    let mut answers: Vec<T::Store> = Vec::with_capacity(query.dimensionality());
+    for p in query.predicates() {
+        let mut span = ibis_obs::span("bitmap.fetch");
+        let mut c = QueryCost::zero();
+        let b = ix.exec_interval(p.attr, p.interval, query.policy(), &mut c);
+        span.add_field("attr", p.attr as u64);
+        record_phase(&mut span, &c, wpb);
+        cost += c;
+        answers.push(b);
+    }
+    let acc = if answers.is_empty() {
+        None
+    } else {
+        let mut span = ibis_obs::span("bitmap.and_reduce");
+        let mut reduce_cost = QueryCost::zero();
+        let mut it = answers.into_iter();
+        let first = it.next().expect("non-empty");
+        let acc = it.fold(first, |a, b| {
+            reduce_cost.op();
+            a.and(&b)
+        });
+        record_phase(&mut span, &reduce_cost, wpb);
+        cost += reduce_cost;
+        Some(acc)
+    };
     let rows = match acc {
         None => RowSet::all(ix.exec_rows() as u32),
         Some(b) => RowSet::from_sorted(b.ones_positions()),
@@ -83,11 +128,16 @@ where
         return run_with_cost(ix, query);
     }
     query.validate_schema(ix.exec_attrs(), |a| ix.exec_cardinality(a))?;
+    let wpb = ix.exec_rows().div_ceil(64);
     let policy = query.policy();
     let pool = ExecPool::new(threads);
     let partials: Vec<(T::Store, QueryCost)> = pool.map(query.predicates().to_vec(), |p| {
+        // Nested under the pool.worker span of whichever thread runs it.
+        let mut span = ibis_obs::span("bitmap.fetch");
         let mut c = QueryCost::zero();
         let b = ix.exec_interval(p.attr, p.interval, policy, &mut c);
+        span.add_field("attr", p.attr as u64);
+        record_phase(&mut span, &c, wpb);
         (b, c)
     });
     let mut cost = QueryCost::zero();
@@ -96,10 +146,15 @@ where
         cost += c;
         answers.push(b);
     }
-    cost.logical_ops += answers.len() - 1; // the k−1 ANDs of the reduce
+    let mut span = ibis_obs::span("bitmap.and_reduce");
+    let mut reduce_cost = QueryCost::zero();
+    reduce_cost.logical_ops = answers.len() - 1; // the k−1 ANDs of the reduce
+    record_phase(&mut span, &reduce_cost, wpb);
+    cost += reduce_cost;
     let acc = pool
         .reduce(answers, |a, b| a.and(&b))
         .expect("dimensionality >= 2");
+    drop(span);
     let rows = RowSet::from_sorted(acc.ones_positions());
     cost.finish_bitmap_words(ix.exec_rows());
     Ok((rows, cost))

@@ -10,6 +10,7 @@
 
 use crate::parallel::{configured_threads, ExecPool};
 use crate::{RangeQuery, Result, RowSet};
+use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// Work performed while answering one query, across every index family.
@@ -47,6 +48,23 @@ pub struct WorkCounters {
 }
 
 impl WorkCounters {
+    /// Counter field names, in declaration order — the shared vocabulary
+    /// between [`WorkCounters::fields`], [`WorkCounters::field_mut`], the
+    /// `Display` table, and the span fields profiles attach.
+    pub const FIELD_NAMES: [&'static str; 11] = [
+        "bitmaps_accessed",
+        "logical_ops",
+        "words_processed",
+        "nodes_visited",
+        "entries_scanned",
+        "subqueries",
+        "set_ops",
+        "approx_fields_read",
+        "candidates",
+        "rows_refined",
+        "false_positives",
+    ];
+
     /// All counters at zero.
     pub fn zero() -> WorkCounters {
         WorkCounters::default()
@@ -54,33 +72,151 @@ impl WorkCounters {
 
     /// Records one bitmap read.
     pub fn read_bitmap(&mut self) {
-        self.bitmaps_accessed += 1;
+        self.bitmaps_accessed = self.bitmaps_accessed.saturating_add(1);
     }
 
     /// Records `n` bitmap reads.
     pub fn read_bitmaps(&mut self, n: usize) {
-        self.bitmaps_accessed += n;
+        self.bitmaps_accessed = self.bitmaps_accessed.saturating_add(n);
     }
 
     /// Records one logical bitmap operation.
     pub fn op(&mut self) {
-        self.logical_ops += 1;
+        self.logical_ops = self.logical_ops.saturating_add(1);
     }
 
     /// Derives [`WorkCounters::words_processed`] from the bitmap counters:
     /// every bitmap read or combined touches `⌈n_rows / 64⌉` words (the
     /// uncompressed bound the paper's §6 rules are stated in).
     pub fn finish_bitmap_words(&mut self, n_rows: usize) {
-        self.words_processed = (self.bitmaps_accessed + self.logical_ops) * n_rows.div_ceil(64);
+        self.words_processed = (self.bitmaps_accessed.saturating_add(self.logical_ops))
+            .saturating_mul(n_rows.div_ceil(64));
     }
 
     /// Folds another counter set into this one, field by field. Partitioned
     /// execution gives each worker its own `WorkCounters`; because every
-    /// field is a plain sum, merging partials in any order reproduces the
-    /// counters a sequential run would have reported — the associativity
-    /// the parallel conformance tests assert.
+    /// field is a (saturating) sum, merging partials in any order reproduces
+    /// the counters a sequential run would have reported — the
+    /// associativity the parallel conformance tests assert.
     pub fn merge(&mut self, other: WorkCounters) {
         *self += other;
+    }
+
+    /// Counter values in [`WorkCounters::FIELD_NAMES`] order.
+    pub fn fields(&self) -> [(&'static str, usize); 11] {
+        [
+            ("bitmaps_accessed", self.bitmaps_accessed),
+            ("logical_ops", self.logical_ops),
+            ("words_processed", self.words_processed),
+            ("nodes_visited", self.nodes_visited),
+            ("entries_scanned", self.entries_scanned),
+            ("subqueries", self.subqueries),
+            ("set_ops", self.set_ops),
+            ("approx_fields_read", self.approx_fields_read),
+            ("candidates", self.candidates),
+            ("rows_refined", self.rows_refined),
+            ("false_positives", self.false_positives),
+        ]
+    }
+
+    /// Mutable access to a counter by its [`WorkCounters::FIELD_NAMES`]
+    /// name; `None` for anything else. Lets profile readers rebuild a
+    /// counter set from named span fields without a 11-arm match at every
+    /// call site.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut usize> {
+        Some(match name {
+            "bitmaps_accessed" => &mut self.bitmaps_accessed,
+            "logical_ops" => &mut self.logical_ops,
+            "words_processed" => &mut self.words_processed,
+            "nodes_visited" => &mut self.nodes_visited,
+            "entries_scanned" => &mut self.entries_scanned,
+            "subqueries" => &mut self.subqueries,
+            "set_ops" => &mut self.set_ops,
+            "approx_fields_read" => &mut self.approx_fields_read,
+            "candidates" => &mut self.candidates,
+            "rows_refined" => &mut self.rows_refined,
+            "false_positives" => &mut self.false_positives,
+            _ => return None,
+        })
+    }
+
+    /// Rebuilds a counter set from `(name, value)` pairs, accumulating
+    /// duplicates and ignoring names that are not counters (span fields
+    /// like `attr` or `items` ride alongside counter deltas in profiles).
+    pub fn from_fields<'n>(pairs: impl IntoIterator<Item = (&'n str, u64)>) -> WorkCounters {
+        let mut c = WorkCounters::zero();
+        for (name, value) in pairs {
+            if let Some(f) = c.field_mut(name) {
+                *f = f.saturating_add(usize::try_from(value).unwrap_or(usize::MAX));
+            }
+        }
+        c
+    }
+
+    /// The work this counter set reports beyond `earlier`, field by field
+    /// (saturating at zero, so a caller diffing snapshots from different
+    /// queries never underflows). `earlier + diff == self` whenever
+    /// `earlier` really is a prefix of `self`'s work.
+    pub fn diff(&self, earlier: &WorkCounters) -> WorkCounters {
+        WorkCounters {
+            bitmaps_accessed: self
+                .bitmaps_accessed
+                .saturating_sub(earlier.bitmaps_accessed),
+            logical_ops: self.logical_ops.saturating_sub(earlier.logical_ops),
+            words_processed: self.words_processed.saturating_sub(earlier.words_processed),
+            nodes_visited: self.nodes_visited.saturating_sub(earlier.nodes_visited),
+            entries_scanned: self.entries_scanned.saturating_sub(earlier.entries_scanned),
+            subqueries: self.subqueries.saturating_sub(earlier.subqueries),
+            set_ops: self.set_ops.saturating_sub(earlier.set_ops),
+            approx_fields_read: self
+                .approx_fields_read
+                .saturating_sub(earlier.approx_fields_read),
+            candidates: self.candidates.saturating_sub(earlier.candidates),
+            rows_refined: self.rows_refined.saturating_sub(earlier.rows_refined),
+            false_positives: self.false_positives.saturating_sub(earlier.false_positives),
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkCounters::zero()
+    }
+
+    /// Attaches every non-zero counter as a named field on `span`, the
+    /// convention profiles use for per-phase counter deltas (a no-op when
+    /// the recorder is disabled or the counters are all zero).
+    pub fn record_into(&self, span: &mut ibis_obs::SpanGuard) {
+        if !span.is_recording() {
+            return;
+        }
+        for (name, value) in self.fields() {
+            if value != 0 {
+                span.add_field(name, value as u64);
+            }
+        }
+    }
+}
+
+/// Aligned `name value` table of the non-zero counters (the whole table
+/// when everything is zero reads `(no work recorded)`), shared by the CLI,
+/// the bench report, and the oracle instead of three hand-rolled formats.
+impl fmt::Display for WorkCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "  (no work recorded)");
+        }
+        let mut first = true;
+        for (name, value) in self.fields() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(f, "  {name:<20} {value:>14}")?;
+        }
+        Ok(())
     }
 }
 
@@ -94,18 +230,23 @@ impl Add for WorkCounters {
 }
 
 impl AddAssign for WorkCounters {
+    /// Saturating, field-by-field: adversarial or synthetic workloads can
+    /// legitimately drive per-worker partials near `usize::MAX`, and a
+    /// merge must never panic in debug builds or wrap in release builds.
     fn add_assign(&mut self, rhs: WorkCounters) {
-        self.bitmaps_accessed += rhs.bitmaps_accessed;
-        self.logical_ops += rhs.logical_ops;
-        self.words_processed += rhs.words_processed;
-        self.nodes_visited += rhs.nodes_visited;
-        self.entries_scanned += rhs.entries_scanned;
-        self.subqueries += rhs.subqueries;
-        self.set_ops += rhs.set_ops;
-        self.approx_fields_read += rhs.approx_fields_read;
-        self.candidates += rhs.candidates;
-        self.rows_refined += rhs.rows_refined;
-        self.false_positives += rhs.false_positives;
+        self.bitmaps_accessed = self.bitmaps_accessed.saturating_add(rhs.bitmaps_accessed);
+        self.logical_ops = self.logical_ops.saturating_add(rhs.logical_ops);
+        self.words_processed = self.words_processed.saturating_add(rhs.words_processed);
+        self.nodes_visited = self.nodes_visited.saturating_add(rhs.nodes_visited);
+        self.entries_scanned = self.entries_scanned.saturating_add(rhs.entries_scanned);
+        self.subqueries = self.subqueries.saturating_add(rhs.subqueries);
+        self.set_ops = self.set_ops.saturating_add(rhs.set_ops);
+        self.approx_fields_read = self
+            .approx_fields_read
+            .saturating_add(rhs.approx_fields_read);
+        self.candidates = self.candidates.saturating_add(rhs.candidates);
+        self.rows_refined = self.rows_refined.saturating_add(rhs.rows_refined);
+        self.false_positives = self.false_positives.saturating_add(rhs.false_positives);
     }
 }
 
@@ -286,6 +427,79 @@ mod tests {
         let boxed: Box<dyn AccessMethod> = Box::new(Everything { n_rows: 2 });
         assert_eq!(boxed.name(), "everything");
         assert_eq!(boxed.execute_count(&q(1, 1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // Every field at usize::MAX merged with itself: a wrapping add
+        // would panic in debug builds and report garbage in release.
+        let mut maxed = WorkCounters::zero();
+        for name in WorkCounters::FIELD_NAMES {
+            *maxed.field_mut(name).unwrap() = usize::MAX;
+        }
+        let mut merged = maxed;
+        merged.merge(maxed);
+        assert_eq!(merged, maxed);
+
+        let mut c = maxed;
+        c.read_bitmap();
+        c.read_bitmaps(3);
+        c.op();
+        c.finish_bitmap_words(usize::MAX);
+        assert_eq!(c.bitmaps_accessed, usize::MAX);
+        assert_eq!(c.logical_ops, usize::MAX);
+        assert_eq!(c.words_processed, usize::MAX);
+    }
+
+    #[test]
+    fn diff_inverts_merge() {
+        let mut earlier = WorkCounters::zero();
+        earlier.read_bitmaps(2);
+        earlier.candidates = 10;
+        let mut delta = WorkCounters::zero();
+        delta.op();
+        delta.candidates = 5;
+        delta.rows_refined = 3;
+
+        let total = earlier + delta;
+        assert_eq!(total.diff(&earlier), delta);
+        // Diffing in the wrong order clamps at zero instead of wrapping.
+        assert_eq!(earlier.diff(&total), WorkCounters::zero());
+    }
+
+    #[test]
+    fn display_is_an_aligned_table_of_nonzero_fields() {
+        let mut c = WorkCounters::zero();
+        c.read_bitmaps(12);
+        c.words_processed = 4096;
+        let text = c.to_string();
+        assert_eq!(
+            text,
+            "  bitmaps_accessed                 12\n  words_processed                4096"
+        );
+        assert_eq!(WorkCounters::zero().to_string(), "  (no work recorded)");
+    }
+
+    #[test]
+    fn fields_round_trip_through_names() {
+        let mut c = WorkCounters::zero();
+        for (i, name) in WorkCounters::FIELD_NAMES.iter().enumerate() {
+            *c.field_mut(name).unwrap() = i + 1;
+        }
+        assert!(c.field_mut("not_a_counter").is_none());
+        let pairs = c.fields();
+        assert_eq!(pairs.len(), WorkCounters::FIELD_NAMES.len());
+        let back = WorkCounters::from_fields(pairs.iter().map(|&(n, v)| (n, v as u64)));
+        assert_eq!(back, c);
+        // Unknown names are ignored, duplicates accumulate.
+        let twice =
+            WorkCounters::from_fields([("logical_ops", 2), ("attr", 9), ("logical_ops", 3)]);
+        assert_eq!(twice.logical_ops, 5);
+        assert_eq!(twice, {
+            let mut w = WorkCounters::zero();
+            w.logical_ops = 5;
+            w
+        });
     }
 
     #[test]

@@ -165,11 +165,21 @@ impl ExecPool {
         }
 
         let run_chunk = &run_chunk;
+        // Workers run on fresh threads with no open span; adopt the span
+        // that issued the fan-out so per-worker chunk skew shows up in the
+        // profile tree.
+        let parent_span = ibis_obs::current_span_id();
         let mut parts: Vec<(Vec<U>, Option<Error>)> = Vec::with_capacity(chunks.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut span = ibis_obs::span_with_parent("pool.worker", parent_span);
+                        span.add_field("items", chunk.len() as u64);
+                        run_chunk(chunk)
+                    })
+                })
                 .collect();
             for h in handles {
                 // Workers contain their own panics, so a join failure can
@@ -247,11 +257,14 @@ impl ExecPool {
             chunks.push(std::mem::replace(&mut items, rest));
         }
         let combine = &combine;
+        let parent_span = ibis_obs::current_span_id();
         let partials: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let mut span = ibis_obs::span_with_parent("pool.worker", parent_span);
+                        span.add_field("items", chunk.len() as u64);
                         let mut it = chunk.into_iter();
                         let first = it.next().expect("chunks are non-empty");
                         it.fold(first, combine)

@@ -1,0 +1,152 @@
+//! Log-linear histogram: 8 sub-buckets per power of two.
+//!
+//! Values below 8 get an exact bucket each; above that, each octave
+//! `[2^k, 2^(k+1))` is split into 8 equal-width buckets, bounding the
+//! relative quantile error at 12.5% while covering the full `u64` range in
+//! 496 fixed buckets. Exact `min`/`max`/`sum`/`count` are kept alongside so
+//! extreme quantiles can be clamped to observed values.
+
+use crate::snapshot::HistogramSnapshot;
+
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS; // 8 sub-buckets per octave
+pub(crate) const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize; // 496
+
+/// A mergeable log-linear histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>, // NUM_BUCKETS entries
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let group = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+    group * SUB as usize + sub
+}
+
+/// Largest value that maps into `bucket` (saturating at `u64::MAX`).
+pub(crate) fn bucket_upper(bucket: usize) -> u64 {
+    if bucket < SUB as usize {
+        return bucket as u64;
+    }
+    let group = (bucket as u32) / SUB as u32;
+    let sub = (bucket as u128) % SUB as u128;
+    let msb = group + SUB_BITS - 1;
+    let base = 1u128 << msb;
+    let width = 1u128 << (msb - SUB_BITS);
+    let upper = base + (sub + 1) * width - 1;
+    upper.min(u64::MAX as u128) as u64
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] = self.counts[bucket_of(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another histogram into this one; the merged quantiles are
+    /// identical to recording both sample streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Freeze into the serializable, sparse snapshot form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            sum: self.sum,
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = bucket_of(0);
+        assert_eq!(prev, 0);
+        for v in 1..4096u64 {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket regressed at {v}");
+            assert!(v <= bucket_upper(b), "{v} above its bucket upper bound");
+            prev = b;
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn exact_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_upper(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log-linear buckets guarantee <= 12.5% relative error.
+        let p50 = s.p50() as f64;
+        let p99 = s.p99() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.125, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 <= 0.125, "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+    }
+}

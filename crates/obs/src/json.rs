@@ -1,0 +1,506 @@
+//! Hand-rolled JSON for [`Snapshot`] — same spirit as `ibis-core`'s
+//! `wire.rs`: a fixed schema, written and parsed by hand so the offline
+//! build needs no serde. The writer emits a single line; the parser is a
+//! small recursive-descent reader over a generic value tree, strict enough
+//! to reject malformed documents with a positioned error.
+
+use std::collections::BTreeMap;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanRecord};
+
+// ---------------------------------------------------------------- writing
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Gauges are clamped finite at the recording boundary; keep the writer
+    // total anyway.
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_span(out: &mut String, s: &SpanRecord) {
+    out.push_str(&format!(
+        "{{\"id\":{},\"parent\":{},\"name\":",
+        s.id, s.parent
+    ));
+    push_escaped(out, &s.name);
+    out.push_str(&format!(
+        ",\"thread\":{},\"start_ns\":{},\"elapsed_ns\":{},\"fields\":[",
+        s.thread, s.start_ns, s.elapsed_ns
+    ));
+    for (i, (k, v)) in s.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_escaped(out, k);
+        out.push_str(&format!(",{v}]"));
+    }
+    out.push_str("]}");
+}
+
+fn push_hist(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":[",
+        h.count, h.min, h.max, h.sum
+    ));
+    for (i, (b, c)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{b},{c}]"));
+    }
+    out.push_str("]}");
+}
+
+pub(crate) fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(256 + snap.spans.len() * 96);
+    out.push_str("{\"spans\":[");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_span(&mut out, s);
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, k);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, k);
+        out.push(':');
+        push_f64(&mut out, *v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, k);
+        out.push(':');
+        push_hist(&mut out, h);
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {text:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        if float || text.starts_with('-') {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("bad integer"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar, however many bytes it takes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("non-utf8 string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(items));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            items.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(items));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ------------------------------------------------ value-tree → Snapshot
+
+fn as_obj(v: &Value, what: &str) -> Result<Vec<(String, Value)>, String> {
+    match v {
+        Value::Obj(items) => Ok(items.clone()),
+        _ => Err(format!("{what}: expected an object")),
+    }
+}
+
+fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        _ => Err(format!("{what}: expected an array")),
+    }
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::UInt(n) => Ok(*n),
+        _ => Err(format!("{what}: expected an unsigned integer")),
+    }
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::UInt(n) => Ok(*n as f64),
+        Value::Float(f) => Ok(*f),
+        _ => Err(format!("{what}: expected a number")),
+    }
+}
+
+fn as_str(v: &Value, what: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{what}: expected a string")),
+    }
+}
+
+fn field(obj: &[(String, Value)], key: &str, what: &str) -> Result<Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| format!("{what}: missing {key:?}"))
+}
+
+fn span_from(v: &Value) -> Result<SpanRecord, String> {
+    let o = as_obj(v, "span")?;
+    let fields = as_arr(&field(&o, "fields", "span")?, "span.fields")?
+        .iter()
+        .map(|pair| {
+            let pair = as_arr(pair, "span.fields entry")?;
+            if pair.len() != 2 {
+                return Err("span.fields entry: expected [name, value]".to_string());
+            }
+            Ok((
+                as_str(&pair[0], "span.fields name")?,
+                as_u64(&pair[1], "span.fields value")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SpanRecord {
+        id: as_u64(&field(&o, "id", "span")?, "span.id")?,
+        parent: as_u64(&field(&o, "parent", "span")?, "span.parent")?,
+        name: as_str(&field(&o, "name", "span")?, "span.name")?,
+        thread: as_u64(&field(&o, "thread", "span")?, "span.thread")?,
+        start_ns: as_u64(&field(&o, "start_ns", "span")?, "span.start_ns")?,
+        elapsed_ns: as_u64(&field(&o, "elapsed_ns", "span")?, "span.elapsed_ns")?,
+        fields,
+    })
+}
+
+fn hist_from(v: &Value) -> Result<HistogramSnapshot, String> {
+    let o = as_obj(v, "histogram")?;
+    let buckets = as_arr(&field(&o, "buckets", "histogram")?, "histogram.buckets")?
+        .iter()
+        .map(|pair| {
+            let pair = as_arr(pair, "bucket")?;
+            if pair.len() != 2 {
+                return Err("bucket: expected [index, count]".to_string());
+            }
+            let idx = as_u64(&pair[0], "bucket index")?;
+            let idx = u32::try_from(idx).map_err(|_| "bucket index out of range".to_string())?;
+            Ok((idx, as_u64(&pair[1], "bucket count")?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(HistogramSnapshot {
+        count: as_u64(&field(&o, "count", "histogram")?, "histogram.count")?,
+        min: as_u64(&field(&o, "min", "histogram")?, "histogram.min")?,
+        max: as_u64(&field(&o, "max", "histogram")?, "histogram.max")?,
+        sum: as_u64(&field(&o, "sum", "histogram")?, "histogram.sum")?,
+        buckets,
+    })
+}
+
+pub(crate) fn from_json(text: &str) -> Result<Snapshot, String> {
+    let root = as_obj(&parse_value(text)?, "snapshot")?;
+    let spans = as_arr(&field(&root, "spans", "snapshot")?, "snapshot.spans")?
+        .iter()
+        .map(span_from)
+        .collect::<Result<Vec<_>, String>>()?;
+    let mut counters = BTreeMap::new();
+    for (k, v) in as_obj(&field(&root, "counters", "snapshot")?, "snapshot.counters")? {
+        counters.insert(k.clone(), as_u64(&v, &format!("counter {k:?}"))?);
+    }
+    let mut gauges = BTreeMap::new();
+    for (k, v) in as_obj(&field(&root, "gauges", "snapshot")?, "snapshot.gauges")? {
+        gauges.insert(k.clone(), as_f64(&v, &format!("gauge {k:?}"))?);
+    }
+    let mut histograms = BTreeMap::new();
+    for (k, v) in as_obj(
+        &field(&root, "histograms", "snapshot")?,
+        "snapshot.histograms",
+    )? {
+        histograms.insert(k.clone(), hist_from(&v)?);
+    }
+    Ok(Snapshot {
+        spans,
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut h = crate::Histogram::new();
+        for v in [1u64, 5, 9, 1000, u64::MAX] {
+            h.record(v);
+        }
+        Snapshot {
+            spans: vec![SpanRecord {
+                id: 3,
+                parent: 0,
+                name: "bitmap.fetch \"quoted\"\n".to_string(),
+                thread: 2,
+                start_ns: 123,
+                elapsed_ns: u64::MAX,
+                fields: vec![("rows".to_string(), 7), ("rows".to_string(), 2)],
+            }],
+            counters: [("oracle.cases".to_string(), u64::MAX)].into(),
+            gauges: [("threads".to_string(), 4.25), ("neg".to_string(), -1.5)].into(),
+            histograms: [("lat".to_string(), h.snapshot())].into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // And the JSON of the parse is byte-identical (canonical form).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            "{\"spans\":[],\"counters\":{},\"gauges\":{}}", // missing histograms
+            "{\"spans\":[{}],\"counters\":{},\"gauges\":{},\"histograms\":{}}",
+            "{\"spans\":[],\"counters\":{\"x\":-1},\"gauges\":{},\"histograms\":{}}",
+            "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{}} trailing",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_histograms() {
+        // count says 2 but buckets sum to 1.
+        let bad = "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":2,\"min\":1,\"max\":1,\"sum\":2,\"buckets\":[[1,1]]}}}";
+        assert!(Snapshot::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+}

@@ -1,0 +1,536 @@
+//! Zero-dependency observability for the ibis engine.
+//!
+//! Three pieces, all process-global and all free when disabled:
+//!
+//! * **Spans** — [`span()`] / [`span!`] return an RAII [`SpanGuard`] that
+//!   records monotonic elapsed nanoseconds, the emitting thread, a link to
+//!   the enclosing span, and optional named `u64` fields (used by the engine
+//!   to attach per-phase `WorkCounters` deltas). Finished spans land in a
+//!   lock-free thread-local buffer that is drained into the global recorder
+//!   when the thread's outermost span closes (or the thread exits), so the
+//!   hot path never takes a lock.
+//! * **Metrics** — [`counter_add`], [`gauge_set`] and [`observe`] maintain a
+//!   registry of counters, gauges and log-linear histograms keyed by
+//!   `&'static str`.
+//! * **Snapshots** — [`snapshot`] freezes everything into a [`Snapshot`]
+//!   that renders as a human table / span tree (`Display`), exports to JSON
+//!   ([`Snapshot::to_json`]) and parses back ([`Snapshot::from_json`]).
+//!
+//! Recording is off by default. `Recorder::enabled().install()` turns it on;
+//! `Recorder::disabled().install()` turns it off again and discards state.
+//! When disabled every entry point is a single relaxed atomic load — no
+//! allocation, no clock read, no lock — so instrumented code can stay
+//! instrumented in production builds.
+//!
+//! `WorkCounters` live in `ibis-core`, which depends on this crate (not the
+//! other way around), keeping `ibis-obs` dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod snapshot;
+
+pub use hist::Histogram;
+pub use snapshot::{HistogramSnapshot, PhaseTotal, Snapshot, SpanRecord};
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch. Relaxed is enough: recording is advisory and a
+/// stale read merely delays when a thread notices an install.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every [`Recorder::install`]; spans started under an older
+/// generation are discarded instead of polluting the new recording.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Span ids are process-unique and never reused (0 = "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static GLOBAL: OnceLock<Mutex<GlobalState>> = OnceLock::new();
+
+/// Drain a thread-local buffer into the global recorder once it holds this
+/// many spans, even if the thread's root span is still open.
+const FLUSH_HIGH_WATER: usize = 256;
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn global() -> &'static Mutex<GlobalState> {
+    GLOBAL.get_or_init(|| Mutex::new(GlobalState::default()))
+}
+
+fn lock_global() -> std::sync::MutexGuard<'static, GlobalState> {
+    // A panic while holding the lock only interrupts bookkeeping, never
+    // leaves the state half-written in a way later readers can't use.
+    global().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Default)]
+struct GlobalState {
+    spans: Vec<RawSpan>,
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, f64>,
+    histograms: HashMap<&'static str, Histogram>,
+}
+
+/// A finished span, still using `&'static str` names (stringified only when
+/// a [`Snapshot`] is taken).
+struct RawSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    thread: u64,
+    start_ns: u64,
+    elapsed_ns: u64,
+    fields: Vec<(&'static str, u64)>,
+}
+
+struct ThreadState {
+    thread: u64,
+    generation: u64,
+    /// Ids of the currently open spans on this thread, outermost first.
+    stack: Vec<u64>,
+    buf: Vec<RawSpan>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+            generation: u64::MAX,
+            stack: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reset per-recording state when a new recorder generation is observed.
+    fn sync_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.generation = generation;
+            self.stack.clear();
+            self.buf.clear();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.generation == GENERATION.load(Ordering::Relaxed) && is_enabled() {
+            lock_global().spans.append(&mut self.buf);
+        } else {
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+/// Configures the process-global recorder.
+///
+/// ```
+/// ibis_obs::Recorder::enabled().install();
+/// {
+///     let mut g = ibis_obs::span("demo.work");
+///     g.add_field("rows", 42);
+/// }
+/// let snap = ibis_obs::snapshot();
+/// assert_eq!(snap.spans.len(), 1);
+/// ibis_obs::Recorder::disabled().install();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Recorder {
+    enabled: bool,
+}
+
+impl Recorder {
+    /// A recorder that records spans and metrics.
+    pub fn enabled() -> Self {
+        Recorder { enabled: true }
+    }
+
+    /// A recorder that makes every API entry point a no-op (the default).
+    pub fn disabled() -> Self {
+        Recorder { enabled: false }
+    }
+
+    /// Install this recorder globally, discarding anything recorded so far.
+    /// Spans that are still open when an install happens belong to the old
+    /// generation and are dropped on close, never mixed into the new run.
+    pub fn install(self) {
+        let mut g = lock_global();
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+        *g = GlobalState::default();
+        ENABLED.store(self.enabled, Ordering::Relaxed);
+    }
+}
+
+/// Whether the installed recorder is currently recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Payload of a live, recording span.
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    generation: u64,
+    start: Instant,
+    start_ns: u64,
+    fields: Vec<(&'static str, u64)>,
+}
+
+/// RAII guard returned by [`span()`]; records the span when dropped.
+///
+/// When the recorder is disabled the guard is inert: construction did not
+/// read the clock and `Drop` does nothing.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// The span's unique id (0 when the recorder is disabled).
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attach a named value to the span (no-op when disabled). Values with
+    /// the same name accumulate by appearing once each in the record.
+    pub fn add_field(&mut self, name: &'static str, value: u64) {
+        if let Some(a) = self.0.as_mut() {
+            a.fields.push((name, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let elapsed_ns = a.start.elapsed().as_nanos() as u64;
+        TLS.with(|tls| {
+            let mut ts = tls.borrow_mut();
+            if ts.generation != a.generation {
+                return; // recorder swapped while this span was open
+            }
+            if ts.stack.last() == Some(&a.id) {
+                ts.stack.pop();
+            }
+            let thread = ts.thread;
+            ts.buf.push(RawSpan {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                thread,
+                start_ns: a.start_ns,
+                elapsed_ns,
+                fields: a.fields,
+            });
+            if ts.stack.is_empty() || ts.buf.len() >= FLUSH_HIGH_WATER {
+                ts.flush();
+            }
+        });
+    }
+}
+
+/// Open a span named `name`, parented to the innermost open span on this
+/// thread (or a root if there is none). Returns an inert guard when the
+/// recorder is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard(None);
+    }
+    span_slow(name, None)
+}
+
+/// Open a span with an explicit fallback parent, used to stitch the trace
+/// across threads: when the current thread has no open span (a fresh worker)
+/// the given id becomes the parent; otherwise normal nesting wins.
+#[inline]
+pub fn span_with_parent(name: &'static str, parent: u64) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard(None);
+    }
+    span_slow(name, Some(parent))
+}
+
+fn span_slow(name: &'static str, fallback_parent: Option<u64>) -> SpanGuard {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    TLS.with(|tls| {
+        let mut ts = tls.borrow_mut();
+        ts.sync_generation(generation);
+        let parent = ts.stack.last().copied().or(fallback_parent).unwrap_or(0);
+        ts.stack.push(id);
+        SpanGuard(Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            generation,
+            start,
+            start_ns,
+            fields: Vec::new(),
+        }))
+    })
+}
+
+/// Id of the innermost open span on this thread (0 if none). Capture this
+/// before handing work to another thread and pass it to
+/// [`span_with_parent`] there.
+pub fn current_span_id() -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    TLS.with(|tls| {
+        let mut ts = tls.borrow_mut();
+        ts.sync_generation(GENERATION.load(Ordering::Relaxed));
+        ts.stack.last().copied().unwrap_or(0)
+    })
+}
+
+/// Open a span. `span!("bee.and_reduce")` is shorthand for
+/// [`span("bee.and_reduce")`](span()); the two-argument form supplies a
+/// cross-thread fallback parent as in [`span_with_parent`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, parent = $parent:expr) => {
+        $crate::span_with_parent($name, $parent)
+    };
+}
+
+/// Add `delta` to the counter `name` (no-op when disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let c = g.counters.entry(name).or_insert(0);
+    *c = c.saturating_add(delta);
+}
+
+/// Set the gauge `name` to `value`; non-finite values are recorded as 0 so
+/// snapshots stay JSON-serializable (no-op when disabled).
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let v = if value.is_finite() { value } else { 0.0 };
+    lock_global().gauges.insert(name, v);
+}
+
+/// Record `value` into the log-linear histogram `name` (no-op when
+/// disabled).
+pub fn observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    lock_global()
+        .histograms
+        .entry(name)
+        .or_default()
+        .record(value);
+}
+
+/// Freeze the current recording into an immutable [`Snapshot`].
+///
+/// Flushes the calling thread's buffer first; spans recorded by other
+/// threads are visible once those threads closed their outermost span or
+/// exited — both are guaranteed for `ExecPool` scoped workers by the time
+/// the pool call returns.
+pub fn snapshot() -> Snapshot {
+    TLS.with(|tls| tls.borrow_mut().flush());
+    let g = lock_global();
+    let mut spans: Vec<SpanRecord> = g
+        .spans
+        .iter()
+        .map(|r| SpanRecord {
+            id: r.id,
+            parent: r.parent,
+            name: r.name.to_string(),
+            thread: r.thread,
+            start_ns: r.start_ns,
+            elapsed_ns: r.elapsed_ns,
+            fields: r.fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        })
+        .collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    Snapshot {
+        spans,
+        counters: g
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        gauges: g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: g
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.snapshot()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Tests that install/inspect the process-global recorder must not
+    /// interleave; serialize them on this lock.
+    pub fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _serial = testutil::serial();
+        Recorder::disabled().install();
+        let mut g = span!("noop");
+        assert_eq!(g.id(), 0);
+        assert!(!g.is_recording());
+        g.add_field("rows", 1);
+        drop(g);
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        observe("h", 1);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        let root_id;
+        {
+            let mut root = span!("root");
+            root_id = root.id();
+            root.add_field("total", 7);
+            {
+                let mut child = span!("child");
+                assert_eq!(current_span_id(), child.id());
+                child.add_field("rows", 3);
+            }
+            let _sibling = span!("sibling");
+        }
+        let snap = snapshot();
+        Recorder::disabled().install();
+
+        assert_eq!(snap.spans.len(), 3);
+        let root = snap.spans.iter().find(|s| s.name == "root").unwrap();
+        let child = snap.spans.iter().find(|s| s.name == "child").unwrap();
+        let sibling = snap.spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(root.id, root_id);
+        assert_eq!(root.parent, 0);
+        assert_eq!(child.parent, root_id);
+        assert_eq!(sibling.parent, root_id);
+        assert_eq!(child.fields, vec![("rows".to_string(), 3)]);
+        assert!(root.elapsed_ns >= child.elapsed_ns);
+    }
+
+    #[test]
+    fn explicit_parent_used_only_at_stack_bottom() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        let outer = span!("outer");
+        let outer_id = outer.id();
+        {
+            // Stack is non-empty: nesting wins over the explicit parent.
+            let nested = span_with_parent("nested", 9999);
+            assert_eq!(nested.id(), current_span_id());
+        }
+        drop(outer);
+        // Fresh "thread": no open span, so the fallback parent applies.
+        let adopted = span_with_parent("adopted", outer_id);
+        drop(adopted);
+        let snap = snapshot();
+        Recorder::disabled().install();
+
+        let nested = snap.spans.iter().find(|s| s.name == "nested").unwrap();
+        let adopted = snap.spans.iter().find(|s| s.name == "adopted").unwrap();
+        assert_eq!(nested.parent, outer_id);
+        assert_eq!(adopted.parent, outer_id);
+    }
+
+    #[test]
+    fn install_discards_previous_recording_and_open_spans() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        let stale = span!("stale");
+        Recorder::enabled().install(); // new generation while `stale` is open
+        let fresh = span!("fresh");
+        assert_eq!(fresh.parent_for_test(), 0);
+        drop(fresh);
+        drop(stale); // belongs to the old generation: discarded
+        let snap = snapshot();
+        Recorder::disabled().install();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn metrics_registry_records_and_saturates() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        counter_add("queries", 2);
+        counter_add("queries", 3);
+        counter_add("big", u64::MAX);
+        counter_add("big", 10); // must saturate, not wrap
+        gauge_set("threads", 4.0);
+        gauge_set("weird", f64::NAN); // clamped to 0 for JSON safety
+        for v in [1u64, 2, 3, 1000] {
+            observe("lat", v);
+        }
+        let snap = snapshot();
+        Recorder::disabled().install();
+
+        assert_eq!(snap.counters["queries"], 5);
+        assert_eq!(snap.counters["big"], u64::MAX);
+        assert_eq!(snap.gauges["threads"], 4.0);
+        assert_eq!(snap.gauges["weird"], 0.0);
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1006);
+    }
+
+    impl SpanGuard {
+        fn parent_for_test(&self) -> u64 {
+            self.0.as_ref().map_or(0, |a| a.parent)
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Concurrency guarantees of the global recorder: many threads emitting
+//! overlapping spans and metrics must produce a consistent snapshot — no
+//! lost spans, no double counting, and parent links that resolve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+use ibis_obs::{snapshot, span, span_with_parent, Recorder};
+
+/// Tests in this binary share the process-global recorder; serialize them.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const THREADS: usize = 8;
+const SPANS_PER_THREAD: usize = 300;
+
+#[test]
+fn eight_threads_no_lost_or_duplicated_spans() {
+    let _serial = serial();
+    Recorder::enabled().install();
+
+    let root = span("root");
+    let root_id = root.id();
+    let barrier = Barrier::new(THREADS);
+    let field_sum = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            let field_sum = &field_sum;
+            s.spawn(move || {
+                barrier.wait(); // maximize overlap
+                for i in 0..SPANS_PER_THREAD {
+                    let mut outer = span_with_parent("worker.outer", root_id);
+                    let v = (t * SPANS_PER_THREAD + i) as u64;
+                    outer.add_field("work", v);
+                    field_sum.fetch_add(v, Ordering::Relaxed);
+                    let _inner = span("worker.inner");
+                    ibis_obs::counter_add("spans.emitted", 1);
+                    ibis_obs::observe("work.value", v);
+                }
+            });
+        }
+    });
+    drop(root);
+
+    let snap = snapshot();
+    Recorder::disabled().install();
+
+    let total = THREADS * SPANS_PER_THREAD;
+    let outers: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "worker.outer")
+        .collect();
+    let inners: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "worker.inner")
+        .collect();
+    assert_eq!(snap.spans.len(), 2 * total + 1, "lost or duplicated spans");
+    assert_eq!(outers.len(), total);
+    assert_eq!(inners.len(), total);
+
+    // No id appears twice (each span recorded exactly once).
+    let mut ids: Vec<u64> = snap.spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), snap.spans.len(), "duplicate span ids");
+
+    // Parent links resolve: every outer hangs off the root, every inner off
+    // an outer on the same thread.
+    for o in &outers {
+        assert_eq!(o.parent, root_id);
+    }
+    for i in &inners {
+        let parent = snap.span(i.parent).expect("dangling parent link");
+        assert_eq!(parent.name, "worker.outer");
+        assert_eq!(parent.thread, i.thread, "inner parented across threads");
+    }
+
+    // Field payloads all survived (sum over all outer spans).
+    let recorded: u64 = outers
+        .iter()
+        .flat_map(|s| s.fields.iter().map(|f| f.1))
+        .sum();
+    assert_eq!(recorded, field_sum.load(Ordering::Relaxed));
+
+    // Metrics agree with the span count.
+    assert_eq!(snap.counters["spans.emitted"], total as u64);
+    let h = &snap.histograms["work.value"];
+    assert_eq!(h.count, total as u64);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, total as u64 - 1);
+
+    // The whole forest is one tree under the root.
+    assert_eq!(snap.roots(), vec![root_id]);
+    assert_eq!(snap.subtree(root_id).spans.len(), snap.spans.len());
+}
+
+#[test]
+fn snapshot_during_activity_is_internally_consistent() {
+    let _serial = serial();
+    Recorder::enabled().install();
+
+    // Threads record complete span trees while the main thread snapshots
+    // concurrently: every observed snapshot must contain only complete
+    // parent-resolving trees (a worker's spans appear all-or-nothing).
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    let outer = span("pair.outer");
+                    let outer_id = outer.id();
+                    let inner = span("pair.inner");
+                    assert_eq!(
+                        ibis_obs::current_span_id(),
+                        inner.id(),
+                        "stack top must be the innermost span"
+                    );
+                    drop(inner);
+                    drop(outer);
+                    let _ = outer_id;
+                }
+            });
+        }
+        for _ in 0..20 {
+            let snap = snapshot();
+            for span in snap.spans.iter().filter(|s| s.name == "pair.inner") {
+                assert!(
+                    snap.span(span.parent).is_some(),
+                    "inner span visible before its parent"
+                );
+            }
+        }
+    });
+
+    let snap = snapshot();
+    Recorder::disabled().install();
+    assert_eq!(
+        snap.spans.iter().filter(|s| s.name == "pair.inner").count(),
+        4 * 200
+    );
+}

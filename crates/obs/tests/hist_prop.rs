@@ -1,0 +1,73 @@
+//! Property tests for the log-linear histogram (vendored proptest):
+//! quantile ordering, count preservation across merges, and quantile
+//! accuracy bounds.
+
+use ibis_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped(values in proptest::collection::vec(0u64..=u64::MAX, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99, max) = (s.p50(), s.p90(), s.p99(), s.max);
+        prop_assert!(p50 <= p90, "p50={p50} > p90={p90}");
+        prop_assert!(p90 <= p99, "p90={p90} > p99={p99}");
+        prop_assert!(p99 <= max, "p99={p99} > max={max}");
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= lo && v <= hi, "quantile({q})={v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_count_sum_and_extremes(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+
+        // Merging must equal recording the concatenated stream.
+        let mut all = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            all.record(v);
+        }
+        prop_assert_eq!(merged.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn median_relative_error_bounded(values in proptest::collection::vec(1u64..1_000_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(values.len() - 1) / 2] as f64;
+        let approx = h.snapshot().p50() as f64;
+        // 8 sub-buckets per octave bound the relative error at 12.5%.
+        prop_assert!(
+            approx >= exact * 0.999 && approx <= exact * 1.125 + 1.0,
+            "p50 approx={approx} exact={exact}"
+        );
+    }
+}

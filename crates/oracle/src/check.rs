@@ -338,8 +338,9 @@ fn check_method(
                 Ok(())
             } else {
                 Err(format!(
-                    "work counters diverge at t={threads}: {cost:?} vs sequential {:?}",
-                    seq.1
+                    "work counters diverge at t={threads}; got\n{cost}\nsequential\n{}\nexcess over sequential\n{}",
+                    seq.1,
+                    cost.diff(&seq.1)
                 ))
             }
         });

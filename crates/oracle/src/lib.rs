@@ -63,6 +63,10 @@ pub struct OracleConfig {
     pub max_failures: usize,
     /// Budget of extra case executions the shrinker may spend per failure.
     pub shrink_budget: usize,
+    /// Wall-clock budget per case in milliseconds; a case that takes longer
+    /// is reported as a `budget/case-wall-time` failure (unshrunk — the
+    /// shrinker would replay the slow case hundreds of times).
+    pub case_budget_ms: u64,
 }
 
 impl Default for OracleConfig {
@@ -73,6 +77,7 @@ impl Default for OracleConfig {
             corpus_dir: None,
             max_failures: 3,
             shrink_budget: 300,
+            case_budget_ms: 10_000,
         }
     }
 }
@@ -99,12 +104,31 @@ pub struct OracleReport {
     pub checks_run: u64,
     /// Failing cases, minimized.
     pub bugs: Vec<FoundBug>,
+    /// Per-case wall time in milliseconds (also exported to the process
+    /// metrics as the `oracle.case_ms` histogram).
+    pub case_ms: ibis_obs::Histogram,
+    /// The slowest cases: `(case index, milliseconds)`, slowest first,
+    /// at most five entries.
+    pub slowest: Vec<(usize, u64)>,
 }
 
 impl OracleReport {
     /// `true` when every case passed every check.
     pub fn ok(&self) -> bool {
         self.bugs.is_empty()
+    }
+
+    /// One-line timing summary over all executed cases.
+    pub fn timing_summary(&self) -> String {
+        let h = self.case_ms.snapshot();
+        format!(
+            "case wall time: p50 {} ms, p90 {} ms, p99 {} ms, max {} ms over {} cases",
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max,
+            h.count
+        )
     }
 }
 
@@ -127,9 +151,39 @@ fn run_inner(cfg: &OracleConfig) -> OracleReport {
     let mut report = OracleReport::default();
     for idx in 0..cfg.cases {
         let case = gen::gen_case(cfg.seed, idx);
+        let started = std::time::Instant::now();
         let result = check::check_case(&case);
+        let elapsed_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        ibis_obs::observe("oracle.case_ms", elapsed_ms);
+        report.case_ms.record(elapsed_ms);
+        report.slowest.push((idx, elapsed_ms));
+        report
+            .slowest
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        report.slowest.truncate(5);
         report.cases_run += 1;
         report.checks_run += result.checks;
+        if elapsed_ms > cfg.case_budget_ms {
+            // A blown wall-clock budget is a finding in its own right, but
+            // shrinking would replay the slow case over and over — report
+            // the case as-is instead.
+            report.bugs.push(FoundBug {
+                case_idx: idx,
+                failure: Failure {
+                    check: "budget/case-wall-time".to_string(),
+                    detail: format!(
+                        "case {idx} took {elapsed_ms} ms, budget {} ms",
+                        cfg.case_budget_ms
+                    ),
+                },
+                minimized: case,
+                repro_path: None,
+            });
+            if report.bugs.len() >= cfg.max_failures {
+                break;
+            }
+            continue;
+        }
         if result.failures.is_empty() {
             continue;
         }
@@ -177,5 +231,30 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.checks_run, b.checks_run, "run is not deterministic");
         assert!(a.checks_run > 0);
+        // Timing is recorded for every executed case.
+        assert_eq!(a.case_ms.count() as usize, a.cases_run);
+        assert!(!a.slowest.is_empty() && a.slowest.len() <= 5);
+        assert!(a.timing_summary().contains("case wall time"));
+    }
+
+    #[test]
+    fn blown_case_budget_is_a_named_failure() {
+        let cfg = OracleConfig {
+            cases: 4,
+            seed: 99,
+            case_budget_ms: 0, // everything that takes a measurable >0 ms blows it
+            ..OracleConfig::default()
+        };
+        let report = run(&cfg);
+        assert!(!report.ok(), "a zero budget must trip");
+        for bug in &report.bugs {
+            assert_eq!(bug.failure.check, "budget/case-wall-time");
+            assert!(
+                bug.failure.detail.contains("budget 0 ms"),
+                "{:?}",
+                bug.failure
+            );
+            assert!(bug.repro_path.is_none(), "budget breaches are not shrunk");
+        }
     }
 }

@@ -194,6 +194,11 @@ impl VaFile {
         );
         let plans = self.plan_predicates(query);
         let n = self.n_rows();
+        // The whole filter+refine pass runs under one `va.scan` span; it
+        // carries the derived word total, while each `va.chunk` below it
+        // carries the per-slice counters — so a profile's span deltas sum
+        // exactly to the final counters.
+        let mut scan_span = ibis_obs::span("va.scan");
         let (parts, mut cost, bits_read) = if threads <= 1 || n < 2 {
             let (out, cost, bits) = self.scan_range(dataset, query, &plans, 0..n);
             (vec![out], cost, bits)
@@ -215,6 +220,14 @@ impl VaFile {
         // cells fetched during refinement, in 64-bit words.
         cost.words_processed =
             (bits_read + cost.rows_refined * query.dimensionality() * 16).div_ceil(64);
+        if scan_span.is_recording() {
+            let words_only = VaCost {
+                words_processed: cost.words_processed,
+                ..VaCost::default()
+            };
+            words_only.record_into(&mut scan_span);
+        }
+        drop(scan_span);
         let rows = RowSet::concat_sorted(parts.into_iter().map(RowSet::from_sorted));
         Ok((rows, cost))
     }
@@ -255,6 +268,8 @@ impl VaFile {
         rows: std::ops::Range<usize>,
     ) -> (Vec<u32>, VaCost, usize) {
         let policy = query.policy();
+        let mut span = ibis_obs::span("va.chunk");
+        span.add_field("rows", rows.len() as u64);
         let mut cost = VaCost::default();
         let mut out = Vec::new();
         let mut bits_read = 0usize;
@@ -294,6 +309,9 @@ impl VaFile {
                 out.push(row as u32);
             }
         }
+        // `words_processed` is still zero here (derived from merged totals
+        // by the caller), so the chunk span carries only per-slice work.
+        cost.record_into(&mut span);
         (out, cost, bits_read)
     }
 }

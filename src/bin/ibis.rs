@@ -66,19 +66,24 @@ commands:
   index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
       build and save an index (va ignores --backend)
   query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
-        [--threads N]
+        [--threads N] [--profile] [--profile-json FILE]
       run a textual query (e.g. \"age between 2 and 5 and q5 = 1\");
       uses a saved index when given, otherwise scans; --threads sets the
-      parallel degree (default: IBIS_THREADS or the machine's cores)
-  race FILE [--queries N] [--k K] [--seed S] [--threads N]
+      parallel degree (default: IBIS_THREADS or the machine's cores);
+      --profile prints the span tree with per-phase work-counter deltas,
+      --profile-json also writes the machine-readable profile
+  race FILE [--queries N] [--k K] [--seed S] [--threads N] [--profile]
       time BEE/BRE/VA on a generated workload over FILE at the given
-      parallel degree
+      parallel degree; --profile adds a per-method phase table (spans,
+      time, counters — timings then include recorder overhead)
   oracle [--cases N] [--seed S] [--corpus DIR] [--max-failures N]
+         [--case-budget-ms MS]
       run the differential + metamorphic correctness oracle: N generated
       adversarial cases through every access method (all stores, thread
       degrees 1/3/8, persistence round-trip, row appends) against the
       scan ground truth; failing cases are shrunk to minimal repros in
-      DIR (default tests/regressions)
+      DIR (default tests/regressions); a case slower than the wall-clock
+      budget (default 10000 ms) is itself reported as a failure
 ";
 
 /// Pulls `--name value` out of `args`; returns the remaining positionals.
@@ -89,7 +94,10 @@ fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Stri
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; detect by lookahead.
-            let boolean = matches!(name, "count" | "not-match" | "match" | "no-header");
+            let boolean = matches!(
+                name,
+                "count" | "not-match" | "match" | "no-header" | "profile"
+            );
             if boolean || i + 1 >= args.len() || args[i + 1].starts_with("--") {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -411,11 +419,39 @@ fn query(args: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     let threads = parse_threads(&flags)?;
-    let rows = match flags.get("index") {
-        Some(idx) => load_access_method(idx, &d)?
-            .execute_threads(&q, threads)
-            .map_err(|e| e.to_string())?,
-        None => ibis::core::scan::execute_partitioned(&d, &q, threads),
+    let profile_json = flags.get("profile-json");
+    let rows = if flags.contains_key("profile") || profile_json.is_some() {
+        // Profile through the engine trait; without a saved index the scan
+        // baseline is the method (its chunks are spans too).
+        let method: Box<dyn AccessMethod> = match flags.get("index") {
+            Some(idx) => load_access_method(idx, &d)?,
+            None => Box::new(SequentialScan.bind(Arc::clone(&d))),
+        };
+        let prof = ibis::profile::profile_method(method.as_ref(), &q, threads)
+            .map_err(|e| e.to_string())?;
+        print!("{}", prof.render());
+        println!("per-phase totals (spans, time, counter deltas):");
+        for (name, count, total_ns, counters) in prof.phases() {
+            println!("  {name:<20} ×{count:<5} {:>9.3} ms", total_ns as f64 / 1e6);
+            if !counters.is_zero() {
+                for line in counters.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        if let Some(path) = profile_json {
+            std::fs::write(path, prof.to_json())
+                .map_err(|e| format!("cannot write profile {path:?}: {e}"))?;
+            println!("profile JSON written to {path}");
+        }
+        prof.rows
+    } else {
+        match flags.get("index") {
+            Some(idx) => load_access_method(idx, &d)?
+                .execute_threads(&q, threads)
+                .map_err(|e| e.to_string())?,
+            None => ibis::core::scan::execute_partitioned(&d, &q, threads),
+        }
     };
     println!(
         "{} rows match under {policy} (selectivity {:.3}%)",
@@ -484,8 +520,15 @@ fn race(args: &[String]) -> Result<(), String> {
         "{n} queries, k={k}, missing-is-match, {threads} thread(s) over {} rows:",
         d.n_rows()
     );
+    let profile = flags.contains_key("profile");
+    if profile {
+        println!("  (profiling on: timings include recorder overhead)");
+    }
     let mut hit_totals = Vec::new();
     for m in &methods {
+        if profile {
+            Recorder::enabled().install();
+        }
         let start = std::time::Instant::now();
         let hits: usize = queries
             .iter()
@@ -502,6 +545,25 @@ fn race(args: &[String]) -> Result<(), String> {
             m.name(),
             m.size_bytes() as f64 / 1024.0
         );
+        if profile {
+            let snap = ibis::obs::snapshot();
+            Recorder::disabled().install();
+            for p in snap.phase_totals() {
+                let counters =
+                    WorkCounters::from_fields(p.fields.iter().map(|(n, v)| (n.as_str(), *v)));
+                println!(
+                    "      {:<20} ×{:<6} {:>9.2} ms",
+                    p.name,
+                    p.count,
+                    p.total_ns as f64 / 1e6
+                );
+                if !counters.is_zero() {
+                    for line in counters.to_string().lines() {
+                        println!("      {line}");
+                    }
+                }
+            }
+        }
     }
     assert!(
         hit_totals.windows(2).all(|w| w[0] == w[1]),
@@ -525,6 +587,9 @@ fn oracle(args: &[String]) -> Result<(), String> {
         max_failures: flags
             .get("max-failures")
             .map_or(Ok(3), |s| num(s, "failure cap"))?,
+        case_budget_ms: flags
+            .get("case-budget-ms")
+            .map_or(Ok(10_000), |s| num(s, "case budget"))?,
         ..ibis::oracle::OracleConfig::default()
     };
     println!(
@@ -544,6 +609,10 @@ fn oracle(args: &[String]) -> Result<(), String> {
         report.checks_run,
         start.elapsed().as_secs_f64()
     );
+    println!("{}", report.timing_summary());
+    if let Some(&(idx, ms)) = report.slowest.first() {
+        println!("slowest case: #{idx} at {ms} ms");
+    }
     if report.ok() {
         println!("all checks passed");
         return Ok(());
@@ -666,6 +735,73 @@ mod tests {
             s("2"),
         ])
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_flags_render_and_write_parseable_json() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_prof_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let idx = dir.join("d.bee").to_string_lossy().into_owned();
+        let json = dir.join("prof.json").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("250"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        run(&[
+            s("index"),
+            data.clone(),
+            s("--encoding"),
+            s("bee"),
+            s("--out"),
+            idx.clone(),
+        ])
+        .unwrap();
+        let d = Dataset::load(&data).unwrap();
+        let text = format!("{} = 1", d.column(0).name());
+        // Span tree + phase table through a saved index, and the JSON file
+        // must parse back through the snapshot parser.
+        run(&[
+            s("query"),
+            data.clone(),
+            text.clone(),
+            s("--index"),
+            idx,
+            s("--profile"),
+            s("--profile-json"),
+            json.clone(),
+            s("--threads"),
+            s("2"),
+        ])
+        .unwrap();
+        let written = std::fs::read_to_string(&json).unwrap();
+        let snap = ibis::obs::Snapshot::from_json(&written).unwrap();
+        assert!(snap.spans.iter().any(|sp| sp.name == "query"));
+        assert!(snap.spans.iter().any(|sp| sp.name == "bitmap.fetch"));
+        // --profile with no index profiles the scan baseline.
+        run(&[s("query"), data.clone(), text, s("--profile")]).unwrap();
+        // And the race phase table.
+        run(&[
+            s("race"),
+            data,
+            s("--queries"),
+            s("3"),
+            s("--k"),
+            s("2"),
+            s("--threads"),
+            s("2"),
+            s("--profile"),
+        ])
+        .unwrap();
+        assert!(!ibis::obs::is_enabled(), "recorder left enabled");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -339,6 +339,7 @@ impl IncompleteDb {
     /// by `(estimated_cost, size_bytes, registration order)` and reports
     /// the whole decision table.
     pub fn explain(&self, query: &RangeQuery) -> Result<Plan> {
+        let mut span = ibis_obs::span("db.plan");
         query.validate(&self.base)?;
         let candidates: Vec<CandidatePlan> = self
             .methods
@@ -359,6 +360,7 @@ impl IncompleteDb {
                 best = i;
             }
         }
+        span.add_field("candidates", candidates.len() as u64);
         Ok(Plan {
             chosen: candidates[best].name,
             candidates,
@@ -385,6 +387,8 @@ impl IncompleteDb {
             .expect("chosen from this registry");
         let base_rows = method.execute_threads(query, threads)?;
         // Delta rows are scanned with the semantic definition directly.
+        let mut span = ibis_obs::span("db.delta");
+        span.add_field("delta_rows", self.delta.len() as u64);
         let offset = self.base.n_rows() as u32;
         let policy = query.policy();
         let delta_hits = self.delta.iter().enumerate().filter_map(|(i, row)| {

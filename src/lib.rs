@@ -17,7 +17,10 @@
 //! * [`vafile`] — the paper's VA-file and the VA+-file extension;
 //! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index;
 //! * [`oracle`] — seeded differential + metamorphic correctness oracle over
-//!   every access method (see the `ibis oracle` CLI subcommand).
+//!   every access method (see the `ibis oracle` CLI subcommand);
+//! * [`obs`] — zero-dependency observability (tracing spans, metrics,
+//!   profile snapshots) behind `ibis query --profile` and
+//!   [`profile::profile_method`].
 //!
 //! ## Quickstart
 //!
@@ -64,11 +67,13 @@
 //! ```
 
 pub mod db;
+pub mod profile;
 
 pub use ibis_baseline as baseline;
 pub use ibis_bitmap as bitmap;
 pub use ibis_bitvec as bitvec;
 pub use ibis_core as core;
+pub use ibis_obs as obs;
 pub use ibis_oracle as oracle;
 pub use ibis_vafile as vafile;
 
@@ -88,6 +93,8 @@ pub mod prelude {
     pub use ibis_vafile::{VaFile, VaPlusFile};
 
     pub use ibis_core::{AccessMethod, WorkCounters};
+    pub use ibis_obs::{Recorder, Snapshot};
 
     pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan};
+    pub use crate::profile::{profile_method, QueryProfile};
 }
