@@ -1,0 +1,7 @@
+//! Regenerates the `sharding` experiment (query time and synopsis pruning
+//! vs shard count; see EXPERIMENTS.md "Sharding"). Honours IBIS_ROWS /
+//! IBIS_QUERIES / IBIS_SEED.
+
+fn main() {
+    ibis_bench::run_experiment_main("sharding");
+}

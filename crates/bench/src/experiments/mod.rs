@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod harness;
 pub mod real_data;
+pub mod sharding;
 pub mod table7;
 
 use crate::config::Scale;
@@ -27,6 +28,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig5c", fig5::run_5c),
         ("table7", table7::run),
         ("real_data", real_data::run),
+        ("sharding", sharding::run),
         ("ablation_compression", ablations::compression),
         ("ablation_encoding", ablations::encoding),
         ("ablation_decomposition", ablations::decomposition),

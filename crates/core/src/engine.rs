@@ -260,6 +260,46 @@ impl AddAssign for WorkCounters {
 /// structures override the defaults where they can do better (e.g. the
 /// bitmap families answer [`AccessMethod::execute_count`] with a popcount,
 /// never materializing row ids).
+///
+/// A minimal implementation — the semantic scan as an access method:
+///
+/// ```
+/// use ibis_core::{scan, AccessMethod, Dataset, RangeQuery, Result, RowSet, WorkCounters};
+/// use std::sync::Arc;
+///
+/// struct TruthScan(Arc<Dataset>);
+///
+/// impl AccessMethod for TruthScan {
+///     fn name(&self) -> &'static str {
+///         "truth-scan"
+///     }
+///     fn execute_with_cost(&self, query: &RangeQuery) -> Result<(RowSet, WorkCounters)> {
+///         query.validate(&self.0)?;
+///         let mut cost = WorkCounters::zero();
+///         cost.entries_scanned = self.0.n_rows();
+///         Ok((scan::execute(&self.0, query), cost))
+///     }
+///     fn size_bytes(&self) -> usize {
+///         0 // scans store nothing beyond the data itself
+///     }
+/// }
+///
+/// let d = Arc::new(ibis_core::gen::census_scaled(200, 7));
+/// let m = TruthScan(Arc::clone(&d));
+/// let q = RangeQuery::new(
+///     vec![ibis_core::Predicate::point(0, 1)],
+///     ibis_core::MissingPolicy::IsMatch,
+/// )
+/// .unwrap();
+/// // The default methods all follow from execute_with_cost…
+/// assert_eq!(m.execute(&q).unwrap(), scan::execute(&d, &q));
+/// assert_eq!(m.execute_count(&q).unwrap(), m.execute(&q).unwrap().len());
+/// // …including the thread-degree contract: same rows, same counters.
+/// assert_eq!(
+///     m.execute_with_cost_threads(&q, 8).unwrap(),
+///     m.execute_with_cost(&q).unwrap(),
+/// );
+/// ```
 pub trait AccessMethod: Send + Sync {
     /// Stable identifier used by the planner, `explain()` output, and
     /// experiment tables (e.g. `"bitmap-range"`).

@@ -33,7 +33,7 @@
 //!   census-like skewed set of the paper's Table 7) and query-workload
 //!   generators.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod cell;
@@ -50,6 +50,7 @@ mod rowset;
 pub mod scan;
 pub mod selectivity;
 pub mod stats;
+pub mod synopsis;
 pub mod wire;
 
 pub use cell::Cell;
@@ -59,3 +60,4 @@ pub use engine::{AccessMethod, WorkCounters};
 pub use error::{Error, Result};
 pub use query::{Interval, MissingPolicy, Predicate, RangeQuery};
 pub use rowset::RowSet;
+pub use synopsis::{AttrSynopsis, ShardSynopsis};

@@ -26,7 +26,7 @@
 //! other way around), keeping `ibis-obs` dependency-free.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod hist;
 mod json;

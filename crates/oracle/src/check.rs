@@ -7,7 +7,10 @@
 //! shrinker can re-execute the case freely.
 
 use crate::gen::{self, Case};
-use ibis_core::{scan, AccessMethod, Dataset, Interval, MissingPolicy, RangeQuery, RowSet};
+use ibis_core::synopsis::ShardSynopsis;
+use ibis_core::{
+    scan, AccessMethod, Dataset, Interval, MissingPolicy, RangeQuery, RowSet, WorkCounters,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -91,6 +94,13 @@ fn expect_eq(got: &RowSet, want: &RowSet) -> Result<(), String> {
 /// must be bit-identical to the sequential run at each.
 const THREAD_DEGREES: [usize; 3] = [1, 3, 8];
 
+/// Shard counts the sharded metamorphic relation splits each case into.
+const SHARD_COUNTS: [usize; 3] = [1, 3, 7];
+
+/// Thread degrees the sharded relation replays at; the summed counters must
+/// be identical across them.
+const SHARD_THREADS: [usize; 2] = [1, 8];
+
 /// Runs the full battery over one case.
 pub fn check_case(case: &Case) -> CaseResult {
     let mut ctx = Ctx {
@@ -141,6 +151,13 @@ pub fn check_case(case: &Case) -> CaseResult {
         Err(p) => {
             ctx.check("registry/permutation-build", Err(p));
             None
+        }
+    };
+    let sharded = match catch(|| build_sharded(&d)) {
+        Ok(s) => s,
+        Err(p) => {
+            ctx.check("registry/sharded-build", Err(p));
+            Vec::new()
         }
     };
 
@@ -243,8 +260,133 @@ pub fn check_case(case: &Case) -> CaseResult {
 
         check_interval_split(&mut ctx, &methods, &query, qi);
         check_semantics_bridge(&mut ctx, &d, &methods, &query, qi);
+        check_sharded(&mut ctx, &sharded, &query, &truth, qi);
     }
     ctx.result
+}
+
+/// One shard of the sharded metamorphic relation: a contiguous row slice
+/// with its global-id offset, its synopsis, and a few index families built
+/// over the slice alone.
+struct ShardPart {
+    offset: u32,
+    data: Arc<Dataset>,
+    synopsis: ShardSynopsis,
+    methods: Vec<Box<dyn AccessMethod>>,
+}
+
+/// Names of the per-shard families, index-aligned with `ShardPart::methods`.
+const SHARD_FAMILIES: [&str; 4] = ["bee-wah", "bre-wah", "va-file", "seq-scan"];
+
+/// Splits `d` into `k` contiguous shards (each of `⌈n/k⌉` rows) for every
+/// `k` in [`SHARD_COUNTS`], building one representative method per major
+/// family over each slice.
+fn build_sharded(d: &Arc<Dataset>) -> Vec<(usize, Vec<ShardPart>)> {
+    use ibis_bitmap::{EqualityBitmapIndex, RangeBitmapIndex};
+    use ibis_bitvec::Wah;
+    SHARD_COUNTS
+        .iter()
+        .map(|&k| {
+            let n = d.n_rows();
+            let chunk = n.div_ceil(k).max(1);
+            let mut parts = Vec::new();
+            let mut start = 0;
+            loop {
+                let end = (start + chunk).min(n);
+                let columns: Vec<ibis_core::Column> = d
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        ibis_core::Column::from_raw(
+                            c.name(),
+                            c.cardinality(),
+                            c.raw()[start..end].to_vec(),
+                        )
+                        .expect("slice of a valid column")
+                    })
+                    .collect();
+                let slice = Arc::new(Dataset::new(columns).expect("equal lengths"));
+                let methods: Vec<Box<dyn AccessMethod>> = vec![
+                    Box::new(EqualityBitmapIndex::<Wah>::build(&slice)),
+                    Box::new(RangeBitmapIndex::<Wah>::build(&slice)),
+                    Box::new(ibis_vafile::VaFile::build(&slice).bind(Arc::clone(&slice))),
+                    Box::new(ibis_baseline::SequentialScan.bind(Arc::clone(&slice))),
+                ];
+                parts.push(ShardPart {
+                    offset: start as u32,
+                    synopsis: ShardSynopsis::of(&slice),
+                    data: slice,
+                    methods,
+                });
+                start = end;
+                if start >= n {
+                    break;
+                }
+            }
+            (k, parts)
+        })
+        .collect()
+}
+
+/// Metamorphic relation 3 — sharding: a dataset split into `k` contiguous
+/// shards, each queried independently and offset-merged, must return rows
+/// bit-identical to the monolithic truth, with the summed [`WorkCounters`]
+/// identical across thread degrees. Additionally, any shard whose
+/// [`ShardSynopsis`] claims it can be pruned must truly hold no answer —
+/// the soundness of partition elimination under both semantics.
+fn check_sharded(
+    ctx: &mut Ctx,
+    sharded: &[(usize, Vec<ShardPart>)],
+    query: &RangeQuery,
+    truth: &RowSet,
+    qi: usize,
+) {
+    for (k, parts) in sharded {
+        ctx.assert(&format!("shard-prune/k{k}/q{qi}"), || {
+            for (si, part) in parts.iter().enumerate() {
+                if part.synopsis.can_prune(query) {
+                    let hits = scan::execute(&part.data, query);
+                    if !hits.is_empty() {
+                        return Err(format!(
+                            "shard {si} pruned by its synopsis yet holds {}",
+                            fmt_rows(&hits)
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        });
+        for (mi, name) in SHARD_FAMILIES.iter().enumerate() {
+            if parts.iter().any(|p| !p.methods[mi].supports(query)) {
+                continue;
+            }
+            ctx.assert(&format!("sharded/{name}/k{k}/q{qi}"), || {
+                let mut baseline: Option<WorkCounters> = None;
+                for threads in SHARD_THREADS {
+                    let mut rows: Vec<u32> = Vec::new();
+                    let mut counters = WorkCounters::zero();
+                    for part in parts {
+                        let (r, c) = part.methods[mi]
+                            .execute_with_cost_threads(query, threads)
+                            .map_err(|e| format!("t={threads}: {e}"))?;
+                        rows.extend(r.iter().map(|x| x + part.offset));
+                        counters.merge(c);
+                    }
+                    expect_eq(&RowSet::from_sorted(rows), truth)?;
+                    match &baseline {
+                        None => baseline = Some(counters),
+                        Some(b) if *b != counters => {
+                            return Err(format!(
+                                "summed counters diverge at t={threads}; got\n{counters}\nbaseline\n{b}"
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                Ok(())
+            });
+        }
+    }
 }
 
 /// Raw [`Interval`] API invariants, probed with possibly-invalid bounds:

@@ -66,10 +66,12 @@ commands:
   index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
       build and save an index (va ignores --backend)
   query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
-        [--threads N] [--profile] [--profile-json FILE]
+        [--threads N] [--shard-rows N] [--profile] [--profile-json FILE]
       run a textual query (e.g. \"age between 2 and 5 and q5 = 1\");
       uses a saved index when given, otherwise scans; --threads sets the
       parallel degree (default: IBIS_THREADS or the machine's cores);
+      --shard-rows partitions the data into shards of N rows (per-shard
+      indexes; synopsis pruning skips shards that cannot match);
       --profile prints the span tree with per-phase work-counter deltas,
       --profile-json also writes the machine-readable profile
   race FILE [--queries N] [--k K] [--seed S] [--threads N] [--profile]
@@ -419,16 +421,42 @@ fn query(args: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     let threads = parse_threads(&flags)?;
+    let shard_rows: Option<usize> = match flags.get("shard-rows") {
+        Some(s) => {
+            let n: usize = num(s, "shard rows")?;
+            if n == 0 {
+                return Err("--shard-rows must be at least 1".into());
+            }
+            if flags.contains_key("index") {
+                return Err(
+                    "--shard-rows builds per-shard indexes; it cannot be combined with --index"
+                        .into(),
+                );
+            }
+            Some(n)
+        }
+        None => None,
+    };
     let profile_json = flags.get("profile-json");
     let rows = if flags.contains_key("profile") || profile_json.is_some() {
         // Profile through the engine trait; without a saved index the scan
-        // baseline is the method (its chunks are spans too).
-        let method: Box<dyn AccessMethod> = match flags.get("index") {
-            Some(idx) => load_access_method(idx, &d)?,
-            None => Box::new(SequentialScan.bind(Arc::clone(&d))),
-        };
-        let prof = ibis::profile::profile_method(method.as_ref(), &q, threads)
-            .map_err(|e| e.to_string())?;
+        // baseline is the method (its chunks are spans too). With
+        // --shard-rows the whole sharded pipeline is profiled instead:
+        // per-shard `db.shard` spans plus the `shards.pruned` counter.
+        let prof = match shard_rows {
+            Some(n) => {
+                let db = ShardedDb::new(Dataset::clone(&d), n);
+                ibis::profile::profile_sharded(&db, &q, threads)
+            }
+            None => {
+                let method: Box<dyn AccessMethod> = match flags.get("index") {
+                    Some(idx) => load_access_method(idx, &d)?,
+                    None => Box::new(SequentialScan.bind(Arc::clone(&d))),
+                };
+                ibis::profile::profile_method(method.as_ref(), &q, threads)
+            }
+        }
+        .map_err(|e| e.to_string())?;
         print!("{}", prof.render());
         println!("per-phase totals (spans, time, counter deltas):");
         for (name, count, total_ns, counters) in prof.phases() {
@@ -439,12 +467,28 @@ fn query(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        if shard_rows.is_some() {
+            let pruned = prof.snapshot.counters.get("shards.pruned").copied();
+            println!("shards pruned: {}", pruned.unwrap_or(0));
+        }
         if let Some(path) = profile_json {
             std::fs::write(path, prof.to_json())
                 .map_err(|e| format!("cannot write profile {path:?}: {e}"))?;
             println!("profile JSON written to {path}");
         }
         prof.rows
+    } else if let Some(n) = shard_rows {
+        let db = ShardedDb::new(Dataset::clone(&d), n);
+        let exec = db
+            .execute_with_stats_threads(&q, threads)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "shards: {} total, {} pruned, {} executed",
+            exec.shards_total,
+            exec.shards_pruned,
+            exec.shards_executed()
+        );
+        exec.rows
     } else {
         match flags.get("index") {
             Some(idx) => load_access_method(idx, &d)?

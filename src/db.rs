@@ -34,7 +34,8 @@ use ibis_bitmap::{
     DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
 };
 use ibis_bitvec::Wah;
-use ibis_core::{AccessMethod, Cell, Dataset, RangeQuery, Result, RowSet};
+use ibis_core::synopsis::ShardSynopsis;
+use ibis_core::{AccessMethod, Cell, Dataset, RangeQuery, Result, RowSet, WorkCounters};
 use ibis_vafile::{VaFile, VaPlusFile};
 use std::sync::Arc;
 
@@ -137,6 +138,24 @@ pub struct Plan {
 }
 
 /// An incomplete relation with maintained indexes and an append delta.
+///
+/// ```
+/// use ibis::prelude::*;
+///
+/// let data = Dataset::from_rows(
+///     &[("a", 9)],
+///     &[vec![Cell::present(2)], vec![Cell::MISSING], vec![Cell::present(7)]],
+/// )
+/// .unwrap();
+/// let mut db = IncompleteDb::new(data);
+/// db.insert(&[Cell::present(3)]).unwrap(); // lands in the delta, id 3
+///
+/// let q = RangeQuery::new(vec![Predicate::range(0, 2, 4)], MissingPolicy::IsMatch).unwrap();
+/// assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 3]); // missing matches
+/// assert!(db.compact());  // folds the delta into the indexes…
+/// assert!(!db.compact()); // …and a clean db is a no-op
+/// assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 3]);
+/// ```
 #[derive(Clone)]
 pub struct IncompleteDb {
     config: DbConfig,
@@ -216,8 +235,12 @@ impl IncompleteDb {
     }
 
     /// Total live rows (indexed base + unindexed delta − tombstones).
+    ///
+    /// Saturating: `deleted` can never push the count below zero, even if a
+    /// caller-visible invariant breaks elsewhere (the oracle tombstones far
+    /// more aggressively than any generator, and this must stay total).
     pub fn n_rows(&self) -> usize {
-        self.base.n_rows() + self.delta.len() - self.deleted.len()
+        (self.base.n_rows() + self.delta.len()).saturating_sub(self.deleted.len())
     }
 
     /// Tombstoned rows awaiting compaction.
@@ -272,9 +295,13 @@ impl IncompleteDb {
 
     /// Folds the delta store into the base dataset, drops tombstoned rows
     /// (renumbering the survivors), and rebuilds the maintained indexes.
-    pub fn compact(&mut self) {
+    ///
+    /// Returns `true` if there was anything to fold — a clean database is a
+    /// no-op and keeps its indexes, which is what makes per-shard compaction
+    /// in [`ShardedDb`] O(dirty shards) instead of O(all rows).
+    pub fn compact(&mut self) -> bool {
         if self.delta.is_empty() && self.deleted.is_empty() {
-            return;
+            return false;
         }
         let base_rows = self.base.n_rows();
         let columns = self
@@ -308,6 +335,7 @@ impl IncompleteDb {
         self.delta.clear();
         self.deleted.clear();
         self.methods = build_methods(self.config, &self.base);
+        true
     }
 
     /// Estimated matching base rows from the cached histograms (product of
@@ -379,13 +407,27 @@ impl IncompleteDb {
     /// [`Self::execute`] with an explicit intra-query parallelism degree.
     /// The answer is identical for any `threads`.
     pub fn execute_threads(&self, query: &RangeQuery, threads: usize) -> Result<RowSet> {
+        Ok(self.execute_with_cost_threads(query, threads)?.0)
+    }
+
+    /// [`Self::execute_threads`] that also reports the work performed: the
+    /// chosen method's [`WorkCounters`] plus the delta scan (counted under
+    /// `entries_scanned`). Both the rows and the counters are identical for
+    /// any `threads` — the engine-layer conformance contract, which is what
+    /// lets [`ShardedDb`] fan shards out without changing what it reports.
+    pub fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
         let plan = self.explain(query)?;
         let method = self
             .methods
             .iter()
             .find(|m| m.name() == plan.chosen)
             .expect("chosen from this registry");
-        let base_rows = method.execute_threads(query, threads)?;
+        let (base_rows, mut counters) = method.execute_with_cost_threads(query, threads)?;
+        counters.entries_scanned = counters.entries_scanned.saturating_add(self.delta.len());
         // Delta rows are scanned with the semantic definition directly.
         let mut span = ibis_obs::span("db.delta");
         span.add_field("delta_rows", self.delta.len() as u64);
@@ -400,13 +442,16 @@ impl IncompleteDb {
         });
         let combined = base_rows.union(&RowSet::from_sorted(delta_hits.collect()));
         if self.deleted.is_empty() {
-            return Ok(combined);
+            return Ok((combined, counters));
         }
-        Ok(RowSet::from_sorted(
-            combined
-                .iter()
-                .filter(|r| !self.deleted.contains(r))
-                .collect(),
+        Ok((
+            RowSet::from_sorted(
+                combined
+                    .iter()
+                    .filter(|r| !self.deleted.contains(r))
+                    .collect(),
+            ),
+            counters,
         ))
     }
 
@@ -444,6 +489,323 @@ impl IncompleteDb {
         } else {
             self.delta[row - self.base.n_rows()][attr]
         }
+    }
+}
+
+/// Copies rows `start..end` of `dataset` into a standalone dataset with the
+/// same schema (an `end` of `start` yields an empty, schema-only dataset).
+fn slice_dataset(dataset: &Dataset, start: usize, end: usize) -> Dataset {
+    let columns = dataset
+        .columns()
+        .iter()
+        .map(|col| {
+            ibis_core::Column::from_raw(
+                col.name(),
+                col.cardinality(),
+                col.raw()[start..end].to_vec(),
+            )
+            .expect("slice of a valid column is valid")
+        })
+        .collect();
+    Dataset::new(columns).expect("equal lengths by construction")
+}
+
+/// One shard: a full [`IncompleteDb`] over a contiguous row range, plus the
+/// synopsis the planner consults before touching any of its indexes.
+#[derive(Clone, Debug)]
+struct Shard {
+    db: IncompleteDb,
+    synopsis: ShardSynopsis,
+}
+
+impl Shard {
+    /// Width of this shard's row-id space: base + delta, tombstones
+    /// included (tombstoned ids stay allocated until compaction).
+    fn id_width(&self) -> usize {
+        self.db.base.n_rows() + self.db.delta.len()
+    }
+
+    fn over(dataset: Dataset, config: DbConfig) -> Shard {
+        Shard {
+            synopsis: ShardSynopsis::of(&dataset),
+            db: IncompleteDb::with_config(dataset, config),
+        }
+    }
+}
+
+/// The result of one sharded query, with the pruning decisions exposed.
+#[derive(Clone, Debug)]
+pub struct ShardExecution {
+    /// Matching rows, in global row-id order.
+    pub rows: RowSet,
+    /// Work counters summed (saturating) over the executed shards.
+    pub counters: WorkCounters,
+    /// Number of shards the database currently holds.
+    pub shards_total: usize,
+    /// Shards skipped because their synopsis proved no row can match.
+    pub shards_pruned: usize,
+}
+
+impl ShardExecution {
+    /// Shards that actually executed (`shards_total − shards_pruned`).
+    pub fn shards_executed(&self) -> usize {
+        self.shards_total.saturating_sub(self.shards_pruned)
+    }
+}
+
+/// An incomplete relation partitioned into fixed-capacity shards, each a
+/// full [`IncompleteDb`] (own per-family indexes, own append delta) plus a
+/// [`ShardSynopsis`] used to prune shards that cannot contain an answer.
+///
+/// Row ids are global and deterministic: shard `i` owns the contiguous id
+/// range after shards `0..i`, so a sharded database returns **bit-identical
+/// rows** to a monolithic [`IncompleteDb`] over the same data — the
+/// metamorphic relation the oracle and conformance tests assert. Appends
+/// route to the last shard, opening a fresh one when it reaches capacity,
+/// and [`ShardedDb::compact`] rebuilds only dirty shards.
+///
+/// Pruning follows the two missing-data semantics (see
+/// [`ShardSynopsis::can_prune`]): under `IsNotMatch` an all-missing queried
+/// attribute eliminates a shard outright; under `IsMatch` a shard with any
+/// missing value on a queried attribute can never be pruned on it.
+///
+/// ```
+/// use ibis::prelude::*;
+///
+/// // Six rows whose values grow with the row id → 3 shards of 2 rows,
+/// // each covering a distinct value band.
+/// let rows: Vec<Vec<Cell>> = (1u16..=6).map(|v| vec![Cell::present(v)]).collect();
+/// let data = Dataset::from_rows(&[("a", 9)], &rows).unwrap();
+/// let db = ShardedDb::new(data, 2);
+/// assert_eq!(db.shard_count(), 3);
+///
+/// // [5,6] misses the first two shards' envelopes: both are pruned.
+/// let q = RangeQuery::new(vec![Predicate::range(0, 5, 6)], MissingPolicy::IsNotMatch).unwrap();
+/// let exec = db.execute_with_stats(&q).unwrap();
+/// assert_eq!(exec.rows.rows(), &[4, 5]);
+/// assert_eq!(exec.shards_pruned, 2);
+/// assert_eq!(exec.shards_executed(), 1);
+/// ```
+#[derive(Clone)]
+pub struct ShardedDb {
+    config: DbConfig,
+    shard_rows: usize,
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for ShardedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("config", &self.config)
+            .field("shard_rows", &self.shard_rows)
+            .field("shards", &self.shards.len())
+            .field("n_rows", &self.n_rows())
+            .finish()
+    }
+}
+
+impl ShardedDb {
+    /// Partitions `dataset` into shards of at most `shard_rows` rows (in
+    /// row order, so global ids equal monolithic ids) under the default
+    /// index config. A `shard_rows` of 0 is treated as 1.
+    pub fn new(dataset: Dataset, shard_rows: usize) -> ShardedDb {
+        ShardedDb::with_config(dataset, shard_rows, DbConfig::default())
+    }
+
+    /// [`ShardedDb::new`] with an explicit index configuration, applied to
+    /// every shard. An empty dataset still gets one (empty) shard so the
+    /// schema is always available.
+    pub fn with_config(dataset: Dataset, shard_rows: usize, config: DbConfig) -> ShardedDb {
+        let shard_rows = shard_rows.max(1);
+        let n = dataset.n_rows();
+        let mut shards = Vec::with_capacity(n.div_ceil(shard_rows).max(1));
+        let mut start = 0;
+        while start < n {
+            let end = (start + shard_rows).min(n);
+            shards.push(Shard::over(slice_dataset(&dataset, start, end), config));
+            start = end;
+        }
+        if shards.is_empty() {
+            shards.push(Shard::over(slice_dataset(&dataset, 0, 0), config));
+        }
+        ShardedDb {
+            config,
+            shard_rows,
+            shards,
+        }
+    }
+
+    /// Total live rows across all shards.
+    pub fn n_rows(&self) -> usize {
+        self.shards
+            .iter()
+            .fold(0usize, |acc, s| acc.saturating_add(s.db.n_rows()))
+    }
+
+    /// The schema width.
+    pub fn n_attrs(&self) -> usize {
+        self.shards[0].db.n_attrs()
+    }
+
+    /// Number of shards currently held (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured shard capacity.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// The synopsis of shard `i` (attribute envelopes, missing counts).
+    pub fn synopsis(&self, i: usize) -> &ShardSynopsis {
+        &self.shards[i].synopsis
+    }
+
+    /// Total bytes held by the maintained indexes, over all shards.
+    pub fn index_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .fold(0usize, |acc, s| acc.saturating_add(s.db.index_bytes()))
+    }
+
+    /// Appends one row. It lands in the last shard's delta — or in a fresh
+    /// shard when the last one has reached capacity — and is folded into
+    /// that shard's synopsis immediately, so pruning stays sound for rows
+    /// that have never seen a compaction.
+    pub fn insert(&mut self, row: &[Cell]) -> Result<()> {
+        if self.shards.last().expect("≥ 1 shard").id_width() >= self.shard_rows {
+            let schema_only = slice_dataset(&self.shards[0].db.base, 0, 0);
+            self.shards.push(Shard::over(schema_only, self.config));
+        }
+        let shard = self.shards.last_mut().expect("≥ 1 shard");
+        shard.db.insert(row)?;
+        shard.synopsis.observe_row(row);
+        Ok(())
+    }
+
+    /// Deletes a row by global id. Returns `true` if the row existed and
+    /// was alive. The synopsis is *not* narrowed — it stays a sound
+    /// over-approximation until the owning shard is compacted.
+    pub fn delete(&mut self, row: u32) -> bool {
+        let mut offset = 0usize;
+        for shard in &mut self.shards {
+            let width = shard.id_width();
+            if (row as usize) < offset + width {
+                return shard.db.delete((row as usize - offset) as u32);
+            }
+            offset += width;
+        }
+        false
+    }
+
+    /// Compacts every **dirty** shard (pending delta rows or tombstones),
+    /// rebuilding its indexes and recomputing its synopsis exactly; clean
+    /// shards are untouched. Returns the number of shards rebuilt — the
+    /// cost is O(dirty shards), not O(all rows).
+    ///
+    /// Compaction renumbers survivors within each shard, which shifts the
+    /// global ids of later shards' rows exactly as a monolithic
+    /// [`IncompleteDb::compact`] would: the global order of survivors is
+    /// preserved, so sharded and monolithic answers stay identical.
+    pub fn compact(&mut self) -> usize {
+        let mut rebuilt = 0;
+        for shard in &mut self.shards {
+            if shard.db.compact() {
+                shard.synopsis = ShardSynopsis::of(&shard.db.base);
+                rebuilt += 1;
+            }
+        }
+        rebuilt
+    }
+
+    /// Executes a query at the configured parallelism degree.
+    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        self.execute_threads(query, ibis_core::parallel::configured_threads())
+    }
+
+    /// [`ShardedDb::execute`] with an explicit thread degree. Rows and
+    /// counters are identical for any `threads`.
+    pub fn execute_threads(&self, query: &RangeQuery, threads: usize) -> Result<RowSet> {
+        Ok(self.execute_with_stats_threads(query, threads)?.rows)
+    }
+
+    /// Executes and reports the merged [`WorkCounters`].
+    pub fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        let exec = self.execute_with_stats_threads(query, threads)?;
+        Ok((exec.rows, exec.counters))
+    }
+
+    /// [`ShardedDb::execute_with_stats_threads`] at the configured degree.
+    pub fn execute_with_stats(&self, query: &RangeQuery) -> Result<ShardExecution> {
+        self.execute_with_stats_threads(query, ibis_core::parallel::configured_threads())
+    }
+
+    /// The full sharded execution pipeline: consult every shard's synopsis,
+    /// skip the provably-empty shards (recorded on the `shards.pruned`
+    /// counter and the `db.shards` span), fan the survivors out over the
+    /// worker pool (one `db.shard` span each), and merge — rows offset into
+    /// global-id order, counters summed saturatingly in shard order.
+    pub fn execute_with_stats_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<ShardExecution> {
+        query.validate(&self.shards[0].db.base)?;
+        let mut span = ibis_obs::span("db.shards");
+        let mut work: Vec<(usize, usize, &Shard)> = Vec::new();
+        let mut offset = 0usize;
+        let mut pruned = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let off = offset;
+            offset += shard.id_width();
+            if shard.synopsis.can_prune(query) {
+                pruned += 1;
+            } else {
+                work.push((i, off, shard));
+            }
+        }
+        ibis_obs::counter_add("shards.pruned", pruned as u64);
+        span.add_field("shards", self.shards.len() as u64);
+        span.add_field("pruned", pruned as u64);
+        // With more than one live shard the shards *are* the parallelism;
+        // fanning out again inside each shard would oversubscribe the pool.
+        // Counters are thread-degree-independent either way, so this choice
+        // never shows up in the merged result.
+        let inner = if work.len() > 1 { 1 } else { threads.max(1) };
+        let parts =
+            ibis_core::parallel::ExecPool::new(threads).try_map(work, |(i, off, shard)| {
+                let mut shard_span = ibis_obs::span("db.shard");
+                shard_span.add_field("shard", i as u64);
+                let (rows, counters) = shard.db.execute_with_cost_threads(query, inner)?;
+                shard_span.add_field("rows", rows.len() as u64);
+                counters.record_into(&mut shard_span);
+                let global = rows.iter().map(|r| r + off as u32).collect();
+                Ok((RowSet::from_sorted(global), counters))
+            })?;
+        let mut counters = WorkCounters::zero();
+        let mut sets = Vec::with_capacity(parts.len());
+        for (rows, c) in parts {
+            counters.merge(c);
+            sets.push(rows);
+        }
+        let rows = RowSet::concat_sorted(sets);
+        span.add_field("rows", rows.len() as u64);
+        Ok(ShardExecution {
+            rows,
+            counters,
+            shards_total: self.shards.len(),
+            shards_pruned: pruned,
+        })
+    }
+
+    /// Counts matching rows.
+    pub fn count(&self, query: &RangeQuery) -> Result<usize> {
+        Ok(self.execute(query)?.len())
     }
 }
 
@@ -712,6 +1074,158 @@ mod estimate_tests {
             (plan.estimated_rows - actual).abs() < 1e-9,
             "{plan:?} vs {actual}"
         );
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use ibis_core::gen::{census_scaled, workload, QuerySpec};
+    use ibis_core::{MissingPolicy, Predicate};
+
+    fn v(x: u16) -> Cell {
+        Cell::present(x)
+    }
+    fn m() -> Cell {
+        Cell::MISSING
+    }
+
+    fn banded() -> Dataset {
+        // Values grow with the row id, so 2-row shards cover disjoint bands.
+        let rows: Vec<Vec<Cell>> = (1u16..=8).map(|x| vec![v(x)]).collect();
+        Dataset::from_rows(&[("a", 9)], &rows).unwrap()
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_on_workloads() {
+        let data = census_scaled(300, 420);
+        let mono = IncompleteDb::new(data.clone());
+        for shard_rows in [47, 100, 1000] {
+            let sharded = ShardedDb::new(data.clone(), shard_rows);
+            for policy in MissingPolicy::ALL {
+                let spec = QuerySpec {
+                    n_queries: 6,
+                    k: 3,
+                    global_selectivity: 0.05,
+                    policy,
+                    candidate_attrs: vec![],
+                };
+                for q in workload(&data, &spec, 421) {
+                    assert_eq!(
+                        sharded.execute(&q).unwrap(),
+                        mono.execute(&q).unwrap(),
+                        "{policy} shard_rows={shard_rows}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_out_of_band_shards() {
+        let db = ShardedDb::new(banded(), 2);
+        assert_eq!(db.shard_count(), 4);
+        let q =
+            RangeQuery::new(vec![Predicate::range(0, 3, 4)], MissingPolicy::IsNotMatch).unwrap();
+        let exec = db.execute_with_stats(&q).unwrap();
+        assert_eq!(exec.rows.rows(), &[2, 3]);
+        assert_eq!(exec.shards_pruned, 3);
+        assert_eq!(exec.shards_executed(), 1);
+    }
+
+    #[test]
+    fn is_match_semantics_disable_pruning_on_attrs_with_missing() {
+        // One missing value per shard on the queried attribute: under
+        // IsMatch no shard may ever be pruned on it, under IsNotMatch the
+        // envelope still prunes.
+        let rows: Vec<Vec<Cell>> = vec![vec![v(1)], vec![m()], vec![v(8)], vec![m()]];
+        let data = Dataset::from_rows(&[("a", 9)], &rows).unwrap();
+        let db = ShardedDb::new(data, 2);
+        assert_eq!(db.shard_count(), 2);
+        let key = vec![Predicate::range(0, 4, 5)]; // misses both envelopes
+        let is_match = RangeQuery::new(key.clone(), MissingPolicy::IsMatch).unwrap();
+        let exec = db.execute_with_stats(&is_match).unwrap();
+        assert_eq!(
+            exec.shards_pruned, 0,
+            "missing ⇒ never prunable under IsMatch"
+        );
+        assert_eq!(exec.rows.rows(), &[1, 3]);
+        let not_match = RangeQuery::new(key, MissingPolicy::IsNotMatch).unwrap();
+        let exec = db.execute_with_stats(&not_match).unwrap();
+        assert_eq!(exec.shards_pruned, 2);
+        assert!(exec.rows.is_empty());
+    }
+
+    #[test]
+    fn appends_open_new_shards_and_compaction_is_dirty_only() {
+        let mut db = ShardedDb::new(banded(), 2);
+        assert_eq!(db.shard_count(), 4);
+        db.insert(&[v(9)]).unwrap(); // last shard full → opens shard 5
+        assert_eq!(db.shard_count(), 5);
+        db.insert(&[v(9)]).unwrap(); // rides in shard 5's delta
+        assert_eq!(db.shard_count(), 5);
+        assert_eq!(db.n_rows(), 10);
+        let q = RangeQuery::new(vec![Predicate::point(0, 9)], MissingPolicy::IsNotMatch).unwrap();
+        assert_eq!(db.execute(&q).unwrap().rows(), &[8, 9]);
+        // Only the one dirty shard rebuilds.
+        assert_eq!(db.compact(), 1);
+        assert_eq!(db.compact(), 0, "clean db compacts nothing");
+        assert_eq!(db.execute(&q).unwrap().rows(), &[8, 9]);
+    }
+
+    #[test]
+    fn deletes_route_to_the_owning_shard() {
+        let mut db = ShardedDb::new(banded(), 3); // shards: [0..3), [3..6), [6..8)
+        assert!(db.delete(4));
+        assert!(!db.delete(4), "double delete is a no-op");
+        assert!(!db.delete(99), "unknown global id");
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 9)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 2, 3, 5, 6, 7]);
+        assert_eq!(db.n_rows(), 7);
+        assert_eq!(db.compact(), 1, "only the shard owning row 4 was dirty");
+        // Survivors renumbered 0..7, order preserved.
+        assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn counters_are_thread_degree_independent() {
+        let data = census_scaled(240, 422);
+        let db = ShardedDb::new(data, 60);
+        let q = RangeQuery::new(
+            vec![Predicate::range(0, 1, 2), Predicate::range(1, 1, 3)],
+            MissingPolicy::IsMatch,
+        )
+        .unwrap();
+        let (rows1, c1) = db.execute_with_cost_threads(&q, 1).unwrap();
+        for threads in [2, 8] {
+            let (rows, c) = db.execute_with_cost_threads(&q, threads).unwrap();
+            assert_eq!(rows, rows1, "t={threads}");
+            assert_eq!(c, c1, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_gets_one_empty_shard() {
+        let data = slice_dataset(&banded(), 0, 0);
+        let mut db = ShardedDb::new(data, 4);
+        assert_eq!(db.shard_count(), 1);
+        assert_eq!(db.n_rows(), 0);
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 9)], MissingPolicy::IsMatch).unwrap();
+        let exec = db.execute_with_stats(&q).unwrap();
+        assert!(exec.rows.is_empty());
+        assert_eq!(exec.shards_pruned, 1, "an empty shard is always prunable");
+        db.insert(&[v(5)]).unwrap();
+        assert_eq!(db.execute(&q).unwrap().rows(), &[0]);
+    }
+
+    #[test]
+    fn invalid_queries_error_regardless_of_pruning() {
+        let db = ShardedDb::new(banded(), 2);
+        let over =
+            RangeQuery::new(vec![Predicate::range(0, 1, 10)], MissingPolicy::IsMatch).unwrap();
+        assert!(db.execute(&over).is_err(), "hi beyond cardinality");
+        let out = RangeQuery::new(vec![Predicate::point(7, 1)], MissingPolicy::IsMatch).unwrap();
+        assert!(db.execute(&out).is_err(), "attr beyond schema");
     }
 }
 

@@ -95,6 +95,6 @@ pub mod prelude {
     pub use ibis_core::{AccessMethod, WorkCounters};
     pub use ibis_obs::{Recorder, Snapshot};
 
-    pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan};
-    pub use crate::profile::{profile_method, QueryProfile};
+    pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
+    pub use crate::profile::{profile_method, profile_sharded, QueryProfile};
 }

@@ -25,6 +25,7 @@
 //! let _ = Arc::new(prof.to_json()); // machine-readable form
 //! ```
 
+use crate::db::ShardedDb;
 use ibis_core::{AccessMethod, RangeQuery, Result, RowSet, WorkCounters};
 use ibis_obs as obs;
 
@@ -110,13 +111,44 @@ pub fn profile_method(
     query: &RangeQuery,
     threads: usize,
 ) -> Result<QueryProfile> {
+    profile_with(method.name(), || {
+        method.execute_with_cost_threads(query, threads)
+    })
+}
+
+/// [`profile_method`] for a sharded database: executes `query` over
+/// [`ShardedDb`] under the recorder, so the profile's span tree carries the
+/// per-shard `db.shard` spans and its snapshot the `shards.pruned` counter.
+///
+/// ```
+/// use ibis::prelude::*;
+///
+/// let data = ibis::core::gen::census_scaled(400, 42);
+/// let db = ShardedDb::new(data, 100);
+/// let q = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
+/// let prof = ibis::profile::profile_sharded(&db, &q, 2).unwrap();
+/// assert_eq!(prof.method, "sharded-db");
+/// assert!(prof.snapshot.spans.iter().any(|s| s.name == "db.shard"));
+/// ```
+pub fn profile_sharded(db: &ShardedDb, query: &RangeQuery, threads: usize) -> Result<QueryProfile> {
+    profile_with("sharded-db", || {
+        db.execute_with_cost_threads(query, threads)
+    })
+}
+
+/// The shared recorder dance: enable recording if needed, run `exec` under
+/// a fresh [`ROOT_SPAN`], and package the isolated subtree.
+fn profile_with(
+    method: &'static str,
+    exec: impl FnOnce() -> Result<(RowSet, WorkCounters)>,
+) -> Result<QueryProfile> {
     let was_enabled = obs::is_enabled();
     if !was_enabled {
         obs::Recorder::enabled().install();
     }
     let mut root_span = obs::span(ROOT_SPAN);
     let root = root_span.id();
-    let result = method.execute_with_cost_threads(query, threads);
+    let result = exec();
     let (rows, counters) = match result {
         Ok(ok) => ok,
         Err(e) => {
@@ -134,7 +166,7 @@ pub fn profile_method(
         obs::Recorder::disabled().install();
     }
     Ok(QueryProfile {
-        method: method.name(),
+        method,
         rows,
         counters,
         root,
