@@ -11,6 +11,7 @@ use ibis_core::synopsis::ShardSynopsis;
 use ibis_core::{
     scan, AccessMethod, Dataset, Interval, MissingPolicy, RangeQuery, RowSet, WorkCounters,
 };
+use ibis_storage::ShardedDb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -160,6 +161,13 @@ pub fn check_case(case: &Case) -> CaseResult {
             Vec::new()
         }
     };
+    let snapshot_pair = match catch(|| build_snapshot_pair(&d)) {
+        Ok(p) => p,
+        Err(p) => {
+            ctx.check("registry/snapshot-build", Err(p));
+            None
+        }
+    };
 
     for (qi, raw) in case.queries.iter().enumerate() {
         check_interval_api(&mut ctx, qi, raw);
@@ -261,8 +269,59 @@ pub fn check_case(case: &Case) -> CaseResult {
         check_interval_split(&mut ctx, &methods, &query, qi);
         check_semantics_bridge(&mut ctx, &d, &methods, &query, qi);
         check_sharded(&mut ctx, &sharded, &query, &truth, qi);
+        check_snapshot_roundtrip(&mut ctx, &snapshot_pair, &query, &truth, qi);
     }
     ctx.result
+}
+
+/// Builds the durable-format metamorphic artifacts: a [`ShardedDb`] over
+/// the case's dataset plus its reconstruction through the storage engine's
+/// snapshot format (`write_snapshot` → `read_snapshot`) — the same path a
+/// checkpoint → reopen cycle takes, with indexes and synopses rebuilt from
+/// raw rows on the way back.
+fn build_snapshot_pair(d: &Arc<Dataset>) -> Option<(ShardedDb, ShardedDb)> {
+    let shard_rows = d.n_rows().div_ceil(3).max(1);
+    let db = ShardedDb::new((**d).clone(), shard_rows);
+    let mut image = Vec::new();
+    db.write_snapshot(&mut image)
+        .expect("snapshot of a valid store serializes");
+    let back =
+        ShardedDb::read_snapshot(&mut image.as_slice()).expect("snapshot of a valid store reloads");
+    Some((db, back))
+}
+
+/// Metamorphic relation 4 — checkpoint round-trip: a store reconstructed
+/// from its own snapshot must answer with rows *and* [`WorkCounters`]
+/// bit-identical to the original (the rebuilt indexes are equivalent
+/// caches, not approximations), and both must agree with the monolithic
+/// truth, at thread degrees {1, 8}.
+fn check_snapshot_roundtrip(
+    ctx: &mut Ctx,
+    pair: &Option<(ShardedDb, ShardedDb)>,
+    query: &RangeQuery,
+    truth: &RowSet,
+    qi: usize,
+) {
+    let Some((orig, back)) = pair else { return };
+    ctx.assert(&format!("snapshot-roundtrip/q{qi}"), || {
+        for threads in SHARD_THREADS {
+            let a = orig
+                .execute_with_cost_threads(query, threads)
+                .map_err(|e| format!("original t={threads}: {e}"))?;
+            let b = back
+                .execute_with_cost_threads(query, threads)
+                .map_err(|e| format!("reloaded t={threads}: {e}"))?;
+            expect_eq(&a.0, truth)?;
+            expect_eq(&b.0, &a.0)?;
+            if a.1 != b.1 {
+                return Err(format!(
+                    "work counters diverge after round-trip at t={threads}; reloaded\n{}\noriginal\n{}",
+                    b.1, a.1
+                ));
+            }
+        }
+        Ok(())
+    });
 }
 
 /// One shard of the sharded metamorphic relation: a contiguous row slice

@@ -23,6 +23,12 @@
 //!   split, semantics bridge, row-permutation invariance). Malformed
 //!   queries must be *rejected with an error*, never panic, never
 //!   mis-answer;
+//! * [`crash`] is the durability twin of the battery: one seeded workload
+//!   written through the [`DurableDb`](ibis_storage::DurableDb) WAL, then
+//!   killed at arbitrary byte offsets (frame boundaries, mid-frame, inside
+//!   the header) and bit-flipped; every mangled copy must recover to its
+//!   exact durable prefix — rows *and* work counters — at thread degrees
+//!   {1, 8} under both semantics;
 //! * [`shrink`] minimizes a failing case (rows, columns, queries,
 //!   predicates, interval bounds, cardinalities) while it still fails;
 //! * [`corpus`] serializes minimized repros into `tests/regressions/`,
@@ -40,11 +46,13 @@
 
 pub mod check;
 pub mod corpus;
+pub mod crash;
 pub mod gen;
 pub mod registry;
 pub mod shrink;
 
 pub use check::{CaseResult, Failure};
+pub use crash::{CrashConfig, CrashReport};
 pub use gen::{Case, RawPred, RawQuery};
 
 use std::path::PathBuf;

@@ -35,9 +35,12 @@ use ibis_bitmap::{
 };
 use ibis_bitvec::Wah;
 use ibis_core::synopsis::ShardSynopsis;
-use ibis_core::{AccessMethod, Cell, Dataset, RangeQuery, Result, RowSet, WorkCounters};
+use ibis_core::{wire, AccessMethod, Cell, Dataset, RangeQuery, Result, RowSet, WorkCounters};
 use ibis_vafile::{VaFile, VaPlusFile};
 use std::sync::Arc;
+
+const SNAPSHOT_MAGIC: &[u8; 4] = b"IBSS";
+const SNAPSHOT_VERSION: u16 = 1;
 
 /// Which indexes an [`IncompleteDb`] maintains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +107,35 @@ impl DbConfig {
             va: true,
             ..DbConfig::none()
         }
+    }
+
+    /// Packs the flags into one byte for the snapshot format.
+    pub(crate) fn to_bits(self) -> u8 {
+        u8::from(self.bee)
+            | u8::from(self.bre) << 1
+            | u8::from(self.bie) << 2
+            | u8::from(self.decomposed) << 3
+            | u8::from(self.va) << 4
+            | u8::from(self.vaplus) << 5
+    }
+
+    /// Inverse of [`DbConfig::to_bits`]; rejects unknown flag bits so a
+    /// snapshot written by a future format can't silently misconfigure.
+    pub(crate) fn from_bits(bits: u8) -> std::io::Result<DbConfig> {
+        if bits >= 1 << 6 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown index-config bits {bits:#x}"),
+            ));
+        }
+        Ok(DbConfig {
+            bee: bits & 1 != 0,
+            bre: bits & 2 != 0,
+            bie: bits & 4 != 0,
+            decomposed: bits & 8 != 0,
+            va: bits & 16 != 0,
+            vaplus: bits & 32 != 0,
+        })
     }
 }
 
@@ -591,6 +623,12 @@ pub struct ShardedDb {
     config: DbConfig,
     shard_rows: usize,
     shards: Vec<Shard>,
+    /// Memoized global-id start offset of each shard (`offsets[i]` = sum of
+    /// `id_width` over shards `0..i`), so delete and query resolve a shard
+    /// without walking all earlier ones. Appends to the last shard never
+    /// move a start; only opening a shard or compacting (which renumbers)
+    /// touches this.
+    offsets: Vec<usize>,
 }
 
 impl std::fmt::Debug for ShardedDb {
@@ -628,10 +666,30 @@ impl ShardedDb {
         if shards.is_empty() {
             shards.push(Shard::over(slice_dataset(&dataset, 0, 0), config));
         }
-        ShardedDb {
+        let mut db = ShardedDb {
             config,
             shard_rows,
             shards,
+            offsets: Vec::new(),
+        };
+        db.recompute_offsets();
+        db
+    }
+
+    /// The per-shard index configuration.
+    pub fn config(&self) -> DbConfig {
+        self.config
+    }
+
+    /// Rebuilds the memoized shard start offsets from scratch (needed only
+    /// when shard widths change: shard creation and compaction).
+    fn recompute_offsets(&mut self) {
+        self.offsets.clear();
+        self.offsets.reserve(self.shards.len());
+        let mut off = 0usize;
+        for shard in &self.shards {
+            self.offsets.push(off);
+            off += shard.id_width();
         }
     }
 
@@ -645,6 +703,13 @@ impl ShardedDb {
     /// The schema width.
     pub fn n_attrs(&self) -> usize {
         self.shards[0].db.n_attrs()
+    }
+
+    /// The schema carrier: shard 0's base relation, whose column names and
+    /// cardinalities are shared by every shard (query parsers resolve
+    /// attribute names against this).
+    pub fn schema(&self) -> &Dataset {
+        &self.shards[0].db.base
     }
 
     /// Number of shards currently held (≥ 1).
@@ -674,9 +739,12 @@ impl ShardedDb {
     /// that shard's synopsis immediately, so pruning stays sound for rows
     /// that have never seen a compaction.
     pub fn insert(&mut self, row: &[Cell]) -> Result<()> {
-        if self.shards.last().expect("≥ 1 shard").id_width() >= self.shard_rows {
+        let last = self.shards.last().expect("≥ 1 shard");
+        if last.id_width() >= self.shard_rows {
+            let next_offset = self.offsets.last().expect("≥ 1 shard") + last.id_width();
             let schema_only = slice_dataset(&self.shards[0].db.base, 0, 0);
             self.shards.push(Shard::over(schema_only, self.config));
+            self.offsets.push(next_offset);
         }
         let shard = self.shards.last_mut().expect("≥ 1 shard");
         shard.db.insert(row)?;
@@ -684,19 +752,26 @@ impl ShardedDb {
         Ok(())
     }
 
+    /// Validates `row` against the schema without inserting it (the durable
+    /// engine checks before logging, so invalid rows never reach the WAL).
+    pub fn validate_row(&self, row: &[Cell]) -> Result<()> {
+        let base = &self.shards[0].db.base;
+        ibis_core::validate_row(row, |a| base.column(a).cardinality(), base.n_attrs())
+    }
+
     /// Deletes a row by global id. Returns `true` if the row existed and
     /// was alive. The synopsis is *not* narrowed — it stays a sound
     /// over-approximation until the owning shard is compacted.
     pub fn delete(&mut self, row: u32) -> bool {
-        let mut offset = 0usize;
-        for shard in &mut self.shards {
-            let width = shard.id_width();
-            if (row as usize) < offset + width {
-                return shard.db.delete((row as usize - offset) as u32);
-            }
-            offset += width;
+        let row = row as usize;
+        // Tombstones don't shrink id_width, so the memoized offsets stay
+        // valid across deletes; binary search finds the owning shard.
+        let i = self.offsets.partition_point(|&o| o <= row) - 1;
+        let shard = &mut self.shards[i];
+        if row >= self.offsets[i] + shard.id_width() {
+            return false;
         }
-        false
+        shard.db.delete((row - self.offsets[i]) as u32)
     }
 
     /// Compacts every **dirty** shard (pending delta rows or tombstones),
@@ -715,6 +790,11 @@ impl ShardedDb {
                 shard.synopsis = ShardSynopsis::of(&shard.db.base);
                 rebuilt += 1;
             }
+        }
+        if rebuilt > 0 {
+            // Compaction reclaims tombstoned ids, shifting every later
+            // shard's start.
+            self.recompute_offsets();
         }
         rebuilt
     }
@@ -757,16 +837,14 @@ impl ShardedDb {
     ) -> Result<ShardExecution> {
         query.validate(&self.shards[0].db.base)?;
         let mut span = ibis_obs::span("db.shards");
+        debug_assert_eq!(self.offsets.len(), self.shards.len());
         let mut work: Vec<(usize, usize, &Shard)> = Vec::new();
-        let mut offset = 0usize;
         let mut pruned = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
-            let off = offset;
-            offset += shard.id_width();
             if shard.synopsis.can_prune(query) {
                 pruned += 1;
             } else {
-                work.push((i, off, shard));
+                work.push((i, self.offsets[i], shard));
             }
         }
         ibis_obs::counter_add("shards.pruned", pruned as u64);
@@ -806,6 +884,104 @@ impl ShardedDb {
     /// Counts matching rows.
     pub fn count(&self, query: &RangeQuery) -> Result<usize> {
         Ok(self.execute(query)?.len())
+    }
+
+    /// Serializes the logical state — per-shard base dataset, delta rows,
+    /// and tombstones — as one checksummed image (magic `IBSS`). Indexes
+    /// and synopses are rebuildable caches and are **not** written;
+    /// [`ShardedDb::read_snapshot`] recomputes them. Serialization is
+    /// deterministic, so equal logical states produce identical bytes.
+    pub fn write_snapshot(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        let mut body = Vec::new();
+        wire::write_u8(&mut body, self.config.to_bits())?;
+        wire::write_len(&mut body, self.shard_rows)?;
+        wire::write_len(&mut body, self.shards.len())?;
+        for shard in &self.shards {
+            shard.db.base.write_to(&mut body)?;
+            wire::write_len(&mut body, shard.db.delta.len())?;
+            for row in &shard.db.delta {
+                for cell in row {
+                    wire::write_u16(&mut body, cell.raw())?;
+                }
+            }
+            let deleted: Vec<u32> = shard.db.deleted.iter().copied().collect();
+            wire::write_vec_u32(&mut body, &deleted)?;
+        }
+        wire::write_header(w, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        wire::write_u32(w, crate::crc::crc32(&body))?;
+        wire::write_bytes(w, &body)
+    }
+
+    /// Parses a snapshot image, rebuilding every index and synopsis.
+    ///
+    /// Hardened against corruption: the body is checksummed; allocations
+    /// are capped (a lying length field hits a clean EOF, never a huge
+    /// reservation); delta rows re-validate against the schema; tombstones
+    /// must be in range; and all shards must share shard 0's schema, so a
+    /// crafted image can't make later query dispatch index out of bounds.
+    pub fn read_snapshot(r: &mut impl std::io::Read) -> std::io::Result<ShardedDb> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        wire::read_header(r, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let crc = wire::read_u32(r)?;
+        let body = wire::read_bytes(r)?;
+        if crate::crc::crc32(&body) != crc {
+            return Err(bad("snapshot checksum mismatch"));
+        }
+        let r = &mut body.as_slice();
+        let config = DbConfig::from_bits(wire::read_u8(r)?)?;
+        let shard_rows = wire::read_len(r)?.max(1);
+        let n_shards = wire::read_len(r)?;
+        let mut shards: Vec<Shard> = Vec::with_capacity(n_shards.min(1 << 16));
+        for _ in 0..n_shards {
+            let base = Dataset::read_from(r)?;
+            if let Some(first) = shards.first() {
+                let schema = |d: &Dataset| -> Vec<(String, u16)> {
+                    d.columns()
+                        .iter()
+                        .map(|c| (c.name().to_string(), c.cardinality()))
+                        .collect()
+                };
+                if schema(&base) != schema(&first.db.base) {
+                    return Err(bad("snapshot shards disagree on the schema"));
+                }
+            }
+            let mut shard = Shard::over(base, config);
+            let width = shard.db.n_attrs();
+            let n_delta = wire::read_len(r)?;
+            for _ in 0..n_delta {
+                let mut row = Vec::with_capacity(width);
+                for _ in 0..width {
+                    row.push(Cell::from_raw(wire::read_u16(r)?));
+                }
+                shard
+                    .db
+                    .insert(&row)
+                    .map_err(|e| bad(&format!("snapshot delta row invalid: {e}")))?;
+                shard.synopsis.observe_row(&row);
+            }
+            let limit = shard.id_width();
+            for id in wire::read_vec_u32(r)? {
+                if (id as usize) >= limit {
+                    return Err(bad("snapshot tombstone out of range"));
+                }
+                shard.db.deleted.insert(id);
+            }
+            shards.push(shard);
+        }
+        if shards.is_empty() {
+            return Err(bad("snapshot holds no shards"));
+        }
+        if !r.is_empty() {
+            return Err(bad("trailing bytes in snapshot body"));
+        }
+        let mut db = ShardedDb {
+            config,
+            shard_rows,
+            shards,
+            offsets: Vec::new(),
+        };
+        db.recompute_offsets();
+        Ok(db)
     }
 }
 

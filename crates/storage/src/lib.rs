@@ -1,0 +1,31 @@
+//! # ibis-storage — the database and durability layer
+//!
+//! Everything above the index crates and below the `ibis` facade:
+//!
+//! * [`db`] — the planner registry ([`IncompleteDb`]) and the sharded
+//!   store ([`ShardedDb`]) with synopsis pruning;
+//! * [`wal`] — the append-only, checksummed, torn-tail-tolerant
+//!   write-ahead log;
+//! * [`manifest`] — the atomically-replaced MANIFEST naming the live
+//!   snapshot and WAL watermark;
+//! * [`engine`] — [`DurableDb`]: WAL → checkpoint → MANIFEST → backup,
+//!   with open-time crash recovery.
+//!
+//! The durability model follows from the paper's economics: encoded bitmap
+//! indexes (BEE/BRE/BIE) are expensive to update in place, so the durable
+//! truth is an append-only row log plus periodic snapshots of the *data*
+//! (datasets, deltas, tombstones), and every index and synopsis is a
+//! rebuildable cache recomputed on load. Snapshots therefore never store
+//! index bytes, and recovery is "load data, rebuild indexes, replay tail".
+
+pub mod db;
+pub mod engine;
+pub mod manifest;
+pub mod wal;
+
+mod crc;
+
+pub use db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
+pub use engine::{DurableDb, ValidateReport};
+pub use manifest::Manifest;
+pub use wal::{WalRecord, WalScan};

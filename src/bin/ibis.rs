@@ -43,6 +43,12 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("query") => query(&args[1..]),
         Some("race") => race(&args[1..]),
         Some("oracle") => oracle(&args[1..]),
+        Some("init") => init(&args[1..]),
+        Some("checkpoint") => checkpoint(&args[1..]),
+        Some("backup") => backup(&args[1..]),
+        Some("restore") => restore(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("crash") => crash(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -74,6 +80,10 @@ commands:
       indexes; synopsis pruning skips shards that cannot match);
       --profile prints the span tree with per-phase work-counter deltas,
       --profile-json also writes the machine-readable profile
+  query --data-dir DIR QUERY [--not-match] [--count] [--limit N]
+        [--threads N] [--profile]
+      recover the durable database in DIR (snapshot + WAL replay) and
+      query it; prints shard pruning stats alongside the answer
   race FILE [--queries N] [--k K] [--seed S] [--threads N] [--profile]
       time BEE/BRE/VA on a generated workload over FILE at the given
       parallel degree; --profile adds a per-method phase table (spans,
@@ -86,6 +96,27 @@ commands:
       scan ground truth; failing cases are shrunk to minimal repros in
       DIR (default tests/regressions); a case slower than the wall-clock
       budget (default 10000 ms) is itself reported as a failure
+  init DIR --from FILE.ibds [--shard-rows N]
+      initialize a durable data directory (WAL + snapshot + MANIFEST)
+      from a dataset; `query --data-dir DIR` then recovers and queries it
+  checkpoint DIR
+      open (recover) DIR, then roll its WAL into a fresh snapshot and
+      truncate the log
+  backup DIR --out FILE.ibbk
+      write DIR's logical state as one checksummed backup file
+      (deterministic: backup → restore → backup is byte-identical)
+  restore FILE.ibbk --into DIR
+      initialize a fresh data directory from a backup file
+  validate DIR
+      verify checksums, parse the snapshot, scan the WAL; prints the
+      generation, watermark, replayable records, and torn-tail bytes
+  crash [--seed S] [--rows N] [--kill-points N] [--bit-flips N]
+        [--threads A,B]
+      run the crash-recovery harness: one seeded workload killed at
+      every WAL frame boundary, mid-frame, inside the header, at random
+      offsets, and under single-bit corruption; every mangled copy must
+      recover exactly its durable prefix (rows and work counters, both
+      semantics, each thread degree)
 ";
 
 /// Pulls `--name value` out of `args`; returns the remaining positionals.
@@ -395,6 +426,9 @@ fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMeth
 
 fn query(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args);
+    if flags.contains_key("data-dir") {
+        return query_durable(&pos, &flags);
+    }
     let (path, text) = match pos.as_slice() {
         [p, q] => (p, q),
         _ => return Err("usage: ibis query FILE \"QUERY\" [flags]".into()),
@@ -529,6 +563,225 @@ fn query(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `ibis query --data-dir DIR "QUERY"` — recover the durable database and
+/// query it through the sharded executor (pruning stats included).
+fn query_durable(
+    pos: &[String],
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<(), String> {
+    let dir = req(flags, "data-dir")?;
+    let text = pos
+        .first()
+        .ok_or("usage: ibis query --data-dir DIR \"QUERY\" [flags]")?;
+    if flags.contains_key("index") || flags.contains_key("shard-rows") {
+        return Err("--data-dir queries the directory's own per-shard indexes; \
+                    it cannot be combined with --index or --shard-rows"
+            .into());
+    }
+    let db = DurableDb::open(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot open data directory {dir:?}: {e}"))?;
+    if db.replayed_on_open() > 0 {
+        println!(
+            "recovered {dir}: replayed {} WAL record(s) past the checkpoint",
+            db.replayed_on_open()
+        );
+    }
+    let policy = if flags.contains_key("not-match") {
+        MissingPolicy::IsNotMatch
+    } else {
+        MissingPolicy::IsMatch
+    };
+    let q = parse_query(db.db().schema(), text, policy).map_err(|e| e.to_string())?;
+    let threads = parse_threads(flags)?;
+    let rows = if flags.contains_key("profile") {
+        let prof =
+            ibis::profile::profile_sharded(db.db(), &q, threads).map_err(|e| e.to_string())?;
+        print!("{}", prof.render());
+        let pruned = prof.snapshot.counters.get("shards.pruned").copied();
+        println!("shards pruned: {}", pruned.unwrap_or(0));
+        prof.rows
+    } else {
+        let exec = db
+            .execute_with_stats_threads(&q, threads)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "shards: {} total, {} pruned, {} executed",
+            exec.shards_total,
+            exec.shards_pruned,
+            exec.shards_executed()
+        );
+        exec.rows
+    };
+    println!(
+        "{} rows match under {policy} (selectivity {:.3}%)",
+        rows.len(),
+        rows.selectivity(db.n_rows()) * 100.0
+    );
+    if !flags.contains_key("count") {
+        let limit: usize = flags.get("limit").map_or(Ok(20), |s| num(s, "limit"))?;
+        for r in rows.iter().take(limit) {
+            println!("  row {r}");
+        }
+        if rows.len() > limit {
+            println!("  … {} more (use --limit)", rows.len() - limit);
+        }
+    }
+    Ok(())
+}
+
+fn init(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let dir = pos
+        .first()
+        .ok_or("usage: ibis init DIR --from FILE.ibds [--shard-rows N]")?;
+    let from = req(&flags, "from")?;
+    let shard_rows: usize = flags
+        .get("shard-rows")
+        .map_or(Ok(4096), |s| num(s, "shard rows"))?;
+    if shard_rows == 0 {
+        return Err("--shard-rows must be at least 1".into());
+    }
+    let d = load_dataset(from)?;
+    let db = DurableDb::create(
+        std::path::Path::new(dir),
+        d,
+        shard_rows,
+        DbConfig::default(),
+    )
+    .map_err(|e| format!("cannot initialize {dir:?}: {e}"))?;
+    println!(
+        "initialized {dir}: generation {}, {} rows × {} attrs in {} shard(s)",
+        db.generation(),
+        db.n_rows(),
+        db.n_attrs(),
+        db.shard_count()
+    );
+    Ok(())
+}
+
+fn checkpoint(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args);
+    let dir = pos.first().ok_or("usage: ibis checkpoint DIR")?;
+    let mut db = DurableDb::open(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot open data directory {dir:?}: {e}"))?;
+    let replayed = db.replayed_on_open();
+    db.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "checkpointed {dir}: generation {}, {replayed} WAL record(s) folded in, \
+         log truncated to {} bytes",
+        db.generation(),
+        db.wal_bytes()
+    );
+    Ok(())
+}
+
+fn backup(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let dir = pos
+        .first()
+        .ok_or("usage: ibis backup DIR --out FILE.ibbk")?;
+    let out = req(&flags, "out")?;
+    let db = DurableDb::open(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot open data directory {dir:?}: {e}"))?;
+    db.backup(std::path::Path::new(out))
+        .map_err(|e| format!("cannot write backup {out:?}: {e}"))?;
+    println!(
+        "backed up {dir} ({} rows, generation {}) → {out}",
+        db.n_rows(),
+        db.generation()
+    );
+    Ok(())
+}
+
+fn restore(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args);
+    let file = pos
+        .first()
+        .ok_or("usage: ibis restore FILE.ibbk --into DIR")?;
+    let into = req(&flags, "into")?;
+    let db = DurableDb::restore(std::path::Path::new(file), std::path::Path::new(into))
+        .map_err(|e| format!("cannot restore {file:?} into {into:?}: {e}"))?;
+    println!(
+        "restored {file} → {into}: {} rows × {} attrs, generation {}",
+        db.n_rows(),
+        db.n_attrs(),
+        db.generation()
+    );
+    Ok(())
+}
+
+fn validate(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args);
+    let dir = pos.first().ok_or("usage: ibis validate DIR")?;
+    let r = DurableDb::validate(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "{dir}: generation {}, watermark {}",
+        r.generation, r.watermark
+    );
+    println!(
+        "  snapshot: {} shard(s), {} row(s)",
+        r.snapshot_shards, r.snapshot_rows
+    );
+    println!(
+        "  wal: {} replayable record(s) in {} well-formed byte(s), {} torn byte(s)",
+        r.wal_records, r.wal_bytes, r.torn_tail_bytes
+    );
+    if r.torn_tail_bytes > 0 {
+        println!("  note: the torn tail will be repaired by the next open");
+    }
+    Ok(())
+}
+
+fn crash(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args);
+    let threads = match flags.get("threads") {
+        Some(s) => s
+            .split(',')
+            .map(|t| num::<usize>(t.trim(), "thread degree"))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => vec![1, 8],
+    };
+    if threads.is_empty() || threads.contains(&0) {
+        return Err("--threads must be a comma-separated list of degrees ≥ 1".into());
+    }
+    let cfg = ibis::oracle::CrashConfig {
+        seed: flags.get("seed").map_or(Ok(1), |s| num(s, "seed"))?,
+        rows: flags.get("rows").map_or(Ok(96), |s| num(s, "row count"))?,
+        kill_points: flags
+            .get("kill-points")
+            .map_or(Ok(24), |s| num(s, "kill-point count"))?,
+        bit_flips: flags
+            .get("bit-flips")
+            .map_or(Ok(8), |s| num(s, "bit-flip count"))?,
+        threads,
+        ..ibis::oracle::CrashConfig::default()
+    };
+    println!(
+        "crash harness: seed {}, {} rows, {} extra kill points, {} bit flips, threads {:?}",
+        cfg.seed, cfg.rows, cfg.kill_points, cfg.bit_flips, cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let report =
+        ibis::oracle::crash::run(&cfg).map_err(|e| format!("harness scaffolding failed: {e}"))?;
+    println!(
+        "{} in {:.1}s",
+        report.summary(),
+        start.elapsed().as_secs_f64()
+    );
+    if report.ok() {
+        println!("every recovery matched its durable prefix exactly");
+        return Ok(());
+    }
+    for f in report.failures.iter().take(10) {
+        println!(
+            "FAILED {}: {}",
+            f.check,
+            f.detail.lines().next().unwrap_or("")
+        );
+    }
+    Err(format!("{} failing check(s)", report.failures.len()))
 }
 
 fn race(args: &[String]) -> Result<(), String> {
@@ -870,6 +1123,103 @@ mod tests {
             .unwrap()
             .starts_with("age,city"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_cli_cycle() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_durable_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let db_dir = dir.join("db").to_string_lossy().into_owned();
+        let db_dir2 = dir.join("db2").to_string_lossy().into_owned();
+        let bak = dir.join("d.ibbk").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("200"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        run(&[
+            s("init"),
+            db_dir.clone(),
+            s("--from"),
+            data.clone(),
+            s("--shard-rows"),
+            s("64"),
+        ])
+        .unwrap();
+        // Initializing over an existing database is refused.
+        assert!(run(&[s("init"), db_dir.clone(), s("--from"), data.clone()]).is_err());
+        let d = Dataset::load(&data).unwrap();
+        let text = format!("{} = 1", d.column(0).name());
+        run(&[
+            s("query"),
+            s("--data-dir"),
+            db_dir.clone(),
+            text.clone(),
+            s("--count"),
+            s("--threads"),
+            s("2"),
+        ])
+        .unwrap();
+        assert!(
+            run(&[
+                s("query"),
+                s("--data-dir"),
+                db_dir.clone(),
+                text.clone(),
+                s("--shard-rows"),
+                s("8"),
+            ])
+            .is_err(),
+            "--data-dir excludes --shard-rows"
+        );
+        run(&[s("validate"), db_dir.clone()]).unwrap();
+        run(&[s("checkpoint"), db_dir.clone()]).unwrap();
+        run(&[s("backup"), db_dir.clone(), s("--out"), bak.clone()]).unwrap();
+        run(&[s("restore"), bak.clone(), s("--into"), db_dir2.clone()]).unwrap();
+        run(&[
+            s("query"),
+            s("--data-dir"),
+            db_dir2.clone(),
+            text,
+            s("--not-match"),
+            s("--profile"),
+        ])
+        .unwrap();
+        // Restoring over the now-populated directory is refused.
+        assert!(run(&[s("restore"), bak, s("--into"), db_dir2]).is_err());
+        assert!(run(&[s("validate"), s("/no/such/dir")]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_subcommand_runs_a_small_schedule() {
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("crash"),
+            s("--seed"),
+            s("11"),
+            s("--rows"),
+            s("40"),
+            s("--kill-points"),
+            s("4"),
+            s("--bit-flips"),
+            s("2"),
+            s("--threads"),
+            s("1,2"),
+        ])
+        .unwrap();
+        assert!(
+            run(&[s("crash"), s("--threads"), s("0")]).is_err(),
+            "zero thread degree rejected"
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`bitmap`] — the paper's BEE and BRE bitmap indexes;
 //! * [`vafile`] — the paper's VA-file and the VA+-file extension;
 //! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index;
+//! * [`storage`] — the database layer ([`db::IncompleteDb`],
+//!   [`db::ShardedDb`]) and the durable engine
+//!   ([`DurableDb`](storage::DurableDb)): write-ahead log, checkpoints,
+//!   atomic MANIFEST, backup/restore, crash recovery;
 //! * [`oracle`] — seeded differential + metamorphic correctness oracle over
 //!   every access method (see the `ibis oracle` CLI subcommand);
 //! * [`obs`] — zero-dependency observability (tracing spans, metrics,
@@ -66,8 +70,13 @@
 //! }
 //! ```
 
-pub mod db;
 pub mod profile;
+
+/// The database layer (planner registry + sharded store), re-exported from
+/// [`ibis_storage`] where it lives alongside the durable engine.
+pub mod db {
+    pub use ibis_storage::db::*;
+}
 
 pub use ibis_baseline as baseline;
 pub use ibis_bitmap as bitmap;
@@ -75,6 +84,7 @@ pub use ibis_bitvec as bitvec;
 pub use ibis_core as core;
 pub use ibis_obs as obs;
 pub use ibis_oracle as oracle;
+pub use ibis_storage as storage;
 pub use ibis_vafile as vafile;
 
 /// Commonly used items in one import.
@@ -97,4 +107,5 @@ pub mod prelude {
 
     pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
     pub use crate::profile::{profile_method, profile_sharded, QueryProfile};
+    pub use ibis_storage::{DurableDb, ValidateReport};
 }

@@ -5,6 +5,7 @@
 
 use ibis::core::gen::census_scaled;
 use ibis::prelude::*;
+use ibis::storage::Manifest;
 use proptest::prelude::*;
 use std::sync::LazyLock;
 
@@ -79,6 +80,36 @@ fn dec_bytes() -> Vec<u8> {
         buf
     });
     BYTES.clone()
+}
+
+/// Byte images of every durable-engine format, in order: snapshot, WAL,
+/// MANIFEST, backup.
+type StorageImages = (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>);
+
+/// Byte images of every durable-engine format — snapshot, WAL, MANIFEST,
+/// backup — captured from one real data directory with deltas, tombstones,
+/// and logged mutations.
+fn storage_images() -> StorageImages {
+    static IMAGES: LazyLock<StorageImages> = LazyLock::new(|| {
+        let dir = std::env::temp_dir().join(format!("ibis_corrupt_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = census_scaled(60, 507);
+        let row: Vec<Cell> = (0..d.n_attrs()).map(|a| d.cell(0, a)).collect();
+        let mut db = DurableDb::create(&dir, d, 24, DbConfig::default()).unwrap();
+        db.insert(&row).unwrap();
+        db.delete(3).unwrap();
+        db.insert(&row).unwrap();
+        let backup_path = dir.join("b.ibbk");
+        db.backup(&backup_path).unwrap();
+        let mut snapshot = Vec::new();
+        db.db().write_snapshot(&mut snapshot).unwrap();
+        let wal = std::fs::read(ibis::storage::engine::wal_path(&dir)).unwrap();
+        let manifest = std::fs::read(dir.join(ibis::storage::manifest::MANIFEST_FILE)).unwrap();
+        let backup = std::fs::read(&backup_path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        (snapshot, wal, manifest, backup)
+    });
+    IMAGES.clone()
 }
 
 proptest! {
@@ -172,6 +203,102 @@ proptest! {
                 let _ = IntervalBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
                 let _ = DecomposedBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
                 let _ = VaFile::read_from(&mut buf.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_snapshot_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let (mut buf, _, _, _) = storage_images();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = ShardedDb::read_snapshot(&mut buf.as_slice()); // must not panic
+    }
+
+    #[test]
+    fn truncated_snapshot_always_errors(cut_frac in 0.0f64..0.999) {
+        // The snapshot is CRC'd and length-prefixed throughout: any strict
+        // truncation must be rejected, never mis-parsed.
+        let (buf, _, _, _) = storage_images();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(ShardedDb::read_snapshot(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn mutated_wal_never_panics_and_keeps_a_wellformed_prefix(
+        pos in 0usize..8192, byte in any::<u8>()
+    ) {
+        let (_, mut buf, _, _) = storage_images();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let scan = ibis::storage::wal::scan_bytes(&buf); // total: never errors, never panics
+        prop_assert!(scan.valid_len as usize <= buf.len());
+        // Sequence numbers of whatever survives stay consecutive.
+        for w in scan.records.windows(2) {
+            prop_assert_eq!(w[1].0, w[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn wal_lying_length_fields_never_allocate(word in any::<u32>()) {
+        // Overwrite the first frame's length prefix with an arbitrary u32:
+        // the scan must tear there (or parse a benign value) without ever
+        // reserving the claimed amount.
+        let (_, mut buf, _, _) = storage_images();
+        let off = ibis::storage::wal::WAL_HEADER_LEN as usize;
+        buf[off..off + 4].copy_from_slice(&word.to_le_bytes());
+        let scan = ibis::storage::wal::scan_bytes(&buf);
+        prop_assert!(scan.valid_len as usize <= buf.len());
+    }
+
+    #[test]
+    fn mutated_manifest_never_panics(pos in 0usize..256, byte in any::<u8>()) {
+        let (_, _, mut buf, _) = storage_images();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = Manifest::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn truncated_manifest_always_errors(cut_frac in 0.0f64..0.999) {
+        let (_, _, buf, _) = storage_images();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(Manifest::read_from(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn mutated_backup_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let (_, _, _, mut buf) = storage_images();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = DurableDb::read_backup(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn truncated_backup_always_errors(cut_frac in 0.0f64..0.999) {
+        let (_, _, _, buf) = storage_images();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(DurableDb::read_backup(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn storage_length_fields_never_cause_huge_preallocation(word in any::<u64>()) {
+        // Same CPU/memory-DoS probe as the index formats: stamp an
+        // arbitrary u64 over the length-bearing fields right after each
+        // header (and two later offsets that land inside per-shard counts)
+        // — every reader must fail cleanly without reserving the claim.
+        let le = word.to_le_bytes();
+        let (snapshot, _, manifest, backup) = storage_images();
+        for base in [&snapshot, &manifest, &backup] {
+            for off in [6usize, 14, 30] {
+                if off + 8 > base.len() {
+                    continue;
+                }
+                let mut buf = base.clone();
+                buf[off..off + 8].copy_from_slice(&le);
+                let _ = ShardedDb::read_snapshot(&mut buf.as_slice());
+                let _ = Manifest::read_from(&mut buf.as_slice());
+                let _ = DurableDb::read_backup(&mut buf.as_slice());
             }
         }
     }

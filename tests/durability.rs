@@ -1,0 +1,208 @@
+//! End-to-end durability: the WAL + snapshot + MANIFEST engine under
+//! [`ShardedDb`], driven through the facade the way an application would.
+//!
+//! The deep kill-schedule coverage lives in `ibis_oracle::crash` (run by
+//! the `ibis crash` CLI and the CI `storage` job); this suite pins the
+//! user-visible contract: mutations survive a crash, checkpoints truncate
+//! the log and make reopen replay nothing, backups restore byte-identically,
+//! and a freshly recovered database answers exactly like its uncrashed twin
+//! under both semantics.
+
+use ibis::core::gen::{census_scaled, workload, QuerySpec};
+use ibis::prelude::*;
+use ibis::storage::{engine, wal};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibis_durable_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn queries(d: &Dataset) -> Vec<RangeQuery> {
+    let mut qs = Vec::new();
+    for policy in MissingPolicy::ALL {
+        let spec = QuerySpec {
+            n_queries: 4,
+            k: 2,
+            global_selectivity: 0.1,
+            policy,
+            candidate_attrs: vec![],
+        };
+        qs.extend(workload(d, &spec, 701));
+    }
+    qs
+}
+
+fn row_of(d: &Dataset, i: usize) -> Vec<Cell> {
+    (0..d.n_attrs()).map(|a| d.cell(i, a)).collect()
+}
+
+#[test]
+fn mutations_survive_a_crash_and_match_the_uncrashed_twin() {
+    let dir = tmp_dir("replay");
+    let data = census_scaled(150, 700);
+    let schema = data.clone();
+    let mut db = DurableDb::create(&dir, data, 48, DbConfig::default()).unwrap();
+    db.insert(&row_of(&schema, 3)).unwrap();
+    db.insert(&row_of(&schema, 9)).unwrap();
+    assert!(db.delete(5).unwrap());
+    assert!(
+        !db.delete(9_999).unwrap(),
+        "a miss is reported, not an error"
+    );
+    db.compact().unwrap();
+    db.insert(&row_of(&schema, 12)).unwrap();
+    let twin = db.db().clone();
+    drop(db); // no clean shutdown — recovery is the only close protocol
+
+    let recovered = DurableDb::open(&dir).unwrap();
+    // All six mutations replay — including the missed delete, which is
+    // logged so replay stays deterministic.
+    assert_eq!(recovered.replayed_on_open(), 6);
+    assert_eq!(recovered.n_rows(), twin.n_rows());
+    for (threads, q) in [1usize, 8]
+        .iter()
+        .flat_map(|t| queries(&schema).into_iter().map(move |q| (*t, q)))
+    {
+        assert_eq!(
+            recovered.execute_with_cost_threads(&q, threads).unwrap(),
+            twin.execute_with_cost_threads(&q, threads).unwrap(),
+            "rows and work counters must both match at t={threads}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_truncates_the_wal_and_reopen_replays_nothing() {
+    let dir = tmp_dir("checkpoint");
+    let data = census_scaled(100, 702);
+    let schema = data.clone();
+    let mut db = DurableDb::create(&dir, data, 40, DbConfig::default()).unwrap();
+    for i in 0..6 {
+        db.insert(&row_of(&schema, i)).unwrap();
+    }
+    assert!(db.wal_bytes() > wal::WAL_HEADER_LEN);
+    db.checkpoint().unwrap();
+    assert_eq!(db.wal_bytes(), wal::WAL_HEADER_LEN);
+    assert_eq!(db.generation(), 2);
+    let rows_before = db.n_rows();
+    drop(db);
+
+    let db = DurableDb::open(&dir).unwrap();
+    assert_eq!(
+        db.replayed_on_open(),
+        0,
+        "the checkpoint absorbed every record"
+    );
+    assert_eq!(db.n_rows(), rows_before);
+
+    // The directory holds exactly one snapshot: the superseded generation
+    // was removed.
+    let snapshots = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".ibss")
+        })
+        .count();
+    assert_eq!(snapshots, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_durable_prefix() {
+    let dir = tmp_dir("torn");
+    let data = census_scaled(80, 703);
+    let schema = data.clone();
+    let mut db = DurableDb::create(&dir, data, 32, DbConfig::default()).unwrap();
+    db.insert(&row_of(&schema, 1)).unwrap();
+    let durable_boundary = db.wal_bytes();
+    db.insert(&row_of(&schema, 2)).unwrap();
+    let twin_one_insert = {
+        let mut t = ShardedDb::with_config(schema.clone(), 32, DbConfig::default());
+        t.insert(&row_of(&schema, 1)).unwrap();
+        t
+    };
+    drop(db);
+
+    // Tear mid-way through the second frame.
+    let wal_file = engine::wal_path(&dir);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_file)
+        .unwrap();
+    f.set_len(durable_boundary + 3).unwrap();
+    drop(f);
+
+    let recovered = DurableDb::open(&dir).unwrap();
+    assert_eq!(
+        recovered.replayed_on_open(),
+        1,
+        "only the intact frame replays"
+    );
+    for q in queries(&schema) {
+        assert_eq!(
+            recovered.execute_with_cost_threads(&q, 1).unwrap(),
+            twin_one_insert.execute_with_cost_threads(&q, 1).unwrap(),
+        );
+    }
+    drop(recovered);
+    // Recovery truncated the torn tail on disk.
+    let r = DurableDb::validate(&dir).unwrap();
+    assert_eq!(r.torn_tail_bytes, 0);
+    assert_eq!(r.wal_records, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backup_restore_roundtrip_is_byte_identical_and_query_equivalent() {
+    let dir = tmp_dir("bak_src");
+    let dir2 = tmp_dir("bak_dst");
+    let data = census_scaled(120, 704);
+    let schema = data.clone();
+    let mut db = DurableDb::create(&dir, data, 50, DbConfig::default()).unwrap();
+    db.insert(&row_of(&schema, 7)).unwrap();
+    db.delete(2).unwrap();
+    let b1 = dir.join("a.ibbk");
+    let b2 = dir.join("b.ibbk");
+    db.backup(&b1).unwrap();
+    let restored = DurableDb::restore(&b1, &dir2).unwrap();
+    restored.backup(&b2).unwrap();
+    assert_eq!(std::fs::read(&b1).unwrap(), std::fs::read(&b2).unwrap());
+    for q in queries(&schema) {
+        assert_eq!(
+            restored.execute_with_cost_threads(&q, 8).unwrap(),
+            db.execute_with_cost_threads(&q, 8).unwrap(),
+        );
+    }
+    // A flipped byte anywhere in the backup is rejected by its checksum.
+    let mut image = std::fs::read(&b1).unwrap();
+    let mid = image.len() / 2;
+    image[mid] ^= 0x01;
+    assert!(DurableDb::read_backup(&mut image.as_slice()).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn a_short_crash_harness_run_is_clean() {
+    let report = ibis::oracle::crash::run(&ibis::oracle::CrashConfig {
+        seed: 31,
+        rows: 40,
+        shard_rows: 16,
+        phase1_ops: 4,
+        phase2_ops: 6,
+        kill_points: 4,
+        bit_flips: 3,
+        threads: vec![1, 8],
+        dir: None,
+    })
+    .expect("harness scaffolding");
+    assert!(report.ok(), "failures: {:#?}", report.failures);
+    assert!(report.checks > 0);
+}

@@ -121,6 +121,70 @@ fn disabled_recorder_keeps_results_identical_and_records_nothing() {
 }
 
 #[test]
+fn durable_open_emits_storage_spans_and_matching_counters() {
+    let _serial = serial();
+    let dir = std::env::temp_dir().join(format!("ibis_prof_durable_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let data = ibis::core::gen::census_scaled(150, 96);
+    let row: Vec<ibis::core::Cell> = (0..data.n_attrs()).map(|a| data.cell(0, a)).collect();
+
+    // Mutations under an enabled recorder: every append is one fsync, and
+    // the logged bytes equal the WAL growth past its header.
+    Recorder::enabled().install();
+    let mut db = DurableDb::create(&dir, data, 50, DbConfig::default()).unwrap();
+    db.insert(&row).unwrap();
+    db.insert(&row).unwrap();
+    db.delete(1).unwrap();
+    let logged_bytes = db.wal_bytes() - ibis::storage::wal::WAL_HEADER_LEN;
+    drop(db);
+    let snap = ibis::obs::snapshot();
+    assert_eq!(snap.counters.get("wal.fsyncs").copied(), Some(3));
+    assert_eq!(
+        snap.counters.get("wal.append_bytes").copied(),
+        Some(logged_bytes)
+    );
+
+    // A recovery + checkpoint under a fresh recorder generation: the
+    // storage.open span's field deltas must be covered by (⊆) the final
+    // counters — the same invariant the query spans uphold.
+    Recorder::enabled().install();
+    let mut db = DurableDb::open(&dir).unwrap();
+    assert_eq!(db.replayed_on_open(), 3);
+    db.checkpoint().unwrap();
+    let snap = ibis::obs::snapshot();
+    Recorder::disabled().install();
+
+    let open = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "storage.open")
+        .expect("open is a span");
+    let replayed_field = open
+        .fields
+        .iter()
+        .find(|(n, _)| n == "replayed_records")
+        .expect("span carries its replay delta")
+        .1;
+    let final_counter = snap
+        .counters
+        .get("recovery.replayed_records")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(replayed_field, 3);
+    assert!(
+        replayed_field <= final_counter,
+        "span delta ({replayed_field}) must be ⊆ the final counter ({final_counter})"
+    );
+    assert!(snap.spans.iter().any(|s| s.name == "storage.checkpoint"));
+    let ckpt = snap
+        .histograms
+        .get("checkpoint.ms")
+        .expect("checkpoint duration is observed");
+    assert_eq!(ckpt.count, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn db_execution_emits_plan_and_delta_spans() {
     let _serial = serial();
     let data = ibis::core::gen::census_scaled(250, 95);
