@@ -227,6 +227,48 @@ impl ExecPool {
         }
     }
 
+    /// Runs `f(worker)` once per worker, all workers live *concurrently* —
+    /// a fan-out, not a work partition: where [`map`](ExecPool::map) slices
+    /// one job across the pool, `broadcast` gives every worker the same
+    /// job at the same time. This is the shape of concurrent *serving*
+    /// (N readers each looping over their own snapshot acquisitions) and
+    /// what the stress CLI uses to race readers against a writer.
+    ///
+    /// Results come back in worker order. Degree 1 runs inline.
+    ///
+    /// # Panics
+    /// Panics with `"worker panicked: …"` if `f` panics on any worker (the
+    /// panic is contained on the worker and re-raised on the caller).
+    pub fn broadcast<U, F>(&self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads == 1 {
+            return vec![f(0)];
+        }
+        let f = &f;
+        let parent_span = ibis_obs::current_span_id();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut span = ibis_obs::span_with_parent("pool.worker", parent_span);
+                        span.add_field("worker", i as u64);
+                        f(i)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => panic!("worker panicked: {}", panic_detail(payload)),
+                })
+                .collect()
+        })
+    }
+
     /// Reduces `items` with the associative `combine`, folding contiguous
     /// chunks on workers and the chunk partials left-to-right. For any
     /// associative combiner the result equals the sequential left fold, and
@@ -424,6 +466,30 @@ mod tests {
                 "n={n} threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Every worker spins until it has seen all its siblings arrive —
+        // only truly concurrent workers can all get past the barrier.
+        for threads in [1usize, 2, 8] {
+            let arrived = AtomicUsize::new(0);
+            let got = ExecPool::new(threads).broadcast(|i| {
+                arrived.fetch_add(1, Ordering::SeqCst);
+                while arrived.load(Ordering::SeqCst) < threads {
+                    std::hint::spin_loop();
+                }
+                i * 10
+            });
+            assert_eq!(got, (0..threads).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn broadcast_panic_propagates() {
+        ExecPool::new(2).broadcast(|i| assert!(i != 1, "boom"));
     }
 
     #[test]

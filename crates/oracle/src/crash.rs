@@ -20,8 +20,9 @@
 //! scaffolding (temp directories, file copies) fails.
 
 use crate::check::Failure;
+use crate::workload::{gen_op, probe_queries, Op};
 use ibis_core::gen::census_scaled;
-use ibis_core::{Cell, Dataset, MissingPolicy, Predicate, RangeQuery};
+use ibis_core::RangeQuery;
 use ibis_storage::wal::WAL_HEADER_LEN;
 use ibis_storage::{engine, DbConfig, DurableDb, ShardedDb};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -29,37 +30,6 @@ use std::collections::BTreeSet;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-
-/// One workload mutation, replayable against both the durable database and
-/// its in-memory twin.
-#[derive(Clone, Debug)]
-enum Op {
-    Insert(Vec<Cell>),
-    Delete(u32),
-    Compact,
-}
-
-impl Op {
-    fn apply_durable(&self, db: &mut DurableDb) -> io::Result<()> {
-        match self {
-            Op::Insert(row) => db.insert(row),
-            Op::Delete(id) => db.delete(*id).map(|_| ()),
-            Op::Compact => db.compact().map(|_| ()),
-        }
-    }
-
-    fn apply_twin(&self, db: &mut ShardedDb) {
-        match self {
-            Op::Insert(row) => db.insert(row).expect("twin replays a validated row"),
-            Op::Delete(id) => {
-                db.delete(*id);
-            }
-            Op::Compact => {
-                db.compact();
-            }
-        }
-    }
-}
 
 /// Configuration for one crash-recovery run.
 #[derive(Clone, Debug)]
@@ -130,58 +100,6 @@ impl CrashReport {
             self.checks,
             self.failures.len()
         )
-    }
-}
-
-/// A deterministic probe battery over the schema: prefix, full-domain, and
-/// conjunctive ranges, each under both missing-data semantics.
-fn probe_queries(schema: &Dataset) -> Vec<RangeQuery> {
-    let card = |a: usize| schema.column(a).cardinality();
-    let mut qs = Vec::new();
-    for policy in MissingPolicy::ALL {
-        qs.push(
-            RangeQuery::new(vec![Predicate::range(0, 1, card(0).min(4))], policy)
-                .expect("prefix probe is valid"),
-        );
-        let last = schema.n_attrs() - 1;
-        qs.push(
-            RangeQuery::new(vec![Predicate::range(last, 1, card(last))], policy)
-                .expect("full-domain probe is valid"),
-        );
-        if schema.n_attrs() >= 2 {
-            let c1 = card(1);
-            qs.push(
-                RangeQuery::new(
-                    vec![
-                        Predicate::range(0, 1, card(0)),
-                        Predicate::range(1, (c1 / 2).max(1), c1),
-                    ],
-                    policy,
-                )
-                .expect("conjunctive probe is valid"),
-            );
-        }
-    }
-    qs
-}
-
-/// One seeded workload mutation. Deletes deliberately overshoot the live id
-/// range sometimes — a durable no-op delete must replay as a no-op.
-fn gen_op(rng: &mut StdRng, schema: &Dataset, live_hint: u32) -> Op {
-    match rng.gen_range(0..8) {
-        0..=4 => Op::Insert(
-            (0..schema.n_attrs())
-                .map(|a| {
-                    if rng.gen_range(0..5) == 0 {
-                        Cell::MISSING
-                    } else {
-                        Cell::present(rng.gen_range(1..=schema.column(a).cardinality()))
-                    }
-                })
-                .collect(),
-        ),
-        5..=6 => Op::Delete(rng.gen_range(0..live_hint + 8)),
-        _ => Op::Compact,
     }
 }
 

@@ -29,6 +29,11 @@
 //!   the header) and bit-flipped; every mangled copy must recover to its
 //!   exact durable prefix — rows *and* work counters — at thread degrees
 //!   {1, 8} under both semantics;
+//! * [`stress`] is the concurrency twin: N reader threads race one writer
+//!   through a precomputed mutation schedule on a snapshot-isolated
+//!   [`ConcurrentDb`](ibis_storage::ConcurrentDb); every acquired
+//!   snapshot must match its exact schedule prefix (watermark-indexed)
+//!   bit-identically, at every thread degree, under both semantics;
 //! * [`shrink`] minimizes a failing case (rows, columns, queries,
 //!   predicates, interval bounds, cardinalities) while it still fails;
 //! * [`corpus`] serializes minimized repros into `tests/regressions/`,
@@ -50,10 +55,14 @@ pub mod crash;
 pub mod gen;
 pub mod registry;
 pub mod shrink;
+pub mod stress;
+
+mod workload;
 
 pub use check::{CaseResult, Failure};
 pub use crash::{CrashConfig, CrashReport};
 pub use gen::{Case, RawPred, RawQuery};
+pub use stress::{StressConfig, StressReport};
 
 use std::path::PathBuf;
 

@@ -1,0 +1,102 @@
+//! Shared workload vocabulary for the storage harnesses.
+//!
+//! The crash harness ([`crate::crash`]) and the concurrency stress harness
+//! ([`crate::stress`]) drive the same op language against different
+//! adversaries (torn WALs vs racing readers), so the op type, the seeded
+//! op generator, and the probe-query battery live here once.
+
+use ibis_core::{Cell, Dataset, MissingPolicy, Predicate, RangeQuery};
+use ibis_storage::{ConcurrentDb, DurableDb, ShardedDb};
+use rand::{rngs::StdRng, Rng};
+use std::io;
+
+/// One workload mutation, replayable against the durable engine, the
+/// concurrent serving layer, and a plain in-memory twin.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    Insert(Vec<Cell>),
+    Delete(u32),
+    Compact,
+}
+
+impl Op {
+    pub(crate) fn apply_durable(&self, db: &mut DurableDb) -> io::Result<()> {
+        match self {
+            Op::Insert(row) => db.insert(row),
+            Op::Delete(id) => db.delete(*id).map(|_| ()),
+            Op::Compact => db.compact().map(|_| ()),
+        }
+    }
+
+    pub(crate) fn apply_concurrent(&self, db: &ConcurrentDb) -> io::Result<()> {
+        match self {
+            Op::Insert(row) => db.insert(row),
+            Op::Delete(id) => db.delete(*id).map(|_| ()),
+            Op::Compact => db.compact().map(|_| ()),
+        }
+    }
+
+    pub(crate) fn apply_twin(&self, db: &mut ShardedDb) {
+        match self {
+            Op::Insert(row) => db.insert(row).expect("twin replays a validated row"),
+            Op::Delete(id) => {
+                db.delete(*id);
+            }
+            Op::Compact => {
+                db.compact();
+            }
+        }
+    }
+}
+
+/// One seeded workload mutation. Deletes deliberately overshoot the live id
+/// range sometimes — a no-op delete must replay as a no-op everywhere.
+pub(crate) fn gen_op(rng: &mut StdRng, schema: &Dataset, live_hint: u32) -> Op {
+    match rng.gen_range(0..8) {
+        0..=4 => Op::Insert(
+            (0..schema.n_attrs())
+                .map(|a| {
+                    if rng.gen_range(0..5) == 0 {
+                        Cell::MISSING
+                    } else {
+                        Cell::present(rng.gen_range(1..=schema.column(a).cardinality()))
+                    }
+                })
+                .collect(),
+        ),
+        5..=6 => Op::Delete(rng.gen_range(0..live_hint + 8)),
+        _ => Op::Compact,
+    }
+}
+
+/// A deterministic probe battery over the schema: prefix, full-domain, and
+/// conjunctive ranges, each under both missing-data semantics.
+pub(crate) fn probe_queries(schema: &Dataset) -> Vec<RangeQuery> {
+    let card = |a: usize| schema.column(a).cardinality();
+    let mut qs = Vec::new();
+    for policy in MissingPolicy::ALL {
+        qs.push(
+            RangeQuery::new(vec![Predicate::range(0, 1, card(0).min(4))], policy)
+                .expect("prefix probe is valid"),
+        );
+        let last = schema.n_attrs() - 1;
+        qs.push(
+            RangeQuery::new(vec![Predicate::range(last, 1, card(last))], policy)
+                .expect("full-domain probe is valid"),
+        );
+        if schema.n_attrs() >= 2 {
+            let c1 = card(1);
+            qs.push(
+                RangeQuery::new(
+                    vec![
+                        Predicate::range(0, 1, card(0)),
+                        Predicate::range(1, (c1 / 2).max(1), c1),
+                    ],
+                    policy,
+                )
+                .expect("conjunctive probe is valid"),
+            );
+        }
+    }
+    qs
+}

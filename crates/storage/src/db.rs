@@ -544,6 +544,11 @@ fn slice_dataset(dataset: &Dataset, start: usize, end: usize) -> Dataset {
 
 /// One shard: a full [`IncompleteDb`] over a contiguous row range, plus the
 /// synopsis the planner consults before touching any of its indexes.
+///
+/// Shards are held behind [`Arc`] by [`ShardedDb`], so cloning a whole
+/// database (what snapshot publication does on every mutation) is one
+/// pointer bump per shard; mutators go through [`Arc::make_mut`], which
+/// deep-copies only a shard that is still shared with a live snapshot.
 #[derive(Clone, Debug)]
 struct Shard {
     db: IncompleteDb,
@@ -622,7 +627,9 @@ impl ShardExecution {
 pub struct ShardedDb {
     config: DbConfig,
     shard_rows: usize,
-    shards: Vec<Shard>,
+    /// Shards behind `Arc` so a database clone (one snapshot publication)
+    /// shares every shard; mutation copies-on-write only the touched shard.
+    shards: Vec<Arc<Shard>>,
     /// Memoized global-id start offset of each shard (`offsets[i]` = sum of
     /// `id_width` over shards `0..i`), so delete and query resolve a shard
     /// without walking all earlier ones. Appends to the last shard never
@@ -660,11 +667,14 @@ impl ShardedDb {
         let mut start = 0;
         while start < n {
             let end = (start + shard_rows).min(n);
-            shards.push(Shard::over(slice_dataset(&dataset, start, end), config));
+            shards.push(Arc::new(Shard::over(
+                slice_dataset(&dataset, start, end),
+                config,
+            )));
             start = end;
         }
         if shards.is_empty() {
-            shards.push(Shard::over(slice_dataset(&dataset, 0, 0), config));
+            shards.push(Arc::new(Shard::over(slice_dataset(&dataset, 0, 0), config)));
         }
         let mut db = ShardedDb {
             config,
@@ -743,10 +753,13 @@ impl ShardedDb {
         if last.id_width() >= self.shard_rows {
             let next_offset = self.offsets.last().expect("≥ 1 shard") + last.id_width();
             let schema_only = slice_dataset(&self.shards[0].db.base, 0, 0);
-            self.shards.push(Shard::over(schema_only, self.config));
+            self.shards
+                .push(Arc::new(Shard::over(schema_only, self.config)));
             self.offsets.push(next_offset);
         }
-        let shard = self.shards.last_mut().expect("≥ 1 shard");
+        // Copy-on-write: only the receiving shard is cloned, and only when a
+        // published snapshot still shares it.
+        let shard = Arc::make_mut(self.shards.last_mut().expect("≥ 1 shard"));
         shard.db.insert(row)?;
         shard.synopsis.observe_row(row);
         Ok(())
@@ -765,13 +778,16 @@ impl ShardedDb {
     pub fn delete(&mut self, row: u32) -> bool {
         let row = row as usize;
         // Tombstones don't shrink id_width, so the memoized offsets stay
-        // valid across deletes; binary search finds the owning shard.
+        // valid across deletes; binary search finds the owning shard in
+        // O(log k) instead of walking every earlier shard.
         let i = self.offsets.partition_point(|&o| o <= row) - 1;
-        let shard = &mut self.shards[i];
-        if row >= self.offsets[i] + shard.id_width() {
-            return false;
+        if row >= self.offsets[i] + self.shards[i].id_width() {
+            return false; // beyond the last shard's id space
         }
-        shard.db.delete((row - self.offsets[i]) as u32)
+        // A miss never clones; only a real tombstone copies-on-write.
+        Arc::make_mut(&mut self.shards[i])
+            .db
+            .delete((row - self.offsets[i]) as u32)
     }
 
     /// Compacts every **dirty** shard (pending delta rows or tombstones),
@@ -786,6 +802,12 @@ impl ShardedDb {
     pub fn compact(&mut self) -> usize {
         let mut rebuilt = 0;
         for shard in &mut self.shards {
+            // Cheap cleanliness probe first, so clean shards are never
+            // copied-on-write (they stay shared with every live snapshot).
+            if shard.db.delta.is_empty() && shard.db.deleted.is_empty() {
+                continue;
+            }
+            let shard = Arc::make_mut(shard);
             if shard.db.compact() {
                 shard.synopsis = ShardSynopsis::of(&shard.db.base);
                 rebuilt += 1;
@@ -931,7 +953,7 @@ impl ShardedDb {
         let config = DbConfig::from_bits(wire::read_u8(r)?)?;
         let shard_rows = wire::read_len(r)?.max(1);
         let n_shards = wire::read_len(r)?;
-        let mut shards: Vec<Shard> = Vec::with_capacity(n_shards.min(1 << 16));
+        let mut shards: Vec<Arc<Shard>> = Vec::with_capacity(n_shards.min(1 << 16));
         for _ in 0..n_shards {
             let base = Dataset::read_from(r)?;
             if let Some(first) = shards.first() {
@@ -966,7 +988,7 @@ impl ShardedDb {
                 }
                 shard.db.deleted.insert(id);
             }
-            shards.push(shard);
+            shards.push(Arc::new(shard));
         }
         if shards.is_empty() {
             return Err(bad("snapshot holds no shards"));
@@ -1361,6 +1383,55 @@ mod sharded_tests {
         assert_eq!(db.compact(), 1, "only the shard owning row 4 was dirty");
         // Survivors renumbered 0..7, order preserved.
         assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn delete_routing_matches_monolithic_at_every_boundary() {
+        // Regression test for O(log k) delete routing via the memoized
+        // base-offset table: exercise every global id — shard starts, shard
+        // ends, delta rows past the last base row, and ids beyond the id
+        // space — against a monolithic twin.
+        let data = census_scaled(100, 423);
+        let mut mono = IncompleteDb::new(data.clone());
+        let mut db = ShardedDb::new(data, 7); // 15 shards, last one ragged
+        for _ in 0..5 {
+            let row = vec![v(1); mono.base.n_attrs()];
+            mono.insert(&row).unwrap();
+            db.insert(&row).unwrap(); // ids 100..105 live in shard deltas
+        }
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 2)], MissingPolicy::IsMatch).unwrap();
+        for id in [0u32, 6, 7, 13, 14, 69, 70, 99, 100, 104, 105, 400] {
+            assert_eq!(db.delete(id), mono.delete(id), "first delete of {id}");
+            assert_eq!(db.delete(id), mono.delete(id), "double delete of {id}");
+            assert_eq!(db.n_rows(), mono.n_rows(), "after {id}");
+        }
+        assert_eq!(db.execute(&q).unwrap(), mono.execute(&q).unwrap());
+    }
+
+    #[test]
+    fn clones_share_shards_until_mutated() {
+        // A `ShardedDb` clone is what snapshot publication hands to readers:
+        // it must be O(shards) pointer bumps, and later mutations must
+        // copy-on-write only the touched shard.
+        let mut db = ShardedDb::new(banded(), 2); // 4 shards
+        let snap = db.clone();
+        assert!((0..4).all(|i| Arc::ptr_eq(&db.shards[i], &snap.shards[i])));
+        assert!(!db.delete(99), "a routing miss must not copy anything");
+        assert!((0..4).all(|i| Arc::ptr_eq(&db.shards[i], &snap.shards[i])));
+        assert!(db.delete(5)); // shard 2 copies; 0, 1, 3 stay shared
+        db.insert(&[v(9)]).unwrap(); // shard 3 is full → opens a fresh shard 4
+        assert_eq!(db.shard_count(), 5);
+        for (i, shared) in [(0, true), (1, true), (2, false), (3, true)] {
+            assert_eq!(Arc::ptr_eq(&db.shards[i], &snap.shards[i]), shared, "{i}");
+        }
+        // The clone still answers from the pre-mutation state.
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 9)], MissingPolicy::IsMatch).unwrap();
+        assert_eq!(snap.execute(&q).unwrap().rows(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(db.execute(&q).unwrap().rows(), &[0, 1, 2, 3, 4, 6, 7, 8]);
+        // Compacting the clone's twin leaves clean shards shared.
+        let mut twin = snap.clone();
+        assert_eq!(twin.compact(), 0, "clean db: no shard rebuilt");
+        assert!((0..4).all(|i| Arc::ptr_eq(&twin.shards[i], &snap.shards[i])));
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! * [`manifest`] — the atomically-replaced MANIFEST naming the live
 //!   snapshot and WAL watermark;
 //! * [`engine`] — [`DurableDb`]: WAL → checkpoint → MANIFEST → backup,
-//!   with open-time crash recovery.
+//!   with open-time crash recovery;
+//! * [`epoch`] — epoch-based reclamation and the lock-free
+//!   [`SnapshotCell`](epoch::SnapshotCell) publication primitive;
+//! * [`snapshot`] / [`concurrent`] — [`DbSnapshot`] (immutable frozen
+//!   shard-set + watermark) and [`ConcurrentDb`] (lock-free reader
+//!   snapshots, serialized writers, atomic publication).
 //!
 //! The durability model follows from the paper's economics: encoded bitmap
 //! indexes (BEE/BRE/BIE) are expensive to update in place, so the durable
@@ -18,14 +23,19 @@
 //! rebuildable cache recomputed on load. Snapshots therefore never store
 //! index bytes, and recovery is "load data, rebuild indexes, replay tail".
 
+pub mod concurrent;
 pub mod db;
 pub mod engine;
+pub mod epoch;
 pub mod manifest;
+pub mod snapshot;
 pub mod wal;
 
 mod crc;
 
+pub use concurrent::ConcurrentDb;
 pub use db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
 pub use engine::{DurableDb, ValidateReport};
 pub use manifest::Manifest;
+pub use snapshot::DbSnapshot;
 pub use wal::{WalRecord, WalScan};

@@ -1,0 +1,110 @@
+//! [`DbSnapshot`] — an immutable, point-in-time view of a sharded database.
+//!
+//! A snapshot is what readers hold: the full shard-set (frozen indexes,
+//! deltas, tombstones, synopses) plus a **watermark** — the number of
+//! logical mutations (`insert`/`delete`/`compact`) the writer had applied
+//! when this snapshot was published. Because [`ShardedDb`] keeps its
+//! shards behind [`Arc`](std::sync::Arc) with copy-on-write mutation,
+//! capturing a snapshot is one shallow clone (a pointer bump per shard),
+//! and a published snapshot can never change underneath a reader: any
+//! later mutation copies the shard it touches before writing.
+//!
+//! Every query method here takes `&self`; a snapshot is `Send + Sync` and
+//! is shared freely across reader threads.
+
+use ibis_core::{Cell, RangeQuery};
+use ibis_core::{Result, RowSet, WorkCounters};
+
+use crate::db::{ShardExecution, ShardedDb};
+
+/// An immutable point-in-time view of the database: frozen shard-set plus
+/// the mutation watermark at which it was published.
+///
+/// Obtained from [`ConcurrentDb::snapshot`](crate::ConcurrentDb::snapshot);
+/// all query entry points on [`ShardedDb`] are mirrored here as `&self`
+/// methods, so downstream code (CLI, benches, the oracle) runs unchanged
+/// against a snapshot.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    db: ShardedDb,
+    watermark: u64,
+}
+
+impl DbSnapshot {
+    /// Freezes `db` at logical time `watermark`. The clone is O(shards):
+    /// every shard is shared, not copied.
+    pub(crate) fn freeze(db: &ShardedDb, watermark: u64) -> DbSnapshot {
+        DbSnapshot {
+            db: db.clone(),
+            watermark,
+        }
+    }
+
+    /// The number of logical mutations applied before this snapshot was
+    /// published. Monotonically non-decreasing across successive
+    /// [`snapshot`](crate::ConcurrentDb::snapshot) calls on one thread.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Live rows (inserted − deleted) visible in this snapshot.
+    pub fn n_rows(&self) -> usize {
+        self.db.n_rows()
+    }
+
+    /// Attributes in the schema.
+    pub fn n_attrs(&self) -> usize {
+        self.db.n_attrs()
+    }
+
+    /// Shards frozen into this snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.db.shard_count()
+    }
+
+    /// The frozen shard-set itself, for callers that need the full
+    /// [`ShardedDb`] read API (synopses, index sizes, serialization).
+    pub fn db(&self) -> &ShardedDb {
+        &self.db
+    }
+
+    /// Validates a row against the frozen schema (useful for admission
+    /// checks before taking the writer lock).
+    pub fn validate_row(&self, row: &[Cell]) -> Result<()> {
+        self.db.validate_row(row)
+    }
+
+    /// Executes `query` single-threaded. See [`ShardedDb::execute`].
+    pub fn execute(&self, query: &RangeQuery) -> Result<RowSet> {
+        self.db.execute(query)
+    }
+
+    /// Executes `query` across `threads` workers; rows are bit-identical
+    /// at every thread degree. See [`ShardedDb::execute_threads`].
+    pub fn execute_threads(&self, query: &RangeQuery, threads: usize) -> Result<RowSet> {
+        self.db.execute_threads(query, threads)
+    }
+
+    /// Executes and returns the degree-independent work counters too.
+    pub fn execute_with_cost_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<(RowSet, WorkCounters)> {
+        self.db.execute_with_cost_threads(query, threads)
+    }
+
+    /// Executes with full per-shard statistics (pruning counts included).
+    pub fn execute_with_stats_threads(
+        &self,
+        query: &RangeQuery,
+        threads: usize,
+    ) -> Result<ShardExecution> {
+        self.db.execute_with_stats_threads(query, threads)
+    }
+
+    /// Counts matches without materializing rows.
+    pub fn count(&self, query: &RangeQuery) -> Result<usize> {
+        self.db.count(query)
+    }
+}

@@ -42,6 +42,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("race") => race(&args[1..]),
+        Some("stress") => stress(&args[1..]),
         Some("oracle") => oracle(&args[1..]),
         Some("init") => init(&args[1..]),
         Some("checkpoint") => checkpoint(&args[1..]),
@@ -83,11 +84,26 @@ commands:
   query --data-dir DIR QUERY [--not-match] [--count] [--limit N]
         [--threads N] [--profile]
       recover the durable database in DIR (snapshot + WAL replay) and
-      query it; prints shard pruning stats alongside the answer
+      query it through a lock-free serving snapshot; prints the snapshot
+      watermark and shard pruning stats alongside the answer
   race FILE [--queries N] [--k K] [--seed S] [--threads N] [--profile]
       time BEE/BRE/VA on a generated workload over FILE at the given
       parallel degree; --profile adds a per-method phase table (spans,
       time, counters — timings then include recorder overhead)
+  race FILE --live N [--shard-rows R] [--queries Q] [--k K] [--seed S]
+        [--threads T]
+      serve FILE under snapshot isolation and race T lock-free readers
+      (each looping the generated workload over fresh snapshots) against
+      one writer streaming N inserts/deletes/compactions; reports reader
+      throughput and the watermark span each reader observed
+  stress [--seed S] [--rows N] [--readers N] [--mutations N]
+         [--threads A,B] [--durable] [--checkpoint-every N] [--no-writer]
+      run the snapshot-isolation stress harness: N reader threads race
+      one writer through a precomputed mutation schedule; every acquired
+      snapshot is differentially checked (rows, work counters, shard
+      stats) against a twin replay of its exact watermark prefix, at
+      every thread degree, under both semantics; --durable serves
+      through the WAL-backed engine, --no-writer freezes the database
   oracle [--cases N] [--seed S] [--corpus DIR] [--max-failures N]
          [--case-budget-ms MS]
       run the differential + metamorphic correctness oracle: N generated
@@ -129,7 +145,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Stri
             // Boolean flags take no value; detect by lookahead.
             let boolean = matches!(
                 name,
-                "count" | "not-match" | "match" | "no-header" | "profile"
+                "count" | "not-match" | "match" | "no-header" | "profile" | "durable" | "no-writer"
             );
             if boolean || i + 1 >= args.len() || args[i + 1].starts_with("--") {
                 flags.insert(name.to_string(), "true".to_string());
@@ -565,8 +581,9 @@ fn query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ibis query --data-dir DIR "QUERY"` — recover the durable database and
-/// query it through the sharded executor (pruning stats included).
+/// `ibis query --data-dir DIR "QUERY"` — recover the durable database,
+/// acquire a lock-free serving snapshot, and query it through the sharded
+/// executor (pruning stats included).
 fn query_durable(
     pos: &[String],
     flags: &std::collections::BTreeMap<String, String>,
@@ -580,34 +597,34 @@ fn query_durable(
                     it cannot be combined with --index or --shard-rows"
             .into());
     }
-    let db = DurableDb::open(std::path::Path::new(dir))
+    let db = ConcurrentDb::open_durable(std::path::Path::new(dir))
         .map_err(|e| format!("cannot open data directory {dir:?}: {e}"))?;
-    if db.replayed_on_open() > 0 {
-        println!(
-            "recovered {dir}: replayed {} WAL record(s) past the checkpoint",
-            db.replayed_on_open()
-        );
+    let replayed = db.with_durable(|d| d.replayed_on_open()).unwrap_or(0);
+    if replayed > 0 {
+        println!("recovered {dir}: replayed {replayed} WAL record(s) past the checkpoint");
     }
+    let snap = db.snapshot();
     let policy = if flags.contains_key("not-match") {
         MissingPolicy::IsNotMatch
     } else {
         MissingPolicy::IsMatch
     };
-    let q = parse_query(db.db().schema(), text, policy).map_err(|e| e.to_string())?;
+    let q = parse_query(snap.db().schema(), text, policy).map_err(|e| e.to_string())?;
     let threads = parse_threads(flags)?;
     let rows = if flags.contains_key("profile") {
         let prof =
-            ibis::profile::profile_sharded(db.db(), &q, threads).map_err(|e| e.to_string())?;
+            ibis::profile::profile_sharded(snap.db(), &q, threads).map_err(|e| e.to_string())?;
         print!("{}", prof.render());
         let pruned = prof.snapshot.counters.get("shards.pruned").copied();
         println!("shards pruned: {}", pruned.unwrap_or(0));
         prof.rows
     } else {
-        let exec = db
+        let exec = snap
             .execute_with_stats_threads(&q, threads)
             .map_err(|e| e.to_string())?;
         println!(
-            "shards: {} total, {} pruned, {} executed",
+            "snapshot watermark {}; shards: {} total, {} pruned, {} executed",
+            snap.watermark(),
             exec.shards_total,
             exec.shards_pruned,
             exec.shards_executed()
@@ -617,7 +634,7 @@ fn query_durable(
     println!(
         "{} rows match under {policy} (selectivity {:.3}%)",
         rows.len(),
-        rows.selectivity(db.n_rows()) * 100.0
+        rows.selectivity(snap.n_rows()) * 100.0
     );
     if !flags.contains_key("count") {
         let limit: usize = flags.get("limit").map_or(Ok(20), |s| num(s, "limit"))?;
@@ -804,6 +821,16 @@ fn race(args: &[String]) -> Result<(), String> {
     };
     let queries = workload(&d, &spec, seed);
     let threads = parse_threads(&flags)?;
+    if let Some(live) = flags.get("live") {
+        let mutations: usize = num(live, "live mutation count")?;
+        let shard_rows: usize = flags
+            .get("shard-rows")
+            .map_or(Ok(4096), |s| num(s, "shard rows"))?;
+        if shard_rows == 0 {
+            return Err("--shard-rows must be at least 1".into());
+        }
+        return race_live(d, &queries, threads, mutations, shard_rows);
+    }
     let d = Arc::new(d);
     // The contenders, all through the one engine-layer trait (the scan
     // rides along as the index-free baseline).
@@ -867,6 +894,180 @@ fn race(args: &[String]) -> Result<(), String> {
         "access methods disagree: {hit_totals:?}"
     );
     Ok(())
+}
+
+/// `ibis race FILE --live N` — readers loop the workload over lock-free
+/// snapshots while one writer streams mutations; throughput per reader.
+fn race_live(
+    d: Dataset,
+    queries: &[RangeQuery],
+    threads: usize,
+    mutations: usize,
+    shard_rows: usize,
+) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let n_attrs = d.n_attrs();
+    let cards: Vec<u16> = (0..n_attrs).map(|a| d.column(a).cardinality()).collect();
+    let base_rows = d.n_rows();
+    let db = ConcurrentDb::from_sharded(ShardedDb::new(d, shard_rows));
+    println!(
+        "live race: {threads} reader(s) × {} queries/loop vs 1 writer × {mutations} mutation(s), \
+         {} shard(s) of {shard_rows}",
+        queries.len(),
+        db.snapshot().shard_count()
+    );
+    let done = AtomicBool::new(false);
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| -> Result<(), String> {
+        let writer = s.spawn(|| -> Result<(), String> {
+            // A deterministic mutation stream: mostly appends, a steady
+            // trickle of deletes, an occasional compaction.
+            for i in 0..mutations {
+                match i % 16 {
+                    3 | 11 => {
+                        db.delete((i % (base_rows.max(1) + i / 2)) as u32)
+                            .map_err(|e| format!("writer delete: {e}"))?;
+                    }
+                    15 if i % 256 == 255 => {
+                        db.compact().map_err(|e| format!("writer compact: {e}"))?;
+                    }
+                    _ => {
+                        let row: Vec<Cell> = cards
+                            .iter()
+                            .enumerate()
+                            .map(|(a, &c)| {
+                                if (i + a) % 7 == 0 {
+                                    Cell::MISSING
+                                } else {
+                                    Cell::present(((i + a) % c as usize) as u16 + 1)
+                                }
+                            })
+                            .collect();
+                        db.insert(&row).map_err(|e| format!("writer insert: {e}"))?;
+                    }
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+            Ok(())
+        });
+        // Each reader loops the whole workload over a fresh snapshot per
+        // pass until the writer finishes (at least one pass always runs).
+        let tallies = ibis::core::parallel::ExecPool::new(threads).broadcast(|r| {
+            let mut passes = 0u64;
+            let mut rows_seen = 0u64;
+            let (mut w_lo, mut w_hi) = (u64::MAX, 0u64);
+            loop {
+                let snap = db.snapshot();
+                let w = snap.watermark();
+                w_lo = w_lo.min(w);
+                w_hi = w_hi.max(w);
+                for q in queries {
+                    match snap.execute(q) {
+                        Ok(rows) => rows_seen += rows.len() as u64,
+                        Err(e) => return Err(format!("reader {r}: {e}")),
+                    }
+                }
+                passes += 1;
+                if done.load(Ordering::SeqCst) {
+                    return Ok((passes, rows_seen, w_lo, w_hi));
+                }
+            }
+        });
+        writer.join().expect("writer thread panicked")?;
+        let secs = start.elapsed().as_secs_f64();
+        let mut total_q = 0u64;
+        for (r, t) in tallies.into_iter().enumerate() {
+            let (passes, rows_seen, w_lo, w_hi) = t?;
+            total_q += passes * queries.len() as u64;
+            println!(
+                "  reader {r}: {passes} workload pass(es), {rows_seen} rows read, \
+                 watermarks {w_lo}..={w_hi}"
+            );
+        }
+        println!(
+            "{} queries answered in {secs:.2}s ({:.0} q/s) while the writer applied {} mutations \
+             ({:.0} mut/s); final watermark {}",
+            total_q,
+            total_q as f64 / secs,
+            mutations,
+            mutations as f64 / secs,
+            db.snapshot().watermark()
+        );
+        Ok(())
+    })
+}
+
+/// `ibis stress` — the snapshot-isolation stress harness (differentially
+/// checked; see [`ibis::oracle::stress`]).
+fn stress(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args);
+    let threads = match flags.get("threads") {
+        Some(s) => s
+            .split(',')
+            .map(|t| num::<usize>(t.trim(), "thread degree"))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => vec![1, 8],
+    };
+    if threads.is_empty() || threads.contains(&0) {
+        return Err("--threads must be a comma-separated list of degrees ≥ 1".into());
+    }
+    let readers: usize = flags
+        .get("readers")
+        .map_or(Ok(8), |s| num(s, "reader count"))?;
+    if readers == 0 {
+        return Err("--readers must be at least 1".into());
+    }
+    let cfg = ibis::oracle::StressConfig {
+        seed: flags.get("seed").map_or(Ok(1), |s| num(s, "seed"))?,
+        rows: flags.get("rows").map_or(Ok(96), |s| num(s, "row count"))?,
+        readers,
+        mutations: if flags.contains_key("no-writer") {
+            0
+        } else {
+            flags
+                .get("mutations")
+                .map_or(Ok(10_000), |s| num(s, "mutation count"))?
+        },
+        checkpoint_every: flags
+            .get("checkpoint-every")
+            .map_or(Ok(0), |s| num(s, "checkpoint interval"))?,
+        threads,
+        durable: flags.contains_key("durable"),
+        ..ibis::oracle::StressConfig::default()
+    };
+    println!(
+        "stress harness: seed {}, {} rows, {} reader(s) vs {}, {} backend, degrees {:?}",
+        cfg.seed,
+        cfg.rows,
+        cfg.readers,
+        if cfg.mutations == 0 {
+            "no writer".to_string()
+        } else {
+            format!("1 writer × {} mutation(s)", cfg.mutations)
+        },
+        if cfg.durable { "durable" } else { "in-memory" },
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let report =
+        ibis::oracle::stress::run(&cfg).map_err(|e| format!("harness scaffolding failed: {e}"))?;
+    println!(
+        "{} in {:.1}s",
+        report.summary(),
+        start.elapsed().as_secs_f64()
+    );
+    if report.ok() {
+        println!("every snapshot matched its schedule prefix exactly");
+        return Ok(());
+    }
+    for f in report.failures.iter().take(10) {
+        println!(
+            "FAILED {}: {}",
+            f.check,
+            f.detail.lines().next().unwrap_or("")
+        );
+    }
+    Err(format!("{} failing check(s)", report.failures.len()))
 }
 
 fn oracle(args: &[String]) -> Result<(), String> {
@@ -1196,6 +1397,95 @@ mod tests {
         // Restoring over the now-populated directory is refused.
         assert!(run(&[s("restore"), bak, s("--into"), db_dir2]).is_err());
         assert!(run(&[s("validate"), s("/no/such/dir")]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stress_subcommand_runs_a_small_schedule() {
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("stress"),
+            s("--seed"),
+            s("3"),
+            s("--rows"),
+            s("40"),
+            s("--readers"),
+            s("2"),
+            s("--mutations"),
+            s("120"),
+            s("--threads"),
+            s("1,2"),
+        ])
+        .unwrap();
+        // Durable backend with interleaved checkpoints, and the
+        // writer-off mode (readers race each other over watermark 0).
+        run(&[
+            s("stress"),
+            s("--rows"),
+            s("40"),
+            s("--readers"),
+            s("2"),
+            s("--mutations"),
+            s("80"),
+            s("--durable"),
+            s("--checkpoint-every"),
+            s("32"),
+            s("--threads"),
+            s("1,2"),
+        ])
+        .unwrap();
+        run(&[
+            s("stress"),
+            s("--rows"),
+            s("30"),
+            s("--readers"),
+            s("2"),
+            s("--no-writer"),
+            s("--threads"),
+            s("1"),
+        ])
+        .unwrap();
+        assert!(
+            run(&[s("stress"), s("--readers"), s("0")]).is_err(),
+            "zero readers rejected"
+        );
+        assert!(
+            run(&[s("stress"), s("--threads"), s("0")]).is_err(),
+            "zero thread degree rejected"
+        );
+    }
+
+    #[test]
+    fn race_live_serves_under_a_streaming_writer() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_live_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("200"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        run(&[
+            s("race"),
+            data,
+            s("--live"),
+            s("400"),
+            s("--shard-rows"),
+            s("64"),
+            s("--queries"),
+            s("4"),
+            s("--k"),
+            s("2"),
+            s("--threads"),
+            s("2"),
+        ])
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,9 +17,12 @@
 //! * [`vafile`] — the paper's VA-file and the VA+-file extension;
 //! * [`baseline`] — R-tree, B+-tree, MOSAIC, bitstring-augmented index;
 //! * [`storage`] — the database layer ([`db::IncompleteDb`],
-//!   [`db::ShardedDb`]) and the durable engine
+//!   [`db::ShardedDb`]), the durable engine
 //!   ([`DurableDb`](storage::DurableDb)): write-ahead log, checkpoints,
-//!   atomic MANIFEST, backup/restore, crash recovery;
+//!   atomic MANIFEST, backup/restore, crash recovery — and the
+//!   snapshot-isolated serving layer
+//!   ([`ConcurrentDb`](storage::ConcurrentDb)): lock-free reader
+//!   snapshots under streaming writes;
 //! * [`oracle`] — seeded differential + metamorphic correctness oracle over
 //!   every access method (see the `ibis oracle` CLI subcommand);
 //! * [`obs`] — zero-dependency observability (tracing spans, metrics,
@@ -107,5 +110,5 @@ pub mod prelude {
 
     pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
     pub use crate::profile::{profile_method, profile_sharded, QueryProfile};
-    pub use ibis_storage::{DurableDb, ValidateReport};
+    pub use ibis_storage::{ConcurrentDb, DbSnapshot, DurableDb, ValidateReport};
 }
