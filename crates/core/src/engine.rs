@@ -377,6 +377,64 @@ pub trait AccessMethod: Send + Sync {
     }
 }
 
+/// Partitions a FIFO queue of queries into batches of *compatible* queries
+/// for [`AccessMethod::execute_batch_threads`]-style dispatch, returning
+/// groups of indexes into `queries`.
+///
+/// Two queries are compatible when they share a [`crate::MissingPolicy`]:
+/// a batch then exercises one semantics end to end, so per-shard synopsis
+/// pruning and the planner's per-policy cost rules stay coherent across
+/// the whole dispatch. The grouping is greedy and order-preserving:
+///
+/// * the oldest unbatched query opens a batch and fixes its policy;
+/// * every later query with the same policy joins, up to `max_batch`
+///   (`0` is treated as `1` — no coalescing);
+/// * queries of the other policy are never reordered *within* their own
+///   policy class, so per-policy FIFO fairness is preserved.
+///
+/// Every index in `0..queries.len()` appears in exactly one batch. The
+/// network server drains its request queue through this hook; batching
+/// amortizes snapshot acquisition and thread-pool dispatch over many
+/// queries without ever mixing semantics inside one dispatch.
+///
+/// ```
+/// use ibis_core::engine::coalesce_compatible;
+/// use ibis_core::{MissingPolicy, Predicate, RangeQuery};
+///
+/// let q = |policy| RangeQuery::new(vec![Predicate::point(0, 1)], policy).unwrap();
+/// let queue = vec![
+///     q(MissingPolicy::IsMatch),
+///     q(MissingPolicy::IsNotMatch),
+///     q(MissingPolicy::IsMatch),
+/// ];
+/// let batches = coalesce_compatible(&queue, 8);
+/// assert_eq!(batches, vec![vec![0, 2], vec![1]]);
+/// ```
+pub fn coalesce_compatible(queries: &[RangeQuery], max_batch: usize) -> Vec<Vec<usize>> {
+    let max_batch = max_batch.max(1);
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut batched = vec![false; queries.len()];
+    for start in 0..queries.len() {
+        if batched[start] {
+            continue;
+        }
+        let policy = queries[start].policy();
+        let mut batch = vec![start];
+        batched[start] = true;
+        for (later, seen) in batched.iter_mut().enumerate().skip(start + 1) {
+            if batch.len() >= max_batch {
+                break;
+            }
+            if !*seen && queries[later].policy() == policy {
+                *seen = true;
+                batch.push(later);
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +649,34 @@ mod tests {
         fn size_bytes(&self) -> usize {
             0
         }
+    }
+
+    fn qp(policy: MissingPolicy) -> RangeQuery {
+        RangeQuery::new(vec![Predicate::point(0, 1)], policy).unwrap()
+    }
+
+    #[test]
+    fn coalesce_groups_by_policy_preserving_fifo_order() {
+        use MissingPolicy::{IsMatch as M, IsNotMatch as N};
+        let queue: Vec<RangeQuery> = [M, N, M, N, N, M].into_iter().map(qp).collect();
+        let batches = coalesce_compatible(&queue, 8);
+        assert_eq!(batches, vec![vec![0, 2, 5], vec![1, 3, 4]]);
+        // Every index exactly once.
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..queue.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coalesce_respects_max_batch_and_zero_means_one() {
+        use MissingPolicy::IsMatch as M;
+        let queue: Vec<RangeQuery> = std::iter::repeat_with(|| qp(M)).take(5).collect();
+        let batches = coalesce_compatible(&queue, 2);
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        let singles = coalesce_compatible(&queue, 0);
+        assert_eq!(singles.len(), 5);
+        assert!(singles.iter().all(|b| b.len() == 1));
+        assert!(coalesce_compatible(&[], 4).is_empty());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod wire;
 pub use cell::Cell;
 pub use column::{Column, ColumnBuilder};
 pub use dataset::{validate_row, Dataset, DatasetBuilder};
-pub use engine::{AccessMethod, WorkCounters};
+pub use engine::{coalesce_compatible, AccessMethod, WorkCounters};
 pub use error::{Error, Result};
 pub use query::{Interval, MissingPolicy, Predicate, RangeQuery};
 pub use rowset::RowSet;

@@ -1,0 +1,31 @@
+//! # ibis-server — networked query serving for incomplete databases
+//!
+//! The layer between [`ibis_storage::ConcurrentDb`] and remote clients:
+//!
+//! * [`protocol`] — the `IBQP` wire format: a 6-byte handshake, then
+//!   CRC-framed, length-capped request/response messages reusing the
+//!   `wire`/`crc` discipline of every on-disk format;
+//! * [`server`] — the TCP serving loop: per-connection reader/writer
+//!   threads, admission control at a queue high-water mark
+//!   ([`ErrorCode::Overloaded`]), per-request deadlines (default fed from
+//!   the oracle's `case_budget_ms`), and a fixed worker pool that
+//!   coalesces compatible queued queries
+//!   ([`ibis_core::coalesce_compatible`]) onto one snapshot-batch
+//!   execution per dispatch;
+//! * [`client`] — a blocking client with a split send/receive mode for
+//!   open-loop load generation (the `loadgen` bin).
+//!
+//! Reads are snapshot-isolated end to end: every response carries the
+//! watermark of the lock-free [`DbSnapshot`](ibis_storage::DbSnapshot)
+//! that served it, and served answers are bit-identical to executing the
+//! same query directly against that snapshot.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ErrorCode, Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle};

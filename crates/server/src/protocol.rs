@@ -1,0 +1,441 @@
+//! The `IBQP` wire protocol: length-prefixed, CRC-framed request/response
+//! messages over a byte stream.
+//!
+//! A connection opens with a 6-byte handshake from each side (magic
+//! `IBQP` + version, the same `wire::write_header` discipline as every
+//! on-disk format); after that, both directions carry frames:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = [u64 request_id][u8 kind][kind-specific body]
+//! ```
+//!
+//! The framing mirrors the WAL (`ibis-storage/src/wal.rs`): payloads are
+//! capped at [`MAX_MSG_LEN`], allocation grows with the bytes actually
+//! read, and the checksum gates the body parser — so a truncated,
+//! bit-flipped, or lying-length frame yields a clean [`io::Error`], never a
+//! panic, a hang, or a huge reservation. Frame-level damage is
+//! **connection-fatal** (the stream can no longer be trusted to be
+//! aligned); *semantic* damage inside a checksummed body (an unsorted
+//! search key, an unknown policy byte) is not — it decodes to an error the
+//! server answers with [`ErrorCode::BadRequest`], keeping the connection.
+
+use ibis_core::{wire, MissingPolicy, Predicate, RangeQuery};
+use ibis_storage::crc::crc32;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every connection, in both directions.
+pub const PROTO_MAGIC: &[u8; 4] = b"IBQP";
+/// Protocol version carried in the handshake.
+pub const PROTO_VERSION: u16 = 1;
+/// Upper bound on one frame's payload. A request holds one search key and
+/// a response one row-id set, so anything larger is corruption (or an
+/// answer too large to serve); never allocated.
+pub const MAX_MSG_LEN: usize = 1 << 24;
+
+/// Smallest possible payload: request_id(8) + kind(1).
+const MIN_MSG_LEN: usize = 9;
+
+/// Writes the 6-byte `IBQP` handshake header.
+pub fn write_handshake(w: &mut impl Write) -> io::Result<()> {
+    wire::write_header(w, PROTO_MAGIC, PROTO_VERSION)
+}
+
+/// Reads and validates the peer's handshake header.
+pub fn read_handshake(r: &mut impl Read) -> io::Result<()> {
+    wire::read_header(r, PROTO_MAGIC, PROTO_VERSION)
+}
+
+/// One decoded frame: the correlation id, the kind tag, and the
+/// checksummed body bytes (request_id and kind already stripped).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Message kind tag; see [`Request`] and [`Response`] decoders.
+    pub kind: u8,
+    /// Kind-specific body.
+    pub body: Vec<u8>,
+}
+
+/// Writes one frame. Fails with `InvalidInput` if the payload would exceed
+/// [`MAX_MSG_LEN`] — checked *before* the length cast, mirroring the WAL
+/// writer's `FrameTooLarge` guard.
+pub fn write_frame(w: &mut impl Write, request_id: u64, kind: u8, body: &[u8]) -> io::Result<()> {
+    let len = MIN_MSG_LEN + body.len();
+    if len > MAX_MSG_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds MAX_MSG_LEN ({MAX_MSG_LEN})"),
+        ));
+    }
+    let mut payload = Vec::with_capacity(len);
+    wire::write_u64(&mut payload, request_id)?;
+    wire::write_u8(&mut payload, kind)?;
+    payload.extend_from_slice(body);
+    let mut head = [0u8; 8];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(&payload)
+}
+
+/// Reads one frame, validating the length cap and checksum. Any failure
+/// here means the stream is no longer frame-aligned and the connection
+/// must be dropped.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+    if !(MIN_MSG_LEN..=MAX_MSG_LEN).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside {MIN_MSG_LEN}..={MAX_MSG_LEN}"),
+        ));
+    }
+    let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+    // Incremental read: allocation tracks bytes actually present, so a
+    // lying length field hits EOF cleanly, never a giant reservation.
+    let mut payload = Vec::with_capacity(len.min(1 << 20));
+    let mut remaining = len;
+    let mut chunk = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    if crc32(&payload) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    let r = &mut payload.as_slice();
+    let request_id = wire::read_u64(r)?;
+    let kind = wire::read_u8(r)?;
+    Ok(Frame {
+        request_id,
+        kind,
+        body: r.to_vec(),
+    })
+}
+
+/// Request kind tags.
+pub mod request_kind {
+    /// A [`Request::Query`].
+    pub const QUERY: u8 = 1;
+    /// A [`Request::Ping`].
+    pub const PING: u8 = 2;
+}
+
+/// Response kind tags.
+pub mod response_kind {
+    /// A [`Response::Rows`].
+    pub const ROWS: u8 = 1;
+    /// A [`Response::Count`].
+    pub const COUNT: u8 = 2;
+    /// A [`Response::Error`].
+    pub const ERROR: u8 = 3;
+    /// A [`Response::Pong`].
+    pub const PONG: u8 = 4;
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Execute a range query against the current snapshot.
+    Query {
+        /// The validated search key + missing policy.
+        query: RangeQuery,
+        /// Reply with [`Response::Count`] instead of materialized rows.
+        count_only: bool,
+        /// Per-request deadline in milliseconds; `0` means "use the
+        /// server's default" (fed from the oracle's `case_budget_ms`).
+        deadline_ms: u32,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+}
+
+impl Request {
+    /// Encodes this request's kind tag and body.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Query {
+                query,
+                count_only,
+                deadline_ms,
+            } => {
+                let mut b = Vec::new();
+                let policy = match query.policy() {
+                    MissingPolicy::IsMatch => 0u8,
+                    MissingPolicy::IsNotMatch => 1u8,
+                };
+                wire::write_u8(&mut b, policy).expect("vec write");
+                wire::write_u8(&mut b, u8::from(*count_only)).expect("vec write");
+                wire::write_u32(&mut b, *deadline_ms).expect("vec write");
+                let preds = query.predicates();
+                wire::write_u16(&mut b, preds.len() as u16).expect("vec write");
+                for p in preds {
+                    wire::write_u32(&mut b, p.attr as u32).expect("vec write");
+                    wire::write_u16(&mut b, p.interval.lo).expect("vec write");
+                    wire::write_u16(&mut b, p.interval.hi).expect("vec write");
+                }
+                (request_kind::QUERY, b)
+            }
+            Request::Ping => (request_kind::PING, Vec::new()),
+        }
+    }
+
+    /// Decodes a request from a CRC-validated frame. `Err(reason)` is a
+    /// *semantic* rejection — the server answers it with
+    /// [`ErrorCode::BadRequest`] and keeps the connection, because the
+    /// checksum proved the framing itself is intact.
+    pub fn decode(frame: &Frame) -> Result<Request, String> {
+        let r = &mut frame.body.as_slice();
+        let bad = |what: &str| format!("malformed query request: {what}");
+        match frame.kind {
+            request_kind::QUERY => {
+                let policy = match wire::read_u8(r).map_err(|_| bad("missing policy byte"))? {
+                    0 => MissingPolicy::IsMatch,
+                    1 => MissingPolicy::IsNotMatch,
+                    other => return Err(bad(&format!("unknown policy {other}"))),
+                };
+                let count_only = wire::read_u8(r).map_err(|_| bad("missing count flag"))? != 0;
+                let deadline_ms = wire::read_u32(r).map_err(|_| bad("missing deadline"))?;
+                let n = wire::read_u16(r).map_err(|_| bad("missing predicate count"))? as usize;
+                let mut preds = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let attr = wire::read_u32(r).map_err(|_| bad("truncated predicate"))? as usize;
+                    let lo = wire::read_u16(r).map_err(|_| bad("truncated predicate"))?;
+                    let hi = wire::read_u16(r).map_err(|_| bad("truncated predicate"))?;
+                    preds.push(Predicate::range(attr, lo, hi));
+                }
+                if !r.is_empty() {
+                    return Err(bad("trailing bytes"));
+                }
+                let query = RangeQuery::new(preds, policy)
+                    .map_err(|e| format!("invalid search key: {e}"))?;
+                Ok(Request::Query {
+                    query,
+                    count_only,
+                    deadline_ms,
+                })
+            }
+            request_kind::PING => {
+                if !frame.body.is_empty() {
+                    return Err(bad("ping carries a body"));
+                }
+                Ok(Request::Ping)
+            }
+            other => Err(format!("unknown request kind {other}")),
+        }
+    }
+}
+
+/// Why a request was refused. Carried as one byte in
+/// [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request decoded but was semantically invalid (bad search key,
+    /// unknown policy/kind). The connection stays up.
+    BadRequest,
+    /// Admission control shed the request: the worker queue was past its
+    /// high-water mark. Retry later against a less-loaded server.
+    Overloaded,
+    /// The per-request deadline expired before (or while) the query ran;
+    /// no rows are returned.
+    DeadlineExceeded,
+    /// The engine failed executing a well-formed query.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Overloaded => 2,
+            ErrorCode::DeadlineExceeded => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::Overloaded),
+            3 => Some(ErrorCode::DeadlineExceeded),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One server response, correlated to its request by the echoed id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Matching global row ids, sorted ascending, plus the snapshot
+    /// watermark they were computed at.
+    Rows {
+        /// Mutation watermark of the snapshot that served the query.
+        watermark: u64,
+        /// Matching global row ids, ascending.
+        rows: Vec<u32>,
+    },
+    /// Match count (for `count_only` requests) plus the watermark.
+    Count {
+        /// Mutation watermark of the snapshot that served the query.
+        watermark: u64,
+        /// Number of matching rows.
+        count: u64,
+    },
+    /// The request was refused or failed; see [`ErrorCode`].
+    Error {
+        /// Why the request was refused.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+}
+
+impl Response {
+    /// Encodes this response's kind tag and body.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::Rows { watermark, rows } => {
+                let mut b = Vec::new();
+                wire::write_u64(&mut b, *watermark).expect("vec write");
+                wire::write_vec_u32(&mut b, rows).expect("vec write");
+                (response_kind::ROWS, b)
+            }
+            Response::Count { watermark, count } => {
+                let mut b = Vec::new();
+                wire::write_u64(&mut b, *watermark).expect("vec write");
+                wire::write_u64(&mut b, *count).expect("vec write");
+                (response_kind::COUNT, b)
+            }
+            Response::Error { code, message } => {
+                let mut b = Vec::new();
+                wire::write_u8(&mut b, code.to_byte()).expect("vec write");
+                wire::write_str(&mut b, message).expect("vec write");
+                (response_kind::ERROR, b)
+            }
+            Response::Pong => (response_kind::PONG, Vec::new()),
+        }
+    }
+
+    /// Decodes a response from a CRC-validated frame. Errors are
+    /// connection-fatal on the client side: a response the client cannot
+    /// understand means the versions disagree or the stream is corrupt.
+    pub fn decode(frame: &Frame) -> io::Result<Response> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let r = &mut frame.body.as_slice();
+        let resp = match frame.kind {
+            response_kind::ROWS => Response::Rows {
+                watermark: wire::read_u64(r)?,
+                rows: wire::read_vec_u32(r)?,
+            },
+            response_kind::COUNT => Response::Count {
+                watermark: wire::read_u64(r)?,
+                count: wire::read_u64(r)?,
+            },
+            response_kind::ERROR => Response::Error {
+                code: ErrorCode::from_byte(wire::read_u8(r)?)
+                    .ok_or_else(|| bad("unknown error code"))?,
+                message: wire::read_str(r)?,
+            },
+            response_kind::PONG => Response::Pong,
+            other => return Err(bad(&format!("unknown response kind {other}"))),
+        };
+        if !r.is_empty() {
+            return Err(bad("trailing bytes in response body"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(k: usize) -> RangeQuery {
+        let preds = (0..k).map(|a| Predicate::range(a, 1, 3)).collect();
+        RangeQuery::new(preds, MissingPolicy::IsNotMatch).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Query {
+                query: q(3),
+                count_only: true,
+                deadline_ms: 250,
+            },
+            Request::Ping,
+        ] {
+            let (kind, body) = req.encode();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, 42, kind, &body).unwrap();
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(frame.request_id, 42);
+            assert_eq!(Request::decode(&frame).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Rows {
+                watermark: 7,
+                rows: vec![1, 5, 9],
+            },
+            Response::Count {
+                watermark: 7,
+                count: 3,
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+            Response::Pong,
+        ] {
+            let (kind, body) = resp.encode();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, 9, kind, &body).unwrap();
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(Response::decode(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn semantic_damage_is_a_soft_error_not_a_frame_error() {
+        // A search key with a duplicated attribute survives framing (CRC
+        // valid) but fails decode with a reason the server can answer.
+        let mut body = Vec::new();
+        wire::write_u8(&mut body, 0).unwrap(); // policy
+        wire::write_u8(&mut body, 0).unwrap(); // count flag
+        wire::write_u32(&mut body, 0).unwrap(); // deadline
+        wire::write_u16(&mut body, 2).unwrap();
+        for attr in [5u32, 5] {
+            wire::write_u32(&mut body, attr).unwrap();
+            wire::write_u16(&mut body, 1).unwrap();
+            wire::write_u16(&mut body, 1).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, request_kind::QUERY, &body).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(Request::decode(&frame).unwrap_err().contains("search key"));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_at_write_time() {
+        let body = vec![0u8; MAX_MSG_LEN];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, 1, request_kind::PING, &body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing hit the stream");
+    }
+}

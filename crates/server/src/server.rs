@@ -1,0 +1,496 @@
+//! The serving loop: accept → handshake → decode → admit → batch →
+//! execute on a snapshot → respond.
+//!
+//! Threading model (one [`Server::start`] call):
+//!
+//! * **accept thread** — polls a non-blocking listener, spawning one
+//!   reader thread per connection;
+//! * **per-connection reader** — validates the handshake, then decodes
+//!   frames. A `Ping` or a protocol rejection is answered immediately;
+//!   a `Query` passes **admission control**: if the shared work queue is
+//!   at its high-water mark the request is refused with
+//!   [`ErrorCode::Overloaded`] right here — load is shed at the door, so
+//!   queueing latency for admitted work stays bounded instead of
+//!   collapsing;
+//! * **per-connection writer** — drains a channel of encoded responses,
+//!   so workers and the reader never block on a slow client socket;
+//! * **fixed worker pool** (`config.workers` threads) — each wake drains
+//!   up to `config.max_batch` queued jobs, groups the compatible ones
+//!   with [`ibis_core::coalesce_compatible`], acquires **one** lock-free
+//!   [`ConcurrentDb::snapshot`] per drain, and runs each group through
+//!   [`DbSnapshot::execute_batch_threads`](ibis_storage::DbSnapshot::execute_batch_threads)
+//!   — one dispatch amortized over the whole batch.
+//!
+//! Deadlines are enforced at the two scheduling boundaries: a job whose
+//! deadline expired while queued is shed *before* execution, and a job
+//! whose deadline expired *during* execution gets
+//! [`ErrorCode::DeadlineExceeded`] instead of rows — an expired request
+//! never returns results, and the overrun is bounded by one batch
+//! execution. The default deadline is fed from the oracle's
+//! `case_budget_ms` (see [`ServerConfig::default`]).
+
+use crate::protocol::{
+    read_frame, read_handshake, write_frame, write_handshake, ErrorCode, Request, Response,
+};
+use ibis_core::{coalesce_compatible, RangeQuery};
+use ibis_storage::ConcurrentDb;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one serving instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size draining the shared queue.
+    pub workers: usize,
+    /// Most queries one worker wake may drain and coalesce into batches.
+    /// `1` disables coalescing (one query per dispatch).
+    pub max_batch: usize,
+    /// Admission high-water mark: a query arriving while the queue holds
+    /// this many jobs is refused with [`ErrorCode::Overloaded`].
+    pub queue_high_water: usize,
+    /// Deadline applied to requests that carry `deadline_ms = 0`.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    /// Defaults: 4 workers, batches of 8, a 256-deep queue, and the
+    /// oracle's per-case time budget as the request deadline.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_batch: 8,
+            queue_high_water: 256,
+            default_deadline_ms: ibis_oracle::OracleConfig::default().case_budget_ms,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Job {
+    request_id: u64,
+    query: RangeQuery,
+    count_only: bool,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<(u64, Response)>,
+}
+
+/// State shared by the accept loop, readers, and the worker pool.
+struct Shared {
+    db: Arc<ConcurrentDb>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The serving entry point; see the module docs for the thread layout.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `db`. Returns a handle owning every spawned thread; dropping it
+    /// shuts the server down.
+    pub fn start(
+        db: Arc<ConcurrentDb>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            config: ServerConfig {
+                workers: config.workers.max(1),
+                max_batch: config.max_batch.max(1),
+                queue_high_water: config.queue_high_water.max(1),
+                ..config
+            },
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<Option<TcpStream>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, &shared, &conns))
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            conns,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Owns a running server; [`addr`](ServerHandle::addr) is where clients
+/// connect. Dropping the handle stops the accept loop, severs every open
+/// connection, and joins the worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port chosen).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops serving: new connections are refused, open sockets are torn
+    /// down (in-flight requests may go unanswered), queued-but-unstarted
+    /// jobs are dropped, and every server thread is joined.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        // Severing the sockets unblocks reader threads parked in
+        // `read_frame`; their writer threads follow when the senders drop.
+        for s in self.conns.lock().expect("conn registry").iter().flatten() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Unstarted jobs still hold reply senders; dropping them lets the
+        // per-connection writer threads drain and exit.
+        self.shared.queue.lock().expect("queue").clear();
+    }
+}
+
+/// Polls the non-blocking listener, spawning a reader per connection.
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<Option<TcpStream>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ibis_obs::counter_add("server.connections", 1);
+                // Register a clone so shutdown can sever the socket; the
+                // slot is cleared when the connection ends, and the socket
+                // is explicitly shut down there too (a registered clone
+                // would otherwise hold it half-open).
+                let slot = {
+                    let mut reg = conns.lock().expect("conn registry");
+                    reg.push(stream.try_clone().ok());
+                    reg.len() - 1
+                };
+                let shared = Arc::clone(shared);
+                let conns = Arc::clone(conns);
+                std::thread::spawn(move || {
+                    serve_connection(&shared, stream);
+                    conns.lock().expect("conn registry")[slot] = None;
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handshake, then the read → admit / answer loop for one connection.
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    let Ok(read_side) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_side);
+    // A peer that cannot even present the magic gets dropped silently —
+    // there is no frame alignment to answer within.
+    if read_handshake(&mut reader).is_err() {
+        return;
+    }
+    if write_handshake(&mut stream).is_err() {
+        return;
+    }
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(stream);
+        while let Ok((id, resp)) = reply_rx.recv() {
+            let (kind, body) = resp.encode();
+            if write_frame(&mut w, id, kind, &body)
+                .and_then(|_| w.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match read_frame(&mut reader) {
+            Ok(frame) => {
+                let request_id = frame.request_id;
+                match Request::decode(&frame) {
+                    Ok(Request::Ping) => {
+                        let _ = reply_tx.send((request_id, Response::Pong));
+                    }
+                    Ok(Request::Query {
+                        query,
+                        count_only,
+                        deadline_ms,
+                    }) => {
+                        admit(
+                            shared,
+                            request_id,
+                            query,
+                            count_only,
+                            deadline_ms,
+                            &reply_tx,
+                        );
+                    }
+                    Err(reason) => {
+                        ibis_obs::counter_add("server.bad_requests", 1);
+                        let _ = reply_tx.send((
+                            request_id,
+                            Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: reason,
+                            },
+                        ));
+                    }
+                }
+            }
+            Err(e) => {
+                // Frame-level damage: the stream is no longer aligned.
+                // Report it once (best effort) and drop the connection;
+                // a clean client close (EOF) is not reported.
+                if e.kind() == ErrorKind::InvalidData {
+                    ibis_obs::counter_add("server.protocol_errors", 1);
+                    let _ = reply_tx.send((
+                        0,
+                        Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!("protocol error: {e}"),
+                        },
+                    ));
+                }
+                break;
+            }
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+    // Sever the socket itself: the shutdown registry still holds a clone,
+    // and without this the peer would never see EOF.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Admission control: refuse with `Overloaded` at the high-water mark,
+/// otherwise enqueue for the worker pool.
+fn admit(
+    shared: &Shared,
+    request_id: u64,
+    query: RangeQuery,
+    count_only: bool,
+    deadline_ms: u32,
+    reply: &mpsc::Sender<(u64, Response)>,
+) {
+    ibis_obs::counter_add("server.requests", 1);
+    // Schema validation happens at the door, not in the worker: a query
+    // naming an out-of-range attribute must get its own `BadRequest`, not
+    // poison a batch it later shares with well-formed queries.
+    if let Err(e) = query.validate(shared.db.snapshot().db().schema()) {
+        ibis_obs::counter_add("server.bad_requests", 1);
+        let _ = reply.send((
+            request_id,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("invalid search key: {e}"),
+            },
+        ));
+        return;
+    }
+    let budget = if deadline_ms == 0 {
+        shared.config.default_deadline_ms
+    } else {
+        deadline_ms as u64
+    };
+    let now = Instant::now();
+    let job = Job {
+        request_id,
+        query,
+        count_only,
+        deadline: now + Duration::from_millis(budget),
+        enqueued: now,
+        reply: reply.clone(),
+    };
+    let mut q = shared.queue.lock().expect("work queue");
+    if q.len() >= shared.config.queue_high_water {
+        drop(q);
+        ibis_obs::counter_add("server.shed_overload", 1);
+        let _ = reply.send((
+            request_id,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "queue at high-water mark ({}); retry later",
+                    shared.config.queue_high_water
+                ),
+            },
+        ));
+        return;
+    }
+    q.push_back(job);
+    ibis_obs::gauge_set("server.queue_depth", q.len() as f64);
+    drop(q);
+    shared.available.notify_one();
+}
+
+/// One worker: drain up to `max_batch` jobs per wake, coalesce, execute
+/// each group on one snapshot, respond.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("work queue");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !q.is_empty() {
+                    break;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("work queue");
+                q = guard;
+            }
+            let take = q.len().min(shared.config.max_batch);
+            let drained = q.drain(..take).collect();
+            ibis_obs::gauge_set("server.queue_depth", q.len() as f64);
+            drained
+        };
+        execute_jobs(shared, jobs);
+    }
+}
+
+/// Deadline-checks, batches, executes, and answers one drained job set.
+fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = jobs.into_iter().partition(|j| j.deadline > now);
+    for j in expired {
+        ibis_obs::counter_add("server.shed_deadline", 1);
+        let _ = j.reply.send((
+            j.request_id,
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired while queued".into(),
+            },
+        ));
+    }
+    if live.is_empty() {
+        return;
+    }
+    // One lock-free snapshot serves the whole drain: every query in every
+    // batch below answers at the same watermark.
+    let snap = shared.db.snapshot();
+    let queries: Vec<RangeQuery> = live.iter().map(|j| j.query.clone()).collect();
+    for batch in coalesce_compatible(&queries, shared.config.max_batch) {
+        let batch_queries: Vec<RangeQuery> = batch.iter().map(|&i| queries[i].clone()).collect();
+        let started = Instant::now();
+        // Degree 1 runs inline on this worker: the pool is the
+        // parallelism; fanning out again would oversubscribe it.
+        let result = snap.execute_batch_threads(&batch_queries, 1);
+        let done = Instant::now();
+        ibis_obs::counter_add("server.batches", 1);
+        ibis_obs::counter_add("server.batched_queries", batch.len() as u64);
+        ibis_obs::observe(
+            "server.exec_us",
+            done.duration_since(started).as_micros() as u64,
+        );
+        match result {
+            Ok(rowsets) => {
+                for (&idx, rows) in batch.iter().zip(rowsets) {
+                    let j = &live[idx];
+                    let resp = if done > j.deadline {
+                        ibis_obs::counter_add("server.shed_deadline", 1);
+                        Response::Error {
+                            code: ErrorCode::DeadlineExceeded,
+                            message: "deadline expired during execution".into(),
+                        }
+                    } else if j.count_only {
+                        Response::Count {
+                            watermark: snap.watermark(),
+                            count: rows.len() as u64,
+                        }
+                    } else {
+                        Response::Rows {
+                            watermark: snap.watermark(),
+                            rows: rows.rows().to_vec(),
+                        }
+                    };
+                    ibis_obs::observe(
+                        "server.queue_wait_us",
+                        started.duration_since(j.enqueued).as_micros() as u64,
+                    );
+                    ibis_obs::observe(
+                        "server.request_us",
+                        done.duration_since(j.enqueued).as_micros() as u64,
+                    );
+                    ibis_obs::counter_add("server.responses", 1);
+                    let _ = j.reply.send((j.request_id, resp));
+                }
+            }
+            Err(_) => {
+                // Batch execution is all-or-nothing; retry each query
+                // alone so only the offender pays for the failure.
+                for &idx in &batch {
+                    let j = &live[idx];
+                    let resp = match snap.execute(&j.query) {
+                        Ok(rows) if j.count_only => Response::Count {
+                            watermark: snap.watermark(),
+                            count: rows.len() as u64,
+                        },
+                        Ok(rows) => Response::Rows {
+                            watermark: snap.watermark(),
+                            rows: rows.rows().to_vec(),
+                        },
+                        Err(e) => {
+                            ibis_obs::counter_add("server.internal_errors", 1);
+                            Response::Error {
+                                code: ErrorCode::Internal,
+                                message: format!("execution failed: {e}"),
+                            }
+                        }
+                    };
+                    ibis_obs::counter_add("server.responses", 1);
+                    let _ = j.reply.send((j.request_id, resp));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Failure-injection battery for the `IBQP` wire format, mirroring the
+//! repo-level `tests/corruption.rs` discipline: truncated, bit-flipped,
+//! and lying-length frames must yield a clean protocol error — never a
+//! panic, a hang, or a huge allocation.
+
+use ibis_core::{MissingPolicy, Predicate, RangeQuery};
+use ibis_server::protocol::{read_frame, write_frame, Request, Response};
+use proptest::prelude::*;
+use std::sync::LazyLock;
+
+fn request_image() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let query = RangeQuery::new(
+            vec![Predicate::range(0, 1, 3), Predicate::range(4, 2, 2)],
+            MissingPolicy::IsNotMatch,
+        )
+        .unwrap();
+        let (kind, body) = Request::Query {
+            query,
+            count_only: false,
+            deadline_ms: 500,
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, kind, &body).unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
+fn response_image() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let (kind, body) = Response::Rows {
+            watermark: 12,
+            rows: (0..200).collect(),
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, kind, &body).unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_request_frames_never_panic(pos in 0usize..4096, byte in any::<u8>()) {
+        let mut buf = request_image();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        // Either the frame tears (io error) or — for a benign flip that
+        // dodges the CRC — it decodes; both without panicking.
+        if let Ok(frame) = read_frame(&mut buf.as_slice()) {
+            let _ = Request::decode(&frame);
+        }
+    }
+
+    #[test]
+    fn mutated_response_frames_never_panic(pos in 0usize..4096, byte in any::<u8>()) {
+        let mut buf = response_image();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        if let Ok(frame) = read_frame(&mut buf.as_slice()) {
+            let _ = Response::decode(&frame);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_always_error(cut_frac in 0.0f64..0.999) {
+        // The frame is length-prefixed and checksummed: every strict
+        // truncation must be rejected, never mis-parsed or blocked on.
+        for image in [request_image(), response_image()] {
+            let cut = ((image.len() as f64) * cut_frac) as usize;
+            prop_assert!(read_frame(&mut &image[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn lying_length_fields_never_allocate(word in any::<u32>()) {
+        // Stamp an arbitrary u32 over the length prefix: the reader must
+        // fail cleanly (cap check or EOF or CRC) without reserving the
+        // claimed amount.
+        for image in [request_image(), response_image()] {
+            let true_len = image.len() - 8;
+            let mut buf = image;
+            buf[..4].copy_from_slice(&word.to_le_bytes());
+            let parsed = read_frame(&mut buf.as_slice());
+            if word as usize != true_len {
+                // Cap check, EOF, or CRC mismatch — always a clean error.
+                prop_assert!(parsed.is_err(), "lying length {word} parsed");
+            } else {
+                prop_assert!(parsed.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn lying_predicate_counts_stay_capped(n in any::<u16>()) {
+        // Rebuild a query body whose predicate count lies: decode must
+        // fail cleanly on the missing bytes, never reserve n predicates.
+        let mut body = Vec::new();
+        body.push(0u8); // policy
+        body.push(0u8); // count flag
+        body.extend_from_slice(&100u32.to_le_bytes()); // deadline
+        body.extend_from_slice(&n.to_le_bytes()); // lying predicate count
+        body.extend_from_slice(&1u32.to_le_bytes()); // one real predicate…
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(&2u16.to_le_bytes());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 1, &body).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        let decoded = Request::decode(&frame);
+        if n != 1 {
+            prop_assert!(decoded.is_err(), "count {n} must not parse one predicate");
+        }
+    }
+}
+
+#[test]
+fn unknown_kinds_are_soft_errors() {
+    for kind in [0u8, 9, 200] {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, kind, b"").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(Request::decode(&frame).unwrap_err().contains("unknown"));
+        assert!(Response::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! End-to-end serving tests over real loopback sockets: differential
+//! correctness against direct snapshot execution, admission control under
+//! deliberate overload, deadline enforcement, and protocol-error handling.
+
+use ibis_core::gen::{census_scaled, workload, QuerySpec};
+use ibis_core::{MissingPolicy, Predicate, RangeQuery};
+use ibis_server::protocol::{read_frame, read_handshake, write_handshake};
+use ibis_server::{Client, ErrorCode, Request, Response, Server, ServerConfig};
+use ibis_storage::ConcurrentDb;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A deliberately expensive query: a wide range on a high-cardinality
+/// attribute under IsNotMatch semantics.
+fn slow_query(db: &ConcurrentDb) -> RangeQuery {
+    let snap = db.snapshot();
+    let schema = snap.db().schema();
+    let attr = (0..schema.n_attrs())
+        .max_by_key(|&a| schema.column(a).cardinality())
+        .unwrap();
+    let c = schema.column(attr).cardinality();
+    RangeQuery::new(
+        vec![Predicate::range(attr, 1, c - 1)],
+        MissingPolicy::IsNotMatch,
+    )
+    .unwrap()
+}
+
+fn mixed_workload(db: &ConcurrentDb, seed: u64, per_spec: usize) -> Vec<RangeQuery> {
+    let schema = db.snapshot().db().schema().clone();
+    let mut queries = Vec::new();
+    for (i, (k, policy)) in [
+        (1, MissingPolicy::IsMatch),
+        (1, MissingPolicy::IsNotMatch),
+        (3, MissingPolicy::IsMatch),
+        (3, MissingPolicy::IsNotMatch),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = QuerySpec {
+            n_queries: per_spec,
+            k,
+            global_selectivity: 0.05,
+            policy,
+            candidate_attrs: vec![],
+        };
+        queries.extend(workload(&schema, &spec, seed + i as u64));
+    }
+    queries
+}
+
+#[test]
+fn served_answers_are_bit_identical_to_direct_snapshot_execution() {
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(400, 601), 96));
+    let queries = mixed_workload(&db, 602, 6);
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let snap = db.snapshot();
+    for q in &queries {
+        let direct = snap.execute_threads(q, 2).unwrap();
+        match client.query(q, 0).unwrap() {
+            Response::Rows { watermark, rows } => {
+                assert_eq!(watermark, snap.watermark());
+                assert_eq!(rows, direct.rows().to_vec(), "query {q:?}");
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+        match client.count(q, 0).unwrap() {
+            Response::Count { count, .. } => assert_eq!(count as usize, direct.len()),
+            other => panic!("expected count, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn writes_are_visible_to_later_requests_at_a_higher_watermark() {
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(120, 603), 48));
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let q = RangeQuery::new(vec![Predicate::range(0, 1, 2)], MissingPolicy::IsMatch).unwrap();
+    let Response::Rows { watermark: w0, .. } = client.query(&q, 0).unwrap() else {
+        panic!("expected rows");
+    };
+    assert_eq!(w0, 0);
+    db.delete(0).unwrap();
+    let Response::Rows {
+        watermark: w1,
+        rows,
+    } = client.query(&q, 0).unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(w1, 1, "later requests see the published mutation");
+    assert_eq!(rows, db.snapshot().execute(&q).unwrap().rows().to_vec());
+    handle.shutdown();
+}
+
+#[test]
+fn ping_answers_and_bad_requests_keep_the_connection() {
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(60, 604), 32));
+    let n_attrs = db.snapshot().n_attrs();
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+
+    // Wire-valid but out of schema: attribute beyond the width.
+    let bad = RangeQuery::new(
+        vec![Predicate::range(n_attrs + 5, 1, 1)],
+        MissingPolicy::IsMatch,
+    )
+    .unwrap();
+    match client.query(&bad, 0).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad request, got {other:?}"),
+    }
+    // The connection survives the rejection.
+    let good = RangeQuery::new(vec![Predicate::range(0, 1, 2)], MissingPolicy::IsMatch).unwrap();
+    assert!(matches!(
+        client.query(&good, 0).unwrap(),
+        Response::Rows { .. }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_explicitly_and_answers_every_request() {
+    // One slow worker, a 2-deep queue: an open-loop burst must overflow
+    // admission, and every overflowed request must still get an explicit
+    // `Overloaded` answer rather than unbounded queueing.
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(4000, 605), 512));
+    let config = ServerConfig {
+        workers: 1,
+        max_batch: 1,
+        queue_high_water: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", config).unwrap();
+    let req = Request::Query {
+        query: slow_query(&db),
+        count_only: false,
+        deadline_ms: 60_000,
+    };
+    let (mut tx, mut rx) = Client::connect(handle.addr()).unwrap().into_split();
+    let n = 200;
+    for _ in 0..n {
+        tx.send(&req).unwrap();
+    }
+    let mut served = 0;
+    let mut shed = 0;
+    for _ in 0..n {
+        match rx.recv().unwrap().1 {
+            Response::Rows { .. } => served += 1,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            } => shed += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, n, "every request is answered exactly once");
+    assert!(shed > 0, "a 2-deep queue must shed a 200-request burst");
+    assert!(served > 0, "admitted requests are still served");
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadlines_never_return_rows() {
+    // A 1 ms deadline against a backlogged single worker: late queries are
+    // shed while queued (or answered DeadlineExceeded after execution) —
+    // an expired request never gets rows.
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(4000, 606), 512));
+    let config = ServerConfig {
+        workers: 1,
+        max_batch: 4,
+        queue_high_water: 1024,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", config).unwrap();
+    let req = Request::Query {
+        query: slow_query(&db),
+        count_only: false,
+        deadline_ms: 1,
+    };
+    let (mut tx, mut rx) = Client::connect(handle.addr()).unwrap().into_split();
+    let n = 60;
+    for _ in 0..n {
+        tx.send(&req).unwrap();
+    }
+    let mut expired = 0;
+    for _ in 0..n {
+        match rx.recv().unwrap().1 {
+            Response::Rows { .. } => {}
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            } => expired += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(
+        expired > 0,
+        "a 1 ms budget against a 60-deep backlog must expire somewhere"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn frame_corruption_gets_a_clean_protocol_error_then_disconnect() {
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(60, 607), 32));
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    write_handshake(&mut stream).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    read_handshake(&mut reader).unwrap();
+    // A frame head claiming a liar's length: the server must answer with a
+    // protocol error and drop the connection — never hang, never panic.
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    stream.write_all(&0u32.to_le_bytes()).unwrap();
+    let frame = read_frame(&mut reader).unwrap();
+    assert_eq!(frame.request_id, 0);
+    match Response::decode(&frame).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("protocol error"), "{message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // The server closed its side: the next read hits EOF.
+    assert!(read_frame(&mut reader).is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_handshake_is_dropped_without_serving() {
+    let db = Arc::new(ConcurrentDb::new_mem(census_scaled(60, 608), 32));
+    let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    // No handshake comes back; the connection just closes.
+    assert!(read_handshake(&mut reader).is_err());
+    // A fresh, well-behaved client is unaffected.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    handle.shutdown();
+}

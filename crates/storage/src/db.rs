@@ -908,6 +908,27 @@ impl ShardedDb {
         Ok(self.execute(query)?.len())
     }
 
+    /// Executes a batch of queries across the configured worker pool.
+    pub fn execute_batch(&self, queries: &[RangeQuery]) -> Result<Vec<RowSet>> {
+        self.execute_batch_threads(queries, ibis_core::parallel::configured_threads())
+    }
+
+    /// [`ShardedDb::execute_batch`] with an explicit fan-out degree.
+    /// Queries run whole (synopsis pruning and shard merge included) on the
+    /// pool's workers, each internally single-threaded — the batch itself
+    /// is the parallelism — and results come back in input order at any
+    /// `threads`. This is the server's coalesced-dispatch entry point: one
+    /// pool submission amortizes pool wake-up over the whole batch instead
+    /// of paying it per query.
+    pub fn execute_batch_threads(
+        &self,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> Result<Vec<RowSet>> {
+        ibis_core::parallel::ExecPool::new(threads)
+            .try_map(queries.to_vec(), |q| self.execute_threads(&q, 1))
+    }
+
     /// Serializes the logical state — per-shard base dataset, delta rows,
     /// and tombstones — as one checksummed image (magic `IBSS`). Indexes
     /// and synopses are rebuildable caches and are **not** written;
@@ -971,7 +992,9 @@ impl ShardedDb {
             let width = shard.db.n_attrs();
             let n_delta = wire::read_len(r)?;
             for _ in 0..n_delta {
-                let mut row = Vec::with_capacity(width);
+                // The cap mirrors wal.rs: a lying width in a crafted image
+                // must hit a clean EOF, never a huge reservation.
+                let mut row = Vec::with_capacity(width.min(1 << 16));
                 for _ in 0..width {
                     row.push(Cell::from_raw(wire::read_u16(r)?));
                 }
@@ -1179,6 +1202,31 @@ mod tests {
         };
         let queries = workload(&data, &spec, 413);
         let sequential: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                d.execute_batch_threads(&queries, threads).unwrap(),
+                sequential,
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_execute_batch_threads_matches_at_any_degree() {
+        let data = census_scaled(300, 414);
+        let mut d = ShardedDb::new(data.clone(), 64);
+        d.insert(&vec![m(); data.n_attrs()]).unwrap();
+        d.delete(2);
+        let spec = QuerySpec {
+            n_queries: 10,
+            k: 2,
+            global_selectivity: 0.05,
+            policy: MissingPolicy::IsMatch,
+            candidate_attrs: vec![],
+        };
+        let queries = workload(&data, &spec, 415);
+        let sequential: Vec<RowSet> = queries.iter().map(|q| d.execute(q).unwrap()).collect();
+        assert_eq!(d.execute_batch(&queries).unwrap(), sequential);
         for threads in [1, 2, 8] {
             assert_eq!(
                 d.execute_batch_threads(&queries, threads).unwrap(),

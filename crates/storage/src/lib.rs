@@ -31,7 +31,7 @@ pub mod manifest;
 pub mod snapshot;
 pub mod wal;
 
-mod crc;
+pub mod crc;
 
 pub use concurrent::ConcurrentDb;
 pub use db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};

@@ -107,4 +107,16 @@ impl DbSnapshot {
     pub fn count(&self, query: &RangeQuery) -> Result<usize> {
         self.db.count(query)
     }
+
+    /// Executes a batch of queries across `threads` workers; results come
+    /// back in input order. See [`ShardedDb::execute_batch_threads`] — this
+    /// is what the server's coalesced dispatch runs against, so a whole
+    /// batch shares one frozen shard-set and one pool submission.
+    pub fn execute_batch_threads(
+        &self,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> Result<Vec<RowSet>> {
+        self.db.execute_batch_threads(queries, threads)
+    }
 }

@@ -36,6 +36,29 @@ pub const WAL_HEADER_LEN: u64 = 6;
 /// corruption by definition — treated as a torn tail, never allocated.
 pub const MAX_FRAME_LEN: usize = 1 << 24;
 
+/// A record whose encoded payload exceeds [`MAX_FRAME_LEN`]. Raised by
+/// [`WalWriter::append`] *before* anything hits the file: writing the frame
+/// would truncate its length header to `len as u32`, and the log would then
+/// tear at this record on every replay. Surfaces as an
+/// [`io::ErrorKind::InvalidInput`] error whose source downcasts to this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The encoded payload length that exceeded the cap.
+    pub len: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WAL record payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
 /// One logged mutation. Replaying the record sequence against the snapshot
 /// it extends reproduces the pre-crash database exactly — including
 /// [`Compact`](WalRecord::Compact), which renumbers rows deterministically.
@@ -142,9 +165,19 @@ impl WalWriter {
     }
 
     /// Appends one record, fsyncs, and returns its sequence number.
+    ///
+    /// Fails with [`FrameTooLarge`] (as an `InvalidInput` io error) when the
+    /// encoded payload exceeds [`MAX_FRAME_LEN`] — the `as u32` length cast
+    /// below would otherwise silently truncate and corrupt the log on replay.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
         let seq = self.next_seq;
         let payload = record.encode(seq);
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                FrameTooLarge { len: payload.len() },
+            ));
+        }
         let mut frame = Vec::with_capacity(8 + payload.len());
         wire::write_u32(&mut frame, payload.len() as u32).expect("vec write");
         wire::write_u32(&mut frame, crc32(&payload)).expect("vec write");
@@ -376,6 +409,38 @@ mod tests {
         let s = scan_bytes(&buf);
         assert_eq!(s.records.len(), 2, "the seq-8 frame breaks the chain");
         assert!(s.valid_len < s.file_len);
+    }
+
+    #[test]
+    fn append_rejects_frames_over_the_cap_at_the_boundary() {
+        let path = tmp("cap");
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        // Insert payload = seq(8) + kind(1) + count(4) + 2 bytes/cell.
+        let cells_at_cap = (MAX_FRAME_LEN - 13) / 2;
+        let fits = WalRecord::Insert(vec![Cell::MISSING; cells_at_cap]);
+        w.append(&fits).unwrap();
+        let bytes_after_ok = w.bytes();
+
+        let over = WalRecord::Insert(vec![Cell::MISSING; cells_at_cap + 1]);
+        let err = w.append(&over).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let frame_err = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+            .expect("source downcasts to FrameTooLarge");
+        assert!(frame_err.len > MAX_FRAME_LEN);
+
+        // Nothing reached the file, and the sequence counter did not burn:
+        // the next append continues the chain and the log replays cleanly.
+        assert_eq!(w.bytes(), bytes_after_ok);
+        w.append(&WalRecord::Delete(4)).unwrap();
+        let s = scan(&path).unwrap();
+        assert!(s.clean());
+        assert_eq!(
+            s.records.iter().map(|(q, _)| *q).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

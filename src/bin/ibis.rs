@@ -22,18 +22,57 @@ use std::io::Read as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+/// A CLI failure, split by who is at fault: a bad invocation (malformed
+/// flag value, missing argument, unknown command — exit 2, the
+/// conventional usage-error code) versus a failure while carrying out a
+/// well-formed command (exit 1).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Plain `format!`/`to_string` errors are runtime failures…
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Runtime(m)
+    }
+}
+
+/// …while every `&str` literal in this file is a usage message.
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("import") => import(&args[1..]),
@@ -50,11 +89,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("restore") => restore(&args[1..]),
         Some("validate") => validate(&args[1..]),
         Some("crash") => crash(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try `ibis help`")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}; try `ibis help`"
+        ))),
     }
 }
 
@@ -133,6 +175,21 @@ commands:
       offsets, and under single-bit corruption; every mangled copy must
       recover exactly its durable prefix (rows and work counters, both
       semantics, each thread degree)
+  serve FILE.ibds [--addr HOST:PORT] [--shard-rows N] [--workers N]
+        [--max-batch N] [--queue-high-water N] [--deadline-ms MS]
+        [--duration-secs N] [--addr-file PATH]
+  serve --data-dir DIR [same flags except --shard-rows]
+      expose the database over the IBQP binary wire protocol (default
+      address 127.0.0.1:7431; --addr-file records the bound address,
+      which is how scripts learn the port under --addr HOST:0): requests
+      execute against lock-free snapshots on a fixed worker pool,
+      compatible queued queries are coalesced into batches, each request
+      carries a deadline (default: the oracle's per-case budget), and a
+      queue past the high-water mark sheds with an explicit Overloaded
+      error; runs until killed unless --duration-secs is given
+
+exit status: 0 on success, 1 on a command failure, 2 on a usage error
+(unknown command or flag value that does not parse)
 ";
 
 /// Pulls `--name value` out of `args`; returns the remaining positionals.
@@ -165,15 +222,16 @@ fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Stri
 fn req<'a>(
     flags: &'a std::collections::BTreeMap<String, String>,
     name: &str,
-) -> Result<&'a str, String> {
+) -> Result<&'a str, CliError> {
     flags
         .get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}"))
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
 }
 
-fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("invalid {what}: {s:?}")))
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
@@ -182,7 +240,7 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
 
 /// `--threads N` if given (must be ≥ 1), else the configured degree
 /// (`IBIS_THREADS` or the machine default).
-fn parse_threads(flags: &std::collections::BTreeMap<String, String>) -> Result<usize, String> {
+fn parse_threads(flags: &std::collections::BTreeMap<String, String>) -> Result<usize, CliError> {
     match flags.get("threads") {
         Some(s) => {
             let n: usize = num(s, "thread count")?;
@@ -195,7 +253,7 @@ fn parse_threads(flags: &std::collections::BTreeMap<String, String>) -> Result<u
     }
 }
 
-fn generate(args: &[String]) -> Result<(), String> {
+fn generate(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args);
     let rows: usize = num(req(&flags, "rows")?, "row count")?;
     let seed: u64 = flags.get("seed").map_or(Ok(42), |s| num(s, "seed"))?;
@@ -203,7 +261,11 @@ fn generate(args: &[String]) -> Result<(), String> {
     let d = match req(&flags, "kind")? {
         "synthetic" => synthetic_scaled(rows, seed),
         "census" => census_scaled(rows, seed),
-        other => return Err(format!("unknown kind {other:?} (synthetic|census)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown kind {other:?} (synthetic|census)"
+            )))
+        }
     };
     d.save(out)
         .map_err(|e| format!("cannot write {out:?}: {e}"))?;
@@ -216,7 +278,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn import(args: &[String]) -> Result<(), String> {
+fn import(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let path = pos
         .first()
@@ -254,7 +316,7 @@ fn import(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn export(args: &[String]) -> Result<(), String> {
+fn export(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let path = pos
         .first()
@@ -283,7 +345,7 @@ fn export(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
+fn stats(args: &[String]) -> Result<(), CliError> {
     let (pos, _) = parse_flags(args);
     let path = pos.first().ok_or("usage: ibis stats FILE")?;
     let d = load_dataset(path)?;
@@ -305,7 +367,7 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn index(args: &[String]) -> Result<(), String> {
+fn index(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let path = pos
         .first()
@@ -320,7 +382,9 @@ fn index(args: &[String]) -> Result<(), String> {
                 "wah" => save_index(&$ty::<Wah>::build(&d), out),
                 "bbc" => save_index(&$ty::<Bbc>::build(&d), out),
                 "plain" => save_index(&$ty::<BitVec64>::build(&d), out),
-                other => Err(format!("unknown backend {other:?} (wah|bbc|plain)")),
+                other => Err(CliError::Usage(format!(
+                    "unknown backend {other:?} (wah|bbc|plain)"
+                ))),
             }
         };
     }
@@ -334,7 +398,11 @@ fn index(args: &[String]) -> Result<(), String> {
         "bre" => save_bitmap!(RangeBitmapIndex)?,
         "bie" => save_bitmap!(IntervalBitmapIndex)?,
         "dec" => save_bitmap!(DecomposedBitmapIndex)?,
-        other => return Err(format!("unknown encoding {other:?} (bee|bre|bie|dec|va)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown encoding {other:?} (bee|bre|bie|dec|va)"
+            )))
+        }
     };
     if n_bitmaps > 0 {
         println!(
@@ -375,8 +443,9 @@ savable!(RangeBitmapIndex);
 savable!(IntervalBitmapIndex);
 savable!(DecomposedBitmapIndex);
 
-fn save_index(idx: &dyn SavableIndex, out: &str) -> Result<(usize, usize), String> {
-    idx.save(out).map_err(|e| e.to_string())?;
+fn save_index(idx: &dyn SavableIndex, out: &str) -> Result<(usize, usize), CliError> {
+    idx.save(out)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     Ok((idx.n_bitmaps(), idx.size_bytes()))
 }
 
@@ -440,7 +509,7 @@ fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMeth
     }
 }
 
-fn query(args: &[String]) -> Result<(), String> {
+fn query(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     if flags.contains_key("data-dir") {
         return query_durable(&pos, &flags);
@@ -587,7 +656,7 @@ fn query(args: &[String]) -> Result<(), String> {
 fn query_durable(
     pos: &[String],
     flags: &std::collections::BTreeMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let dir = req(flags, "data-dir")?;
     let text = pos
         .first()
@@ -648,7 +717,7 @@ fn query_durable(
     Ok(())
 }
 
-fn init(args: &[String]) -> Result<(), String> {
+fn init(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let dir = pos
         .first()
@@ -678,7 +747,7 @@ fn init(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn checkpoint(args: &[String]) -> Result<(), String> {
+fn checkpoint(args: &[String]) -> Result<(), CliError> {
     let (pos, _) = parse_flags(args);
     let dir = pos.first().ok_or("usage: ibis checkpoint DIR")?;
     let mut db = DurableDb::open(std::path::Path::new(dir))
@@ -694,7 +763,7 @@ fn checkpoint(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn backup(args: &[String]) -> Result<(), String> {
+fn backup(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let dir = pos
         .first()
@@ -712,7 +781,7 @@ fn backup(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn restore(args: &[String]) -> Result<(), String> {
+fn restore(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let file = pos
         .first()
@@ -729,7 +798,7 @@ fn restore(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn validate(args: &[String]) -> Result<(), String> {
+fn validate(args: &[String]) -> Result<(), CliError> {
     let (pos, _) = parse_flags(args);
     let dir = pos.first().ok_or("usage: ibis validate DIR")?;
     let r = DurableDb::validate(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
@@ -751,7 +820,7 @@ fn validate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn crash(args: &[String]) -> Result<(), String> {
+fn crash(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args);
     let threads = match flags.get("threads") {
         Some(s) => s
@@ -798,10 +867,13 @@ fn crash(args: &[String]) -> Result<(), String> {
             f.detail.lines().next().unwrap_or("")
         );
     }
-    Err(format!("{} failing check(s)", report.failures.len()))
+    Err(CliError::Runtime(format!(
+        "{} failing check(s)",
+        report.failures.len()
+    )))
 }
 
-fn race(args: &[String]) -> Result<(), String> {
+fn race(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     let path = pos
         .first()
@@ -904,7 +976,7 @@ fn race_live(
     threads: usize,
     mutations: usize,
     shard_rows: usize,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     use std::sync::atomic::{AtomicBool, Ordering};
     let n_attrs = d.n_attrs();
     let cards: Vec<u16> = (0..n_attrs).map(|a| d.column(a).cardinality()).collect();
@@ -995,11 +1067,12 @@ fn race_live(
         );
         Ok(())
     })
+    .map_err(CliError::from)
 }
 
 /// `ibis stress` — the snapshot-isolation stress harness (differentially
 /// checked; see [`ibis::oracle::stress`]).
-fn stress(args: &[String]) -> Result<(), String> {
+fn stress(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args);
     let threads = match flags.get("threads") {
         Some(s) => s
@@ -1067,10 +1140,13 @@ fn stress(args: &[String]) -> Result<(), String> {
             f.detail.lines().next().unwrap_or("")
         );
     }
-    Err(format!("{} failing check(s)", report.failures.len()))
+    Err(CliError::Runtime(format!(
+        "{} failing check(s)",
+        report.failures.len()
+    )))
 }
 
-fn oracle(args: &[String]) -> Result<(), String> {
+fn oracle(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args);
     let cfg = ibis::oracle::OracleConfig {
         cases: flags
@@ -1129,7 +1205,102 @@ fn oracle(args: &[String]) -> Result<(), String> {
             }
         );
     }
-    Err(format!("{} failing case(s)", report.bugs.len()))
+    Err(CliError::Runtime(format!(
+        "{} failing case(s)",
+        report.bugs.len()
+    )))
+}
+
+/// `ibis serve` — expose a database over the `IBQP` wire protocol (see
+/// `ibis::server`): lock-free snapshot reads on a fixed worker pool with
+/// batching, per-request deadlines, and admission control.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args);
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: {
+            let n: usize = flags
+                .get("workers")
+                .map_or(Ok(defaults.workers), |s| num(s, "worker count"))?;
+            if n == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            n
+        },
+        max_batch: {
+            let n: usize = flags
+                .get("max-batch")
+                .map_or(Ok(defaults.max_batch), |s| num(s, "batch size"))?;
+            if n == 0 {
+                return Err("--max-batch must be at least 1".into());
+            }
+            n
+        },
+        queue_high_water: flags
+            .get("queue-high-water")
+            .map_or(Ok(defaults.queue_high_water), |s| {
+                num(s, "queue high-water mark")
+            })?,
+        default_deadline_ms: flags
+            .get("deadline-ms")
+            .map_or(Ok(defaults.default_deadline_ms), |s| {
+                num(s, "deadline milliseconds")
+            })?,
+    };
+    let db = if let Some(dir) = flags.get("data-dir") {
+        if !pos.is_empty() {
+            return Err("--data-dir serves the durable directory; \
+                        it cannot be combined with a dataset file"
+                .into());
+        }
+        ConcurrentDb::open_durable(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot open data directory {dir:?}: {e}"))?
+    } else {
+        let path = pos
+            .first()
+            .ok_or("usage: ibis serve FILE.ibds [flags] | ibis serve --data-dir DIR [flags]")?;
+        let shard_rows: usize = flags
+            .get("shard-rows")
+            .map_or(Ok(4096), |s| num(s, "shard rows"))?;
+        if shard_rows == 0 {
+            return Err("--shard-rows must be at least 1".into());
+        }
+        ConcurrentDb::from_sharded(ShardedDb::new(load_dataset(path)?, shard_rows))
+    };
+    let addr = flags.get("addr").map_or("127.0.0.1:7431", String::as_str);
+    let snap = db.snapshot();
+    let handle = Server::start(Arc::new(db), addr, config.clone())
+        .map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    println!(
+        "serving {} rows × {} attrs on {} ({} worker(s), batch ≤ {}, \
+         queue high-water {}, default deadline {} ms)",
+        snap.n_rows(),
+        snap.n_attrs(),
+        handle.addr(),
+        config.workers,
+        config.max_batch,
+        config.queue_high_water,
+        config.default_deadline_ms
+    );
+    drop(snap);
+    // Scripts and tests read the bound address from this file; with
+    // `--addr 127.0.0.1:0` it is the only way to learn the chosen port.
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, handle.addr().to_string())
+            .map_err(|e| format!("cannot write address file {path:?}: {e}"))?;
+    }
+    match flags.get("duration-secs") {
+        Some(s) => {
+            let secs: u64 = num(s, "duration")?;
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            handle.shutdown();
+            println!("served for {secs}s, shut down cleanly");
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1153,6 +1324,123 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&["frobnicate".to_string()]).is_err());
         assert!(run(&[]).is_ok()); // help
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_with_exit_code_2() {
+        let s = |x: &str| x.to_string();
+        // Malformed numeric values, missing required flags, unknown
+        // commands and enum values: all usage errors → exit code 2.
+        let usage_cases: Vec<Vec<String>> = vec![
+            vec![
+                s("generate"),
+                s("--rows"),
+                s("abc"),
+                s("--kind"),
+                s("census"),
+                s("--out"),
+                s("x"),
+            ],
+            vec![
+                s("generate"),
+                s("--rows"),
+                s("-4"),
+                s("--kind"),
+                s("census"),
+                s("--out"),
+                s("x"),
+            ],
+            vec![
+                s("generate"),
+                s("--rows"),
+                s("10"),
+                s("--kind"),
+                s("census"),
+            ],
+            vec![
+                s("generate"),
+                s("--rows"),
+                s("10"),
+                s("--kind"),
+                s("martian"),
+                s("--out"),
+                s("x"),
+            ],
+            vec![s("stress"), s("--mutations"), s("1e5")],
+            vec![s("stress"), s("--threads"), s("1,x")],
+            vec![s("oracle"), s("--cases"), s("many")],
+            vec![s("crash"), s("--bit-flips"), s("2.5")],
+            vec![s("serve"), s("--workers"), s("zero")],
+            vec![s("serve")],
+            vec![s("frobnicate")],
+        ];
+        for args in usage_cases {
+            let err = run(&args).unwrap_err();
+            assert!(
+                matches!(err, CliError::Usage(_)),
+                "{args:?} should be a usage error, got {err:?}"
+            );
+            assert_eq!(err.exit_code(), 2, "{args:?}");
+        }
+        // A well-formed command that fails while running exits with 1.
+        let err = run(&[s("stats"), s("/no/such/file.ibds")]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "got {err:?}");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn serve_subcommand_answers_queries_over_loopback() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let addr_file = dir.join("addr.txt").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("300"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        let serve_args: Vec<String> = vec![
+            s("serve"),
+            data.clone(),
+            s("--addr"),
+            s("127.0.0.1:0"),
+            s("--addr-file"),
+            addr_file.clone(),
+            s("--shard-rows"),
+            s("64"),
+            s("--workers"),
+            s("2"),
+            s("--duration-secs"),
+            s("3"),
+        ];
+        let server = std::thread::spawn(move || run(&serve_args));
+        // The server writes its bound address once the listener is up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no address file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let mut client = ibis::server::Client::connect(&addr).unwrap();
+        assert_eq!(client.ping().unwrap(), ibis::server::Response::Pong);
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 2)], MissingPolicy::IsMatch).unwrap();
+        match client.query(&q, 0).unwrap() {
+            ibis::server::Response::Rows { rows, .. } => assert!(!rows.is_empty()),
+            other => panic!("expected rows, got {other:?}"),
+        }
+        drop(client);
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   snapshot-isolated serving layer
 //!   ([`ConcurrentDb`](storage::ConcurrentDb)): lock-free reader
 //!   snapshots under streaming writes;
+//! * [`server`] — networked query serving ([`Server`](server::Server),
+//!   the `IBQP` wire protocol, the blocking [`Client`](server::Client)):
+//!   CRC-framed requests executed in coalesced batches on lock-free
+//!   snapshots, with per-request deadlines and admission control (see the
+//!   `ibis serve` CLI subcommand and the `loadgen` bin);
 //! * [`oracle`] — seeded differential + metamorphic correctness oracle over
 //!   every access method (see the `ibis oracle` CLI subcommand);
 //! * [`obs`] — zero-dependency observability (tracing spans, metrics,
@@ -87,6 +92,7 @@ pub use ibis_bitvec as bitvec;
 pub use ibis_core as core;
 pub use ibis_obs as obs;
 pub use ibis_oracle as oracle;
+pub use ibis_server as server;
 pub use ibis_storage as storage;
 pub use ibis_vafile as vafile;
 
@@ -110,5 +116,6 @@ pub mod prelude {
 
     pub use crate::db::{CandidatePlan, DbConfig, IncompleteDb, Plan, ShardExecution, ShardedDb};
     pub use crate::profile::{profile_method, profile_sharded, QueryProfile};
+    pub use ibis_server::{Server, ServerConfig, ServerHandle};
     pub use ibis_storage::{ConcurrentDb, DbSnapshot, DurableDb, ValidateReport};
 }

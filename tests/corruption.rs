@@ -317,6 +317,59 @@ proptest! {
 }
 
 #[test]
+fn lying_length_fields_behind_a_valid_checksum_fail_cleanly() {
+    // The proptest mutations above almost always die at the CRC gate. This
+    // battery *fixes up* the checksum after the lie, so the corrupt counts
+    // reach the body parser itself — in particular the per-delta-row
+    // `Vec::with_capacity(width)` in `ShardedDb::read_snapshot`, which must
+    // stay capped (db.rs) exactly like the WAL reader (wal.rs).
+    use ibis::storage::crc::crc32;
+    // Single shard, no deltas, no tombstones: the body tail is exactly
+    // [n_delta u64][tombstone count u64] = 16 known zero bytes.
+    let db = ShardedDb::new(census_scaled(60, 508), 100);
+    let mut image = Vec::new();
+    db.write_snapshot(&mut image).unwrap();
+    // Image layout: magic+version (6) | crc u32 (4) | body len u64 (8) | body.
+    let body_len = u64::from_le_bytes(image[10..18].try_into().unwrap()) as usize;
+    assert_eq!(image.len(), 18 + body_len);
+
+    // Re-seals the image with `n` stamped over 8 body bytes at `off` and
+    // the checksum recomputed so the lie survives CRC verification.
+    let reseal = |off: usize, n: u64| {
+        let mut body = image[18..].to_vec();
+        body[off..off + 8].copy_from_slice(&n.to_le_bytes());
+        let mut out = image[..6].to_vec();
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    };
+
+    // A lying delta count drives the capacity-per-row loop: it must hit a
+    // clean EOF, never reserve count × width cells.
+    let lying = reseal(body_len - 16, u64::MAX);
+    assert!(ShardedDb::read_snapshot(&mut lying.as_slice()).is_err());
+    // Lying tombstone count likewise.
+    let lying = reseal(body_len - 8, u64::MAX);
+    assert!(ShardedDb::read_snapshot(&mut lying.as_slice()).is_err());
+
+    // Body layout starts config u8 (0) | shard_rows u64 (1) | n_shards u64
+    // (9) | first dataset image (17): stamp those headers, the dataset's
+    // own row/attr counts (6 and 14 bytes past its header), and a coarse
+    // sweep across the rest of the body. Every read must either error
+    // cleanly or yield a structurally valid database — never panic, never
+    // reserve the claimed amount.
+    let targeted = [1usize, 9, 17 + 6, 17 + 14];
+    let sweep = (0..body_len.saturating_sub(8)).step_by(131);
+    for off in targeted.into_iter().chain(sweep) {
+        for n in [u64::MAX, 1 << 40, (1 << 32) + 7] {
+            let img = reseal(off, n);
+            let _ = ShardedDb::read_snapshot(&mut img.as_slice());
+        }
+    }
+}
+
+#[test]
 fn loaded_after_benign_roundtrip_still_answers_correctly() {
     // Sanity anchor for the fuzz suite: the unmutated bytes load and agree
     // with the source index.
