@@ -249,6 +249,20 @@ impl RangeQuery {
     }
 }
 
+impl std::fmt::Display for RangeQuery {
+    /// Compact plan form, e.g. `a0∈[1,3] ∧ a4∈[7,7] (IsNotMatch)` — used
+    /// by profiles and the server's slow-query log.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "a{}∈[{},{}]", p.attr, p.interval.lo, p.interval.hi)?;
+        }
+        write!(f, " ({:?})", self.policy)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -134,6 +134,82 @@ mod tests {
     }
 
     #[test]
+    fn saturation_at_u64_max_is_exact() {
+        // u64::MAX must land in the final in-range bucket, whose upper
+        // bound is exactly u64::MAX — no overflow past NUM_BUCKETS, no
+        // wrapped bucket_upper.
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(s.sum, u64::MAX);
+        // Extreme quantiles clamp to the exact observed max.
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
+        assert!(s.is_valid());
+        // The top bucket survives the snapshot round trip.
+        assert_eq!(
+            s.buckets.last().copied(),
+            Some(((NUM_BUCKETS - 1) as u32, 2))
+        );
+    }
+
+    #[test]
+    fn merge_quantiles_match_concatenated_stream_at_extremes() {
+        // Two disjoint streams that both include the extreme edges of the
+        // u64 range: merging the histograms must yield the same quantiles
+        // (and exact min/max/count) as recording the concatenation.
+        let stream_a: Vec<u64> = vec![0, 1, 7, 8, 1000, u64::MAX];
+        let stream_b: Vec<u64> = vec![3, 500, u64::MAX - 1, u64::MAX];
+
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut concat = Histogram::new();
+        for &v in &stream_a {
+            a.record(v);
+            concat.record(v);
+        }
+        for &v in &stream_b {
+            b.record(v);
+            concat.record(v);
+        }
+        a.merge(&b);
+        let merged = a.snapshot();
+        let direct = concat.snapshot();
+        assert_eq!(merged, direct);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.quantile(0.0), 0); // exact observed min
+        assert_eq!(merged.quantile(1.0), u64::MAX); // exact observed max
+    }
+
+    #[test]
+    fn merge_saturates_counts_instead_of_wrapping() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for h in [&mut a, &mut b] {
+            h.count = u64::MAX - 1;
+            h.counts[0] = u64::MAX - 1;
+            h.sum = u64::MAX - 1;
+            h.min = 0;
+            h.max = 0;
+        }
+        a.merge(&b);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.counts[0], u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+    }
+
+    #[test]
     fn quantiles_of_uniform_range() {
         let mut h = Histogram::new();
         for v in 1..=1000u64 {

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanRecord};
+use crate::window::{WindowCounterSnapshot, WindowSnapshot};
 
 // ---------------------------------------------------------------- writing
 
@@ -105,6 +106,44 @@ pub(crate) fn to_json(snap: &Snapshot) -> String {
         push_escaped(&mut out, k);
         out.push(':');
         push_hist(&mut out, h);
+    }
+    out.push_str("},\"windows\":{");
+    for (i, (k, w)) in snap.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, k);
+        out.push_str(&format!(
+            ":{{\"bucket_ms\":{},\"capacity\":{},\"buckets\":[",
+            w.bucket_ms, w.capacity
+        ));
+        for (j, (idx, h)) in w.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{idx},"));
+            push_hist(&mut out, h);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("},\"window_counters\":{");
+    for (i, (k, w)) in snap.window_counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, k);
+        out.push_str(&format!(
+            ":{{\"bucket_ms\":{},\"capacity\":{},\"buckets\":[",
+            w.bucket_ms, w.capacity
+        ));
+        for (j, (idx, v)) in w.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{idx},{v}]"));
+        }
+        out.push_str("]}");
     }
     out.push_str("}}");
     out
@@ -412,6 +451,63 @@ fn hist_from(v: &Value) -> Result<HistogramSnapshot, String> {
     })
 }
 
+fn window_from(v: &Value) -> Result<WindowSnapshot, String> {
+    let o = as_obj(v, "window")?;
+    let buckets = as_arr(&field(&o, "buckets", "window")?, "window.buckets")?
+        .iter()
+        .map(|pair| {
+            let pair = as_arr(pair, "window bucket")?;
+            if pair.len() != 2 {
+                return Err("window bucket: expected [index, histogram]".to_string());
+            }
+            Ok((
+                as_u64(&pair[0], "window bucket index")?,
+                hist_from(&pair[1])?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let capacity = as_u64(&field(&o, "capacity", "window")?, "window.capacity")?;
+    Ok(WindowSnapshot {
+        bucket_ms: as_u64(&field(&o, "bucket_ms", "window")?, "window.bucket_ms")?,
+        capacity: u32::try_from(capacity)
+            .map_err(|_| "window.capacity out of range".to_string())?,
+        buckets,
+    })
+}
+
+fn window_counter_from(v: &Value) -> Result<WindowCounterSnapshot, String> {
+    let o = as_obj(v, "window counter")?;
+    let buckets = as_arr(
+        &field(&o, "buckets", "window counter")?,
+        "window_counter.buckets",
+    )?
+    .iter()
+    .map(|pair| {
+        let pair = as_arr(pair, "window counter bucket")?;
+        if pair.len() != 2 {
+            return Err("window counter bucket: expected [index, sum]".to_string());
+        }
+        Ok((
+            as_u64(&pair[0], "window counter bucket index")?,
+            as_u64(&pair[1], "window counter bucket sum")?,
+        ))
+    })
+    .collect::<Result<Vec<_>, String>>()?;
+    let capacity = as_u64(
+        &field(&o, "capacity", "window counter")?,
+        "window_counter.capacity",
+    )?;
+    Ok(WindowCounterSnapshot {
+        bucket_ms: as_u64(
+            &field(&o, "bucket_ms", "window counter")?,
+            "window_counter.bucket_ms",
+        )?,
+        capacity: u32::try_from(capacity)
+            .map_err(|_| "window_counter.capacity out of range".to_string())?,
+        buckets,
+    })
+}
+
 pub(crate) fn from_json(text: &str) -> Result<Snapshot, String> {
     let root = as_obj(&parse_value(text)?, "snapshot")?;
     let spans = as_arr(&field(&root, "spans", "snapshot")?, "snapshot.spans")?
@@ -433,11 +529,24 @@ pub(crate) fn from_json(text: &str) -> Result<Snapshot, String> {
     )? {
         histograms.insert(k.clone(), hist_from(&v)?);
     }
+    let mut windows = BTreeMap::new();
+    for (k, v) in as_obj(&field(&root, "windows", "snapshot")?, "snapshot.windows")? {
+        windows.insert(k.clone(), window_from(&v)?);
+    }
+    let mut window_counters = BTreeMap::new();
+    for (k, v) in as_obj(
+        &field(&root, "window_counters", "snapshot")?,
+        "snapshot.window_counters",
+    )? {
+        window_counters.insert(k.clone(), window_counter_from(&v)?);
+    }
     Ok(Snapshot {
         spans,
         counters,
         gauges,
         histograms,
+        windows,
+        window_counters,
     })
 }
 
@@ -450,6 +559,12 @@ mod tests {
         for v in [1u64, 5, 9, 1000, u64::MAX] {
             h.record(v);
         }
+        let mut w = crate::WindowedHistogram::new(100, 4);
+        w.record_at(0, 10);
+        w.record_at(150, 20);
+        let mut wc = crate::WindowedCounter::new(100, 4);
+        wc.add_at(0, 3);
+        wc.add_at(250, 4);
         Snapshot {
             spans: vec![SpanRecord {
                 id: 3,
@@ -463,6 +578,8 @@ mod tests {
             counters: [("oracle.cases".to_string(), u64::MAX)].into(),
             gauges: [("threads".to_string(), 4.25), ("neg".to_string(), -1.5)].into(),
             histograms: [("lat".to_string(), h.snapshot())].into(),
+            windows: [("lat.win".to_string(), w.snapshot_at(250))].into(),
+            window_counters: [("req.win".to_string(), wc.snapshot_at(250))].into(),
         }
     }
 
@@ -483,9 +600,12 @@ mod tests {
             "{",
             "[]",
             "{\"spans\":[],\"counters\":{},\"gauges\":{}}", // missing histograms
-            "{\"spans\":[{}],\"counters\":{},\"gauges\":{},\"histograms\":{}}",
-            "{\"spans\":[],\"counters\":{\"x\":-1},\"gauges\":{},\"histograms\":{}}",
-            "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{}} trailing",
+            // missing windows / window_counters
+            "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{}}",
+            "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{},\"windows\":{}}",
+            "{\"spans\":[{}],\"counters\":{},\"gauges\":{},\"histograms\":{},\"windows\":{},\"window_counters\":{}}",
+            "{\"spans\":[],\"counters\":{\"x\":-1},\"gauges\":{},\"histograms\":{},\"windows\":{},\"window_counters\":{}}",
+            "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{},\"windows\":{},\"window_counters\":{}} trailing",
         ] {
             assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad}");
         }
@@ -494,8 +614,17 @@ mod tests {
     #[test]
     fn rejects_inconsistent_histograms() {
         // count says 2 but buckets sum to 1.
-        let bad = "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":2,\"min\":1,\"max\":1,\"sum\":2,\"buckets\":[[1,1]]}}}";
+        let bad = "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":2,\"min\":1,\"max\":1,\"sum\":2,\"buckets\":[[1,1]]}},\"windows\":{},\"window_counters\":{}}";
         assert!(Snapshot::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_windows() {
+        // Bucket indexes must be strictly ascending and non-empty.
+        let dup = "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{},\"windows\":{\"w\":{\"bucket_ms\":100,\"capacity\":4,\"buckets\":[[2,{\"count\":1,\"min\":1,\"max\":1,\"sum\":1,\"buckets\":[[1,1]]}],[2,{\"count\":1,\"min\":1,\"max\":1,\"sum\":1,\"buckets\":[[1,1]]}]]}},\"window_counters\":{}}";
+        assert!(Snapshot::from_json(dup).is_err());
+        let zero = "{\"spans\":[],\"counters\":{},\"gauges\":{},\"histograms\":{},\"windows\":{},\"window_counters\":{\"c\":{\"bucket_ms\":100,\"capacity\":4,\"buckets\":[[1,0]]}}}";
+        assert!(Snapshot::from_json(zero).is_err());
     }
 
     #[test]

@@ -30,10 +30,16 @@
 
 mod hist;
 mod json;
+mod prom;
 mod snapshot;
+mod window;
 
 pub use hist::Histogram;
+pub use prom::validate_prometheus;
 pub use snapshot::{HistogramSnapshot, PhaseTotal, Snapshot, SpanRecord};
+pub use window::{
+    merge_hist_snapshots, WindowCounterSnapshot, WindowSnapshot, WindowedCounter, WindowedHistogram,
+};
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -77,6 +83,8 @@ struct GlobalState {
     counters: HashMap<&'static str, u64>,
     gauges: HashMap<&'static str, f64>,
     histograms: HashMap<&'static str, Histogram>,
+    windows: HashMap<&'static str, window::WindowedHistogram>,
+    window_counters: HashMap<&'static str, window::WindowedCounter>,
 }
 
 /// A finished span, still using `&'static str` names (stringified only when
@@ -343,6 +351,53 @@ pub fn gauge_set(name: &'static str, value: f64) {
     lock_global().gauges.insert(name, v);
 }
 
+/// Adjust the gauge `name` by `delta` (which may be negative), creating it
+/// at 0 first. Non-finite results are clamped to 0; no-op when disabled.
+pub fn gauge_add(name: &'static str, delta: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let v = g.gauges.entry(name).or_insert(0.0);
+    let next = *v + delta;
+    *v = if next.is_finite() { next } else { 0.0 };
+}
+
+/// Milliseconds since the process recording epoch — the time base every
+/// windowed metric records against.
+pub fn now_ms() -> u64 {
+    epoch().elapsed().as_millis() as u64
+}
+
+/// Record `value` into the rolling windowed histogram `name` (1 s × 64
+/// bucket ring; no-op when disabled). The live window is exported by
+/// [`snapshot`] / [`Registry::export`] under the same name.
+pub fn window_observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let now = now_ms();
+    lock_global()
+        .windows
+        .entry(name)
+        .or_insert_with(window::WindowedHistogram::with_defaults)
+        .record_at(now, value);
+}
+
+/// Add `delta` to the rolling windowed counter `name` (1 s × 64 bucket
+/// ring; no-op when disabled).
+pub fn window_counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let now = now_ms();
+    lock_global()
+        .window_counters
+        .entry(name)
+        .or_insert_with(window::WindowedCounter::with_defaults)
+        .add_at(now, delta);
+}
+
 /// Record `value` into the log-linear histogram `name` (no-op when
 /// disabled).
 pub fn observe(name: &'static str, value: u64) {
@@ -364,6 +419,7 @@ pub fn observe(name: &'static str, value: u64) {
 /// the pool call returns.
 pub fn snapshot() -> Snapshot {
     TLS.with(|tls| tls.borrow_mut().flush());
+    let now = now_ms();
     let g = lock_global();
     let mut spans: Vec<SpanRecord> = g
         .spans
@@ -392,7 +448,112 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(&k, h)| (k.to_string(), h.snapshot()))
             .collect(),
+        windows: g
+            .windows
+            .iter()
+            .map(|(&k, w)| (k.to_string(), w.snapshot_at(now)))
+            .collect(),
+        window_counters: g
+            .window_counters
+            .iter()
+            .map(|(&k, w)| (k.to_string(), w.snapshot_at(now)))
+            .collect(),
     }
+}
+
+/// Handle over the process-global metrics registry.
+///
+/// [`Registry::export`] freezes the metric state — counters, gauges,
+/// cumulative histograms and the live windowed rings — *without* the span
+/// log, which is what a telemetry endpoint wants: metrics are cheap and
+/// bounded, spans are neither. The returned [`Snapshot`] renders to both
+/// wire formats: canonical JSON via [`Snapshot::to_json`] and Prometheus
+/// text exposition via [`Snapshot::to_prometheus`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// Export the metric registry (no spans) as a [`Snapshot`].
+    pub fn export() -> Snapshot {
+        let now = now_ms();
+        let g = lock_global();
+        Snapshot {
+            spans: Vec::new(),
+            counters: g
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+            windows: g
+                .windows
+                .iter()
+                .map(|(&k, w)| (k.to_string(), w.snapshot_at(now)))
+                .collect(),
+            window_counters: g
+                .window_counters
+                .iter()
+                .map(|(&k, w)| (k.to_string(), w.snapshot_at(now)))
+                .collect(),
+        }
+    }
+}
+
+/// Remove and return the span subtree rooted at `root` from the recorder.
+///
+/// Flushes the calling thread's buffer first, then extracts every recorded
+/// span reachable from `root` (including the root itself), leaving all
+/// other spans and every metric untouched. This is how a long-running
+/// server keeps span memory bounded: wrap each traced request in a root
+/// span, then drain exactly that tree once the request finishes. Returns
+/// records sorted by `(start_ns, id)`; empty when the recorder is disabled
+/// or the root was never recorded.
+pub fn drain_subtree(root: u64) -> Vec<SpanRecord> {
+    if root == 0 || !is_enabled() {
+        return Vec::new();
+    }
+    TLS.with(|tls| tls.borrow_mut().flush());
+    let mut g = lock_global();
+    let mut keep: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    keep.insert(root);
+    // Parents usually precede children, but cross-thread flush order is
+    // arbitrary; iterate to closure.
+    loop {
+        let before = keep.len();
+        for s in &g.spans {
+            if keep.contains(&s.parent) {
+                keep.insert(s.id);
+            }
+        }
+        if keep.len() == before {
+            break;
+        }
+    }
+    let mut out: Vec<SpanRecord> = Vec::new();
+    let mut rest: Vec<RawSpan> = Vec::with_capacity(g.spans.len());
+    for r in g.spans.drain(..) {
+        if keep.contains(&r.id) {
+            out.push(SpanRecord {
+                id: r.id,
+                parent: r.parent,
+                name: r.name.to_string(),
+                thread: r.thread,
+                start_ns: r.start_ns,
+                elapsed_ns: r.elapsed_ns,
+                fields: r.fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            });
+        } else {
+            rest.push(r);
+        }
+    }
+    g.spans = rest;
+    out.sort_by_key(|s| (s.start_ns, s.id));
+    out
 }
 
 #[cfg(test)]
@@ -532,5 +693,76 @@ mod tests {
         fn parent_for_test(&self) -> u64 {
             self.0.as_ref().map_or(0, |a| a.parent)
         }
+    }
+
+    #[test]
+    fn gauge_add_accumulates_and_clamps() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        gauge_add("depth", 3.0);
+        gauge_add("depth", 2.5);
+        gauge_add("depth", -1.5);
+        gauge_add("bad", f64::INFINITY); // clamped to 0
+        let snap = snapshot();
+        Recorder::disabled().install();
+        assert_eq!(snap.gauges["depth"], 4.0);
+        assert_eq!(snap.gauges["bad"], 0.0);
+    }
+
+    #[test]
+    fn windowed_globals_feed_registry_export() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        window_observe("lat.win", 100);
+        window_observe("lat.win", 200);
+        window_counter_add("req.win", 5);
+        counter_add("total", 1);
+        {
+            let _g = span!("not.exported.by.registry");
+        }
+        let export = Registry::export();
+        let full = snapshot();
+        Recorder::disabled().install();
+
+        assert!(export.spans.is_empty(), "Registry::export carries no spans");
+        assert_eq!(full.spans.len(), 1);
+        let w = &export.windows["lat.win"];
+        assert_eq!(w.merged().count, 2);
+        assert_eq!(w.merged().max, 200);
+        assert_eq!(export.window_counters["req.win"].total(), 5);
+        assert_eq!(export.counters["total"], 1);
+        // The export is itself a valid canonical snapshot document.
+        assert_eq!(
+            Snapshot::from_json(&export.to_json()).unwrap().to_json(),
+            export.to_json()
+        );
+    }
+
+    #[test]
+    fn drain_subtree_extracts_one_tree_and_keeps_the_rest() {
+        let _serial = testutil::serial();
+        Recorder::enabled().install();
+        let root_a;
+        {
+            let a = span!("req.a");
+            root_a = a.id();
+            let _child = span!("req.a.exec");
+        }
+        {
+            let _b = span!("req.b");
+        }
+        let drained = drain_subtree(root_a);
+        let leftover = snapshot();
+        Recorder::disabled().install();
+
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().any(|s| s.name == "req.a"));
+        assert!(drained.iter().any(|s| s.name == "req.a.exec"));
+        // Drained spans are gone from the recorder; unrelated ones remain.
+        assert_eq!(leftover.spans.len(), 1);
+        assert_eq!(leftover.spans[0].name, "req.b");
+        // Draining again (or a bogus root) is empty, not an error.
+        assert!(drain_subtree(root_a).is_empty());
+        assert!(drain_subtree(0).is_empty());
     }
 }

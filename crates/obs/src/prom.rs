@@ -1,0 +1,369 @@
+//! Prometheus text exposition (format version 0.0.4) for [`Snapshot`],
+//! plus a small validator used by tests and CI to reject malformed export.
+//!
+//! Mapping:
+//! * counters → `# TYPE ibis_<name> counter` with the cumulative value;
+//! * gauges → `gauge`;
+//! * cumulative histograms → `histogram` with cumulative `_bucket{le=…}`
+//!   series derived from the log-linear bucket uppers, plus `_sum`/`_count`;
+//! * windowed histograms → the live window merged into one distribution,
+//!   exported as a histogram under `<name>_win`;
+//! * windowed counters → `gauge` under `<name>_win_total` (the rolling
+//!   total resets as buckets decay, so a Prometheus `counter` contract —
+//!   monotone nondecreasing — would be a lie).
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` and prefixed `ibis_`, so
+//! `server.exec_us` exports as `ibis_server_exec_us`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::hist::bucket_upper;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// `server.exec_us` → `ibis_server_exec_us`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(5 + name.len());
+    out.push_str("ibis_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for &(bucket, count) in &h.buckets {
+        cum = cum.saturating_add(count);
+        let upper = bucket_upper(bucket as usize);
+        if upper == u64::MAX {
+            // The top log-linear bucket is the +Inf bucket.
+            continue;
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render `snap`'s metrics (spans are not representable) in Prometheus
+/// text exposition format. Deterministic: maps are already sorted.
+pub(crate) fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let name = prom_name(k);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, v) in &snap.gauges {
+        let name = prom_name(k);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = write!(out, "{name} ");
+        push_f64(&mut out, *v);
+        out.push('\n');
+    }
+    for (k, h) in &snap.histograms {
+        push_histogram(&mut out, &prom_name(k), h);
+    }
+    for (k, w) in &snap.windows {
+        push_histogram(&mut out, &format!("{}_win", prom_name(k)), &w.merged());
+    }
+    for (k, w) in &snap.window_counters {
+        let name = format!("{}_win_total", prom_name(k));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", w.total());
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validate a Prometheus text-format document: line grammar, `# TYPE`
+/// declarations preceding their samples, numeric sample values, cumulative
+/// (nondecreasing) histogram buckets ending in `+Inf`, and
+/// `+Inf == _count` for every histogram. Returns the first problem found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    // name → declared type
+    let mut types: HashMap<String, &str> = HashMap::new();
+    // histogram name → (last cumulative bucket, saw +Inf, inf value, count value)
+    struct HistState {
+        last_cum: f64,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: HashMap<String, HistState> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(ty), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("line {n}: malformed TYPE line"));
+                };
+                if !valid_name(name) {
+                    return Err(format!("line {n}: invalid metric name {name:?}"));
+                }
+                let ty = match ty {
+                    "counter" => "counter",
+                    "gauge" => "gauge",
+                    "histogram" => "histogram",
+                    "summary" => "summary",
+                    "untyped" => "untyped",
+                    _ => return Err(format!("line {n}: unknown metric type {ty:?}")),
+                };
+                if types.insert(name.to_string(), ty).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for {name:?}"));
+                }
+                if ty == "histogram" {
+                    hists.insert(
+                        name.to_string(),
+                        HistState {
+                            last_cum: 0.0,
+                            inf: None,
+                            count: None,
+                        },
+                    );
+                }
+            }
+            // "# HELP" and plain comments are fine.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (series, rest) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = line[i..]
+                    .find('}')
+                    .map(|j| i + j)
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (&line[..close + 1], line[close + 1..].trim_start())
+            }
+            Some(i) => (&line[..i], line[i..].trim_start()),
+            None => return Err(format!("line {n}: sample without a value")),
+        };
+        let (name, labels) = match series.find('{') {
+            Some(i) => (&series[..i], Some(&series[i + 1..series.len() - 1])),
+            None => (series, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let mut fields = rest.split_whitespace();
+        let Some(value) = fields.next() else {
+            return Err(format!("line {n}: sample without a value"));
+        };
+        if fields.clone().count() > 1 {
+            return Err(format!("line {n}: trailing tokens after sample"));
+        }
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: bad sample value {v:?}"))?,
+        };
+
+        // Match the sample to its family: exact name, or histogram series.
+        let family = if types.contains_key(name) {
+            name.to_string()
+        } else {
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"));
+            match base {
+                Some(b) if types.get(b).copied() == Some("histogram") => b.to_string(),
+                _ => return Err(format!("line {n}: sample {name:?} has no TYPE declaration")),
+            }
+        };
+
+        if types.get(&family).copied() == Some("histogram") {
+            let st = hists
+                .get_mut(&family)
+                .ok_or_else(|| format!("line {n}: internal: lost histogram {family:?}"))?;
+            if name.ends_with("_bucket") {
+                let labels = labels.ok_or_else(|| format!("line {n}: _bucket without le label"))?;
+                let le = labels
+                    .split(',')
+                    .find_map(|l| l.trim().strip_prefix("le="))
+                    .ok_or_else(|| format!("line {n}: _bucket without le label"))?
+                    .trim_matches('"');
+                if value < st.last_cum {
+                    return Err(format!(
+                        "line {n}: histogram {family:?} buckets not cumulative"
+                    ));
+                }
+                st.last_cum = value;
+                if le == "+Inf" {
+                    if st.inf.is_some() {
+                        return Err(format!("line {n}: duplicate +Inf bucket for {family:?}"));
+                    }
+                    st.inf = Some(value);
+                } else if le.parse::<f64>().is_err() {
+                    return Err(format!("line {n}: bad le value {le:?}"));
+                } else if st.inf.is_some() {
+                    return Err(format!("line {n}: bucket after +Inf for {family:?}"));
+                }
+            } else if name.ends_with("_count") {
+                st.count = Some(value);
+            }
+        } else if value.is_nan() {
+            return Err(format!("line {n}: NaN sample for {name:?}"));
+        }
+    }
+
+    for (name, st) in &hists {
+        let Some(inf) = st.inf else {
+            return Err(format!("histogram {name:?}: missing +Inf bucket"));
+        };
+        let Some(count) = st.count else {
+            return Err(format!("histogram {name:?}: missing _count"));
+        };
+        if inf != count {
+            return Err(format!(
+                "histogram {name:?}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, WindowedCounter, WindowedHistogram};
+
+    fn sample() -> Snapshot {
+        let mut h = Histogram::new();
+        for v in [1u64, 9, 1000] {
+            h.record(v);
+        }
+        let mut w = WindowedHistogram::new(100, 4);
+        w.record_at(0, 5);
+        w.record_at(150, 50);
+        let mut wc = WindowedCounter::new(100, 4);
+        wc.add_at(10, 7);
+        Snapshot {
+            counters: [("server.requests".to_string(), 42)].into(),
+            gauges: [("server.queue_depth".to_string(), 3.5)].into(),
+            histograms: [("server.exec_us".to_string(), h.snapshot())].into(),
+            windows: [("server.exec_us".to_string(), w.snapshot_at(150))].into(),
+            window_counters: [("server.admitted".to_string(), wc.snapshot_at(150))].into(),
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn export_is_valid_and_contains_all_families() {
+        let text = sample().to_prometheus();
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(
+            text.contains("# TYPE ibis_server_requests counter"),
+            "{text}"
+        );
+        assert!(text.contains("ibis_server_requests 42"), "{text}");
+        assert!(
+            text.contains("# TYPE ibis_server_queue_depth gauge"),
+            "{text}"
+        );
+        assert!(text.contains("ibis_server_queue_depth 3.5"), "{text}");
+        assert!(
+            text.contains("# TYPE ibis_server_exec_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ibis_server_exec_us_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("ibis_server_exec_us_sum 1010"), "{text}");
+        assert!(
+            text.contains("# TYPE ibis_server_exec_us_win histogram"),
+            "{text}"
+        );
+        assert!(text.contains("ibis_server_admitted_win_total 7"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_empty_and_valid() {
+        let text = Snapshot::default().to_prometheus();
+        assert!(text.is_empty());
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn saturated_histogram_still_exports_valid_text() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(3);
+        let snap = Snapshot {
+            histograms: [("big".to_string(), h.snapshot())].into(),
+            ..Snapshot::default()
+        };
+        let text = snap.to_prometheus();
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // The u64::MAX sample lives in the +Inf bucket, not an le="MAX" one.
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)), "{text}");
+        assert!(text.contains("ibis_big_bucket{le=\"+Inf\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (bad, why) in [
+            ("ibis_x 1\n", "sample without TYPE"),
+            ("# TYPE ibis_x counter\nibis_x\n", "missing value"),
+            ("# TYPE ibis_x counter\nibis_x one\n", "non-numeric value"),
+            ("# TYPE ibis_x wat\n", "unknown type"),
+            ("# TYPE ibis_x counter\n# TYPE ibis_x counter\n", "dup TYPE"),
+            ("# TYPE 9x counter\n9x 1\n", "bad name"),
+            (
+                "# TYPE ibis_h histogram\nibis_h_bucket{le=\"1\"} 2\nibis_h_bucket{le=\"+Inf\"} 1\nibis_h_sum 1\nibis_h_count 1\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE ibis_h histogram\nibis_h_bucket{le=\"+Inf\"} 2\nibis_h_sum 1\nibis_h_count 1\n",
+                "+Inf != count",
+            ),
+            (
+                "# TYPE ibis_h histogram\nibis_h_sum 1\nibis_h_count 1\n",
+                "missing +Inf",
+            ),
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_help_comments_and_timestamps() {
+        let ok = "# HELP ibis_x something\n# TYPE ibis_x gauge\nibis_x 1.5 1700000000\n";
+        validate_prometheus(ok).unwrap();
+    }
+}

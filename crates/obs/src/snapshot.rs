@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::hist::{bucket_upper, NUM_BUCKETS};
+use crate::window::{WindowCounterSnapshot, WindowSnapshot};
 
 /// One finished span as captured by [`crate::snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +128,10 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Rolling windowed histograms by name (live buckets only).
+    pub windows: BTreeMap<String, WindowSnapshot>,
+    /// Rolling windowed counters by name (live buckets only).
+    pub window_counters: BTreeMap<String, WindowCounterSnapshot>,
 }
 
 impl Snapshot {
@@ -173,6 +178,8 @@ impl Snapshot {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
+            windows: self.windows.clone(),
+            window_counters: self.window_counters.clone(),
         }
     }
 
@@ -274,7 +281,22 @@ impl Snapshot {
                 return Err(format!("histogram {name:?}: inconsistent buckets"));
             }
         }
+        for (name, w) in &snap.windows {
+            if !w.is_valid() {
+                return Err(format!("window {name:?}: inconsistent buckets"));
+            }
+        }
+        for (name, w) in &snap.window_counters {
+            if !w.is_valid() {
+                return Err(format!("window counter {name:?}: inconsistent buckets"));
+            }
+        }
         Ok(snap)
+    }
+
+    /// Export in Prometheus text exposition format (see `crate::prom`).
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::to_prometheus(self)
     }
 }
 
@@ -321,6 +343,37 @@ impl fmt::Display for Snapshot {
                     h.p90(),
                     h.p99(),
                     h.max
+                )?;
+            }
+        }
+        if !self.windows.is_empty() {
+            writeln!(f, "windows:")?;
+            writeln!(
+                f,
+                "  {:<24} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                "name", "buckets", "count", "p50", "p99", "max"
+            )?;
+            for (k, w) in &self.windows {
+                let m = w.merged();
+                writeln!(
+                    f,
+                    "  {k:<24} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                    w.buckets.len(),
+                    m.count,
+                    m.p50(),
+                    m.p99(),
+                    m.max
+                )?;
+            }
+        }
+        if !self.window_counters.is_empty() {
+            writeln!(f, "window counters:")?;
+            for (k, w) in &self.window_counters {
+                writeln!(
+                    f,
+                    "  {k:<32} {:>14}  ({:>10.1}/s)",
+                    w.total(),
+                    w.rate_per_sec()
                 )?;
             }
         }

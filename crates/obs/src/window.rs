@@ -1,0 +1,434 @@
+//! Rolling time-bucketed metric rings: the live-telemetry complement to
+//! the cumulative registry.
+//!
+//! A window is a fixed ring of `capacity` buckets, each covering
+//! `bucket_ms` milliseconds of wall time. Bucket *index* `i` covers the
+//! absolute time range `[i * bucket_ms, (i + 1) * bucket_ms)`; a sample
+//! recorded at time `t` lands in bucket `t / bucket_ms`, stored at ring
+//! slot `index % capacity`. Writing into a slot that still holds an older
+//! bucket index evicts it — that is the entire decay story, which makes it
+//! **merge-consistent**: because decay only ever drops *whole buckets by
+//! index*, and [`WindowedHistogram::merge`] combines rings bucket-index by
+//! bucket-index (newer index wins a slot), merging two rings and then
+//! reading the live window equals recording both sample streams —
+//! interleaved in time order — into a single ring. The same property the
+//! flat [`Histogram`] proves for its `merge` extends to the windowed form.
+//!
+//! Time is always passed in explicitly (`now_ms`) so the rings are
+//! deterministic under test; the process-global entry points in the crate
+//! root ([`crate::window_observe`], [`crate::window_counter_add`]) feed
+//! them milliseconds since the recording epoch.
+
+use crate::hist::Histogram;
+use crate::snapshot::HistogramSnapshot;
+
+/// Default bucket width for process-global windows: 1 second.
+pub const DEFAULT_BUCKET_MS: u64 = 1_000;
+/// Default ring capacity for process-global windows: ~64 s of history.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One ring slot: the absolute bucket index it currently holds, or empty.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    index: u64,
+    value: T,
+    live: bool,
+}
+
+impl<T: Default> Default for Slot<T> {
+    fn default() -> Self {
+        Slot {
+            index: 0,
+            value: T::default(),
+            live: false,
+        }
+    }
+}
+
+/// A rolling ring of [`Histogram`]s, one per time bucket.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    bucket_ms: u64,
+    slots: Vec<Slot<Histogram>>,
+}
+
+/// A rolling ring of counters, one sum per time bucket.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    bucket_ms: u64,
+    slots: Vec<Slot<u64>>,
+}
+
+/// Shared ring arithmetic: which bucket a timestamp falls in, and which
+/// bucket indexes are still inside the live window at a given `now`.
+fn bucket_index(now_ms: u64, bucket_ms: u64) -> u64 {
+    now_ms / bucket_ms
+}
+
+/// Oldest bucket index still live at `now_ms` for a ring of `capacity`.
+fn oldest_live(now_ms: u64, bucket_ms: u64, capacity: usize) -> u64 {
+    bucket_index(now_ms, bucket_ms).saturating_sub(capacity as u64 - 1)
+}
+
+impl WindowedHistogram {
+    /// An empty ring of `capacity` buckets of `bucket_ms` each (both are
+    /// clamped to at least 1).
+    pub fn new(bucket_ms: u64, capacity: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            bucket_ms: bucket_ms.max(1),
+            slots: vec![Slot::default(); capacity.max(1)],
+        }
+    }
+
+    /// A ring with the process-global defaults (1 s × 64 buckets).
+    pub fn with_defaults() -> WindowedHistogram {
+        WindowedHistogram::new(DEFAULT_BUCKET_MS, DEFAULT_CAPACITY)
+    }
+
+    /// Bucket width in milliseconds.
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    /// Ring capacity in buckets.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record one sample observed at `now_ms`. A slot still holding an
+    /// older bucket is reset first (whole-bucket decay); a sample older
+    /// than the slot's current bucket is dropped rather than polluting a
+    /// newer bucket.
+    pub fn record_at(&mut self, now_ms: u64, value: u64) {
+        let index = bucket_index(now_ms, self.bucket_ms);
+        let cap = self.slots.len();
+        let slot = &mut self.slots[(index % cap as u64) as usize];
+        if !slot.live || slot.index < index {
+            slot.index = index;
+            slot.value = Histogram::new();
+            slot.live = true;
+        } else if slot.index > index {
+            return; // stale sample: its bucket was already evicted
+        }
+        slot.value.record(value);
+    }
+
+    /// Fold `other` into this ring (same `bucket_ms` and capacity
+    /// required; mismatched shapes are merged best-effort by bucket
+    /// index). Equal bucket indexes merge their histograms; a newer index
+    /// evicts an older one, exactly as live recording would.
+    pub fn merge(&mut self, other: &WindowedHistogram) {
+        let cap = self.slots.len();
+        for o in other.slots.iter().filter(|s| s.live) {
+            let slot = &mut self.slots[(o.index % cap as u64) as usize];
+            if !slot.live || slot.index < o.index {
+                slot.index = o.index;
+                slot.value = o.value.clone();
+                slot.live = true;
+            } else if slot.index == o.index {
+                slot.value.merge(&o.value);
+            }
+        }
+    }
+
+    /// Freeze the buckets still live at `now_ms` into a serializable
+    /// snapshot (ascending bucket index; empty histograms are kept out).
+    pub fn snapshot_at(&self, now_ms: u64) -> WindowSnapshot {
+        let oldest = oldest_live(now_ms, self.bucket_ms, self.slots.len());
+        let mut buckets: Vec<(u64, HistogramSnapshot)> = self
+            .slots
+            .iter()
+            .filter(|s| s.live && s.index >= oldest && s.value.count() > 0)
+            .map(|s| (s.index, s.value.snapshot()))
+            .collect();
+        buckets.sort_by_key(|&(i, _)| i);
+        WindowSnapshot {
+            bucket_ms: self.bucket_ms,
+            capacity: self.slots.len() as u32,
+            buckets,
+        }
+    }
+}
+
+impl WindowedCounter {
+    /// An empty ring of `capacity` buckets of `bucket_ms` each.
+    pub fn new(bucket_ms: u64, capacity: usize) -> WindowedCounter {
+        WindowedCounter {
+            bucket_ms: bucket_ms.max(1),
+            slots: vec![Slot::default(); capacity.max(1)],
+        }
+    }
+
+    /// A ring with the process-global defaults (1 s × 64 buckets).
+    pub fn with_defaults() -> WindowedCounter {
+        WindowedCounter::new(DEFAULT_BUCKET_MS, DEFAULT_CAPACITY)
+    }
+
+    /// Add `delta` to the bucket covering `now_ms` (same decay rules as
+    /// [`WindowedHistogram::record_at`]).
+    pub fn add_at(&mut self, now_ms: u64, delta: u64) {
+        let index = bucket_index(now_ms, self.bucket_ms);
+        let cap = self.slots.len();
+        let slot = &mut self.slots[(index % cap as u64) as usize];
+        if !slot.live || slot.index < index {
+            slot.index = index;
+            slot.value = 0;
+            slot.live = true;
+        } else if slot.index > index {
+            return;
+        }
+        slot.value = slot.value.saturating_add(delta);
+    }
+
+    /// Fold `other` into this ring by bucket index (newer evicts older,
+    /// equal indexes sum) — see [`WindowedHistogram::merge`].
+    pub fn merge(&mut self, other: &WindowedCounter) {
+        let cap = self.slots.len();
+        for o in other.slots.iter().filter(|s| s.live) {
+            let slot = &mut self.slots[(o.index % cap as u64) as usize];
+            if !slot.live || slot.index < o.index {
+                *slot = o.clone();
+            } else if slot.index == o.index {
+                slot.value = slot.value.saturating_add(o.value);
+            }
+        }
+    }
+
+    /// Freeze the buckets still live at `now_ms` (ascending bucket index,
+    /// zero buckets kept out).
+    pub fn snapshot_at(&self, now_ms: u64) -> WindowCounterSnapshot {
+        let oldest = oldest_live(now_ms, self.bucket_ms, self.slots.len());
+        let mut buckets: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .filter(|s| s.live && s.index >= oldest && s.value > 0)
+            .map(|s| (s.index, s.value))
+            .collect();
+        buckets.sort_by_key(|&(i, _)| i);
+        WindowCounterSnapshot {
+            bucket_ms: self.bucket_ms,
+            capacity: self.slots.len() as u32,
+            buckets,
+        }
+    }
+}
+
+/// Frozen form of a [`WindowedHistogram`]: the live buckets at snapshot
+/// time, each an ordinary [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Bucket width in milliseconds.
+    pub bucket_ms: u64,
+    /// Ring capacity (buckets) of the source window.
+    pub capacity: u32,
+    /// `(bucket index, histogram)` for every live non-empty bucket,
+    /// ascending by index. Bucket `i` covers absolute time
+    /// `[i * bucket_ms, (i + 1) * bucket_ms)`.
+    pub buckets: Vec<(u64, HistogramSnapshot)>,
+}
+
+impl WindowSnapshot {
+    /// Merge every retained bucket into one flat histogram — "the last
+    /// `capacity × bucket_ms` milliseconds" as a single distribution.
+    pub fn merged(&self) -> HistogramSnapshot {
+        merge_hist_snapshots(self.buckets.iter().map(|(_, h)| h))
+    }
+
+    /// Total samples across the retained buckets.
+    pub fn total_count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, (_, h)| acc.saturating_add(h.count))
+    }
+
+    /// Wall-clock span actually covered by the retained buckets, in
+    /// milliseconds (0 when empty; used to turn counts into rates).
+    pub fn covered_ms(&self) -> u64 {
+        match (self.buckets.first(), self.buckets.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => (hi - lo + 1).saturating_mul(self.bucket_ms),
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn is_valid(&self) -> bool {
+        let mut prev = None;
+        self.bucket_ms > 0
+            && self.capacity > 0
+            && self.buckets.len() <= self.capacity as usize
+            && self.buckets.iter().all(|(i, h)| {
+                let ok = prev.is_none_or(|p| *i > p) && h.count > 0 && h.is_valid();
+                prev = Some(*i);
+                ok
+            })
+    }
+}
+
+/// Frozen form of a [`WindowedCounter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCounterSnapshot {
+    /// Bucket width in milliseconds.
+    pub bucket_ms: u64,
+    /// Ring capacity (buckets) of the source window.
+    pub capacity: u32,
+    /// `(bucket index, sum)` for every live non-zero bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl WindowCounterSnapshot {
+    /// Sum across the retained buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
+    }
+
+    /// Average events per second over the covered span (0 when empty).
+    pub fn rate_per_sec(&self) -> f64 {
+        let ms = match (self.buckets.first(), self.buckets.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => (hi - lo + 1).saturating_mul(self.bucket_ms),
+            _ => return 0.0,
+        };
+        self.total() as f64 / (ms as f64 / 1e3)
+    }
+
+    pub(crate) fn is_valid(&self) -> bool {
+        let mut prev = None;
+        self.bucket_ms > 0
+            && self.capacity > 0
+            && self.buckets.len() <= self.capacity as usize
+            && self.buckets.iter().all(|(i, v)| {
+                let ok = prev.is_none_or(|p| *i > p) && *v > 0;
+                prev = Some(*i);
+                ok
+            })
+    }
+}
+
+/// Merge any number of [`HistogramSnapshot`]s into one (sparse-bucket
+/// union; exact min/max/sum/count combine like [`Histogram::merge`]).
+pub fn merge_hist_snapshots<'a>(
+    parts: impl IntoIterator<Item = &'a HistogramSnapshot>,
+) -> HistogramSnapshot {
+    let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut out = HistogramSnapshot {
+        count: 0,
+        min: u64::MAX,
+        max: 0,
+        sum: 0,
+        buckets: Vec::new(),
+    };
+    let mut any = false;
+    for h in parts {
+        if h.count == 0 {
+            continue;
+        }
+        any = true;
+        out.count = out.count.saturating_add(h.count);
+        out.min = out.min.min(h.min);
+        out.max = out.max.max(h.max);
+        out.sum = out.sum.saturating_add(h.sum);
+        for &(b, c) in &h.buckets {
+            let e = counts.entry(b).or_insert(0);
+            *e = e.saturating_add(c);
+        }
+    }
+    if !any {
+        out.min = 0;
+    }
+    out.buckets = counts.into_iter().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_time_buckets_and_decay_whole_buckets() {
+        let mut w = WindowedHistogram::new(100, 4);
+        w.record_at(0, 1); // bucket 0
+        w.record_at(150, 2); // bucket 1
+        w.record_at(350, 3); // bucket 3
+        let snap = w.snapshot_at(350);
+        assert_eq!(
+            snap.buckets.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        assert_eq!(snap.total_count(), 3);
+        // Advancing 4 buckets evicts bucket 0 from the *view*…
+        let snap = w.snapshot_at(420);
+        assert_eq!(
+            snap.buckets.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 3, 4].into_iter().take(2).collect::<Vec<_>>()
+        );
+        // …and recording into bucket 4 evicts it from the *ring* (same slot).
+        w.record_at(420, 9);
+        let snap = w.snapshot_at(420);
+        assert_eq!(
+            snap.buckets.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 3, 4]
+        );
+        assert_eq!(snap.merged().max, 9);
+    }
+
+    #[test]
+    fn stale_samples_are_dropped_not_misfiled() {
+        let mut w = WindowedCounter::new(10, 2);
+        w.add_at(100, 5); // bucket 10
+        w.add_at(5, 99); // bucket 0: slot already holds bucket 10 → dropped
+        assert_eq!(w.snapshot_at(100).total(), 5);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_single_stream() {
+        // Two streams recorded into separate rings, versus both recorded
+        // (time-ordered) into one ring: identical snapshots at every probe.
+        let samples_a = [(0u64, 10u64), (120, 11), (450, 12), (451, 13)];
+        let samples_b = [(5u64, 20u64), (250, 21), (455, 22)];
+        let mut a = WindowedHistogram::new(100, 4);
+        let mut b = WindowedHistogram::new(100, 4);
+        let mut one = WindowedHistogram::new(100, 4);
+        let mut all: Vec<(u64, u64)> = samples_a.iter().chain(&samples_b).copied().collect();
+        all.sort();
+        for &(t, v) in &all {
+            one.record_at(t, v);
+        }
+        for &(t, v) in &samples_a {
+            a.record_at(t, v);
+        }
+        for &(t, v) in &samples_b {
+            b.record_at(t, v);
+        }
+        a.merge(&b);
+        for probe in [460, 700, 1000] {
+            assert_eq!(a.snapshot_at(probe), one.snapshot_at(probe), "at {probe}");
+        }
+    }
+
+    #[test]
+    fn counter_rates_cover_the_observed_span() {
+        let mut c = WindowedCounter::new(1000, 8);
+        c.add_at(0, 10);
+        c.add_at(2500, 20);
+        let s = c.snapshot_at(2500);
+        assert_eq!(s.total(), 30);
+        // Buckets 0..=2 → 3 s of coverage → 10 events/s.
+        assert!(
+            (s.rate_per_sec() - 10.0).abs() < 1e-9,
+            "{}",
+            s.rate_per_sec()
+        );
+    }
+
+    #[test]
+    fn merged_histogram_matches_flat_recording() {
+        let mut w = WindowedHistogram::new(50, 8);
+        let mut flat = Histogram::new();
+        for (i, v) in (1..=200u64).enumerate() {
+            w.record_at(i as u64, v); // all within the live window
+            flat.record(v);
+        }
+        let merged = w.snapshot_at(200);
+        assert_eq!(merged.merged(), flat.snapshot());
+    }
+}

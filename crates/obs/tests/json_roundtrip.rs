@@ -1,0 +1,88 @@
+//! Snapshot JSON round-trip coverage for gauges and the windowed rings:
+//! `to_json` → `from_json` must reproduce the snapshot exactly, and
+//! re-serializing must be byte-identical (the JSON form is canonical).
+
+use ibis_obs::{Snapshot, WindowedCounter, WindowedHistogram};
+
+fn assert_byte_identical_roundtrip(snap: &Snapshot) {
+    let text = snap.to_json();
+    let back = Snapshot::from_json(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(&back, snap);
+    assert_eq!(back.to_json(), text, "canonical JSON must be a fixed point");
+}
+
+#[test]
+fn gauges_roundtrip_exactly() {
+    let snap = Snapshot {
+        gauges: [
+            ("zero".to_string(), 0.0),
+            ("neg".to_string(), -12.75),
+            ("queue".to_string(), 17.0),
+            ("frac".to_string(), 0.001953125), // exact binary fraction
+        ]
+        .into(),
+        ..Snapshot::default()
+    };
+    assert_byte_identical_roundtrip(&snap);
+}
+
+#[test]
+fn windowed_rings_roundtrip_exactly() {
+    let mut w = WindowedHistogram::new(250, 8);
+    for (t, v) in [(0u64, 3u64), (10, 5), (300, 900), (1900, u64::MAX)] {
+        w.record_at(t, v);
+    }
+    let mut wc = WindowedCounter::new(250, 8);
+    wc.add_at(5, 2);
+    wc.add_at(1900, 40);
+    let snap = Snapshot {
+        windows: [("server.exec_us".to_string(), w.snapshot_at(1900))].into(),
+        window_counters: [("server.admitted".to_string(), wc.snapshot_at(1900))].into(),
+        ..Snapshot::default()
+    };
+    assert!(!snap.windows["server.exec_us"].buckets.is_empty());
+    assert_byte_identical_roundtrip(&snap);
+}
+
+#[test]
+fn empty_window_degeneracy_roundtrips() {
+    // A ring that exists but whose buckets have all decayed out of view:
+    // serialized with an empty bucket list, parsed back identically.
+    let mut w = WindowedHistogram::new(10, 2);
+    w.record_at(0, 1);
+    let stale = w.snapshot_at(1_000_000); // far past: nothing live
+    assert!(stale.buckets.is_empty());
+    let mut wc = WindowedCounter::new(10, 2);
+    wc.add_at(0, 1);
+    let stale_c = wc.snapshot_at(1_000_000);
+    assert!(stale_c.buckets.is_empty());
+    let snap = Snapshot {
+        windows: [("w".to_string(), stale)].into(),
+        window_counters: [("c".to_string(), stale_c)].into(),
+        ..Snapshot::default()
+    };
+    assert_byte_identical_roundtrip(&snap);
+    assert_eq!(snap.windows["w"].merged().count, 0);
+    assert_eq!(snap.window_counters["c"].total(), 0);
+    assert_eq!(snap.window_counters["c"].rate_per_sec(), 0.0);
+}
+
+#[test]
+fn single_bucket_degeneracy_roundtrips() {
+    let mut w = WindowedHistogram::new(1000, 64);
+    w.record_at(500, 77);
+    let one = w.snapshot_at(999);
+    assert_eq!(one.buckets.len(), 1);
+    let mut wc = WindowedCounter::new(1000, 64);
+    wc.add_at(500, 9);
+    let snap = Snapshot {
+        windows: [("w".to_string(), one)].into(),
+        window_counters: [("c".to_string(), wc.snapshot_at(999))].into(),
+        ..Snapshot::default()
+    };
+    assert_byte_identical_roundtrip(&snap);
+    // A single bucket merges to itself and covers exactly one bucket width.
+    assert_eq!(snap.windows["w"].merged().max, 77);
+    assert_eq!(snap.windows["w"].covered_ms(), 1000);
+    assert_eq!(snap.window_counters["c"].rate_per_sec(), 9.0);
+}

@@ -52,11 +52,23 @@ struct Tally {
     errors: u64,
 }
 
+/// The server's own view of a scenario, read back over one `STATS`
+/// request before shutdown — the cross-check against the client tally.
+#[derive(Clone, Copy, Default)]
+struct ServerSide {
+    admitted: u64,
+    shed: u64,
+    expired: u64,
+    p99_us: u64,
+}
+
 struct Outcome {
     tally: Tally,
     elapsed: Duration,
     p50_us: u64,
     p99_us: u64,
+    srv: ServerSide,
+    slow: Vec<ibis_server::SlowQuery>,
 }
 
 impl Outcome {
@@ -64,9 +76,17 @@ impl Outcome {
         self.tally.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
+    /// Admitted jobs answer exactly once (rows/count, deadline error, or
+    /// internal error), so the server's admission counter must equal the
+    /// client-side non-shed response count.
+    fn server_view_consistent(&self) -> bool {
+        self.srv.admitted == self.tally.ok + self.tally.expired + self.tally.errors
+            && self.srv.shed == self.tally.shed
+    }
+
     fn csv_row(&self, sc: &Scenario) -> String {
         format!(
-            "{},{},{},{},{:.1},{},{},{},{},{},{:.1},{},{}",
+            "{},{},{},{},{:.1},{},{},{},{},{},{:.1},{},{},{},{},{},{}",
             sc.name,
             sc.workers,
             sc.max_batch,
@@ -80,12 +100,16 @@ impl Outcome {
             self.throughput(),
             self.p50_us,
             self.p99_us,
+            self.srv.admitted,
+            self.srv.shed,
+            self.srv.expired,
+            self.srv.p99_us,
         )
     }
 }
 
 const CSV_HEADER: &str = "scenario,workers,max_batch,rate_rps,duration_s,sent,ok,shed,\
-expired,errors,throughput_rps,p50_us,p99_us";
+expired,errors,throughput_rps,p50_us,p99_us,srv_admitted,srv_shed,srv_expired,srv_p99_us";
 
 /// Builds the mixed workload: point and 3-attribute range queries under
 /// both missing-data semantics at 5% global selectivity.
@@ -236,6 +260,28 @@ fn run_scenario(
         }
     });
     let elapsed = started.elapsed();
+
+    // One STATS round-trip before shutdown: the server's own counters and
+    // latency histogram for the scenario, plus its slow-query log. The
+    // Prometheus export is validated here so a malformed exposition fails
+    // the loadgen run (and CI) outright.
+    let mut probe = Client::connect(addr).expect("stats probe");
+    let report = probe.stats(true).expect("STATS request");
+    let srv_snap =
+        ibis_obs::Snapshot::from_json(&report.metrics_json).expect("server metrics parse");
+    ibis_obs::validate_prometheus(&srv_snap.to_prometheus())
+        .expect("server metrics export as valid Prometheus text");
+    let c = |name: &str| srv_snap.counters.get(name).copied().unwrap_or(0);
+    let srv = ServerSide {
+        admitted: c("server.admitted"),
+        shed: c("server.shed_overload"),
+        expired: c("server.shed_deadline"),
+        p99_us: srv_snap
+            .histograms
+            .get("server.request_us")
+            .map_or(0, |h| h.p99()),
+    };
+    drop(probe);
     handle.shutdown();
 
     let snap = ibis_obs::snapshot();
@@ -250,6 +296,8 @@ fn run_scenario(
         elapsed,
         p50_us,
         p99_us,
+        srv,
+        slow: report.slow_queries,
     }
 }
 
@@ -261,13 +309,14 @@ struct Args {
     conns: usize,
     workers: usize,
     csv: Option<String>,
+    slow_log: Option<String>,
     assert_clean: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--rows N] [--seed N] [--duration-secs N] [--rate RPS] \
-         [--conns N] [--workers N] [--csv PATH] [--assert]"
+         [--conns N] [--workers N] [--csv PATH] [--slow-log PATH] [--assert]"
     );
     std::process::exit(2);
 }
@@ -281,6 +330,7 @@ fn parse_args() -> Args {
         conns: 4,
         workers: 8,
         csv: None,
+        slow_log: None,
         assert_clean: false,
     };
     let mut it = std::env::args().skip(1);
@@ -298,6 +348,7 @@ fn parse_args() -> Args {
             "--conns" => args.conns = (num(&mut it) as usize).max(1),
             "--workers" => args.workers = (num(&mut it) as usize).max(1),
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--slow-log" => args.slow_log = Some(it.next().unwrap_or_else(|| usage())),
             "--assert" => args.assert_clean = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -365,27 +416,67 @@ fn main() -> ExitCode {
 
     println!("{CSV_HEADER}");
     let mut rows = Vec::new();
+    let mut slow_dump = String::new();
     let mut clean = true;
     for sc in &scenarios {
         let out = run_scenario(&db, &queries, sc, args.seed + 7);
         let row = out.csv_row(sc);
         println!("{row}");
         eprintln!(
-            "  {}: {:.1} req/s served, p50 {} us, p99 {} us, shed {}, errors {}",
+            "  {}: {:.1} req/s served, p50 {} us, p99 {} us (server p99 {} us), \
+             shed {}/{}, errors {}",
             sc.name,
             out.throughput(),
             out.p50_us,
             out.p99_us,
+            out.srv.p99_us,
             out.tally.shed,
+            out.srv.shed,
             out.tally.errors
         );
         if out.tally.errors > 0 || out.tally.ok == 0 {
             clean = false;
         }
+        if !out.server_view_consistent() {
+            eprintln!(
+                "  {}: server view disagrees with tally (admitted {} vs ok+expired+errors {}, \
+                 shed {} vs {})",
+                sc.name,
+                out.srv.admitted,
+                out.tally.ok + out.tally.expired + out.tally.errors,
+                out.srv.shed,
+                out.tally.shed
+            );
+            clean = false;
+        }
         if args.assert_clean && (out.tally.shed > 0 || out.tally.expired > 0) {
             clean = false;
         }
+        use std::fmt::Write as _;
+        let _ = writeln!(slow_dump, "# scenario {}", sc.name);
+        for s in &out.slow {
+            let _ = writeln!(
+                slow_dump,
+                "request {} total {} us (queue {} + exec {}) watermark {} plan {:?} phases {}",
+                s.request_id,
+                s.total_us,
+                s.queue_us,
+                s.exec_us,
+                s.watermark,
+                s.plan,
+                s.phases
+                    .iter()
+                    .map(|p| format!("{}×{}:{}ns", p.name, p.spans, p.total_ns))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
         rows.push(row);
+    }
+
+    if let Some(path) = &args.slow_log {
+        std::fs::write(path, &slow_dump).expect("write slow log");
+        eprintln!("loadgen: wrote slow-query log to {path}");
     }
 
     if let Some(path) = &args.csv {

@@ -2,7 +2,8 @@
 //! a split send/receive mode for open-loop load generation.
 
 use crate::protocol::{
-    read_frame, read_handshake, write_frame, write_handshake, Request, Response,
+    read_frame, read_handshake, write_frame, write_handshake, HealthReport, Request, Response,
+    StatsReport,
 };
 use ibis_core::RangeQuery;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -67,6 +68,35 @@ impl Client {
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<Response> {
         self.call(&Request::Ping)
+    }
+
+    /// Fetches the server's telemetry snapshot. Served off the worker
+    /// pool, so this answers even when the server is saturated.
+    pub fn stats(&mut self, include_slow: bool) -> io::Result<StatsReport> {
+        match self.call(&Request::Stats { include_slow })? {
+            Response::Stats(report) => Ok(*report),
+            Response::Error { code, message } => Err(io::Error::other(format!(
+                "stats refused ({code:?}): {message}"
+            ))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to STATS: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's health probe (cheap; also served off-pool).
+    pub fn health(&mut self) -> io::Result<HealthReport> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            Response::Error { code, message } => Err(io::Error::other(format!(
+                "health refused ({code:?}): {message}"
+            ))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to HEALTH: {other:?}"),
+            )),
+        }
     }
 
     /// Splits into independent send/receive halves so a load generator can

@@ -27,5 +27,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use protocol::{ErrorCode, Request, Response};
+pub use protocol::{ErrorCode, HealthReport, Request, Response, SlowPhase, SlowQuery, StatsReport};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -127,6 +127,10 @@ pub mod request_kind {
     pub const QUERY: u8 = 1;
     /// A [`Request::Ping`].
     pub const PING: u8 = 2;
+    /// A [`Request::Stats`].
+    pub const STATS: u8 = 3;
+    /// A [`Request::Health`].
+    pub const HEALTH: u8 = 4;
 }
 
 /// Response kind tags.
@@ -139,6 +143,10 @@ pub mod response_kind {
     pub const ERROR: u8 = 3;
     /// A [`Response::Pong`].
     pub const PONG: u8 = 4;
+    /// A [`Response::Stats`].
+    pub const STATS: u8 = 5;
+    /// A [`Response::Health`].
+    pub const HEALTH: u8 = 6;
 }
 
 /// One client request.
@@ -156,6 +164,17 @@ pub enum Request {
     },
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
+    /// Telemetry snapshot request; answered with [`Response::Stats`].
+    /// Served off the worker pool (on the connection's reader thread), so
+    /// it answers even while every worker is saturated.
+    Stats {
+        /// Include the slow-query log in the report (it is the bulky
+        /// part; dashboards polling every second usually skip it).
+        include_slow: bool,
+    },
+    /// Cheap liveness + load probe; answered with [`Response::Health`].
+    /// Also served off the worker pool.
+    Health,
 }
 
 impl Request {
@@ -185,6 +204,12 @@ impl Request {
                 (request_kind::QUERY, b)
             }
             Request::Ping => (request_kind::PING, Vec::new()),
+            Request::Stats { include_slow } => {
+                let mut b = Vec::new();
+                wire::write_u8(&mut b, u8::from(*include_slow)).expect("vec write");
+                (request_kind::STATS, b)
+            }
+            Request::Health => (request_kind::HEALTH, Vec::new()),
         }
     }
 
@@ -229,6 +254,24 @@ impl Request {
                 }
                 Ok(Request::Ping)
             }
+            request_kind::STATS => {
+                let include_slow = match wire::read_u8(r) {
+                    Ok(0) => false,
+                    Ok(1) => true,
+                    Ok(other) => return Err(bad(&format!("unknown slow flag {other}"))),
+                    Err(_) => return Err(bad("missing slow flag")),
+                };
+                if !r.is_empty() {
+                    return Err(bad("trailing bytes"));
+                }
+                Ok(Request::Stats { include_slow })
+            }
+            request_kind::HEALTH => {
+                if !frame.body.is_empty() {
+                    return Err(bad("health carries a body"));
+                }
+                Ok(Request::Health)
+            }
             other => Err(format!("unknown request kind {other}")),
         }
     }
@@ -272,6 +315,211 @@ impl ErrorCode {
     }
 }
 
+/// One phase of a traced request: every span sharing a name under the
+/// request's root, with the summed counter-field deltas those spans
+/// carried. Across all phases of one [`SlowQuery`], the counter deltas sum
+/// exactly to the query's final [`SlowQuery::counters`] — the PR 4 profile
+/// invariant, extended across the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SlowPhase {
+    /// Span name, e.g. `"db.shard"`.
+    pub name: String,
+    /// Number of spans aggregated into this phase.
+    pub spans: u64,
+    /// Summed inclusive elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Summed counter-field deltas (`WorkCounters` field names).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One entry of the server's bounded slow-query log: the N worst traced
+/// requests by total (queue + execute) latency.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SlowQuery {
+    /// The client's correlation id for the request.
+    pub request_id: u64,
+    /// Watermark of the snapshot that served it.
+    pub watermark: u64,
+    /// Human-readable plan (the query's `Display` form).
+    pub plan: String,
+    /// Time spent queued before a worker picked the job up, microseconds.
+    pub queue_us: u64,
+    /// Execution time on the worker, microseconds.
+    pub exec_us: u64,
+    /// End-to-end latency (queue + execute), microseconds.
+    pub total_us: u64,
+    /// Final `WorkCounters` of the execution, as `(field, value)` pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Per-phase span aggregation under the request's root span.
+    pub phases: Vec<SlowPhase>,
+}
+
+/// Body of a [`Response::Stats`]: headline load gauges read directly from
+/// the serving structures, the full metric registry as canonical obs
+/// JSON (counters, gauges, histograms, and the live windowed rings —
+/// parse with `ibis_obs::Snapshot::from_json`), and optionally the
+/// slow-query log.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Watermark of the current serving snapshot.
+    pub watermark: u64,
+    /// Jobs waiting in the worker queue right now.
+    pub queue_depth: u32,
+    /// Admission high-water mark the queue sheds at.
+    pub queue_high_water: u32,
+    /// Size of the worker pool.
+    pub workers: u32,
+    /// Workers currently executing a drained job set.
+    pub workers_busy: u32,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// `ibis_obs::Registry::export().to_json()` at snapshot time.
+    pub metrics_json: String,
+    /// Slow-query log, worst-first; empty unless requested.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+/// Body of a [`Response::Health`]: enough to answer "should this server
+/// get more traffic" in one small frame.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Whether the server is accepting work (queue below high water).
+    pub healthy: bool,
+    /// Watermark of the current serving snapshot.
+    pub watermark: u64,
+    /// Jobs waiting in the worker queue right now.
+    pub queue_depth: u32,
+    /// Admission high-water mark.
+    pub queue_high_water: u32,
+    /// Size of the worker pool.
+    pub workers: u32,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+fn write_counter_pairs(b: &mut Vec<u8>, pairs: &[(String, u64)]) {
+    wire::write_u16(b, pairs.len() as u16).expect("vec write");
+    for (k, v) in pairs {
+        wire::write_str(b, k).expect("vec write");
+        wire::write_u64(b, *v).expect("vec write");
+    }
+}
+
+fn read_counter_pairs(r: &mut &[u8]) -> io::Result<Vec<(String, u64)>> {
+    let n = wire::read_u16(r)? as usize;
+    let mut pairs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        pairs.push((wire::read_str(r)?, wire::read_u64(r)?));
+    }
+    Ok(pairs)
+}
+
+impl StatsReport {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        wire::write_u64(&mut b, self.watermark).expect("vec write");
+        wire::write_u32(&mut b, self.queue_depth).expect("vec write");
+        wire::write_u32(&mut b, self.queue_high_water).expect("vec write");
+        wire::write_u32(&mut b, self.workers).expect("vec write");
+        wire::write_u32(&mut b, self.workers_busy).expect("vec write");
+        wire::write_u64(&mut b, self.uptime_ms).expect("vec write");
+        wire::write_str(&mut b, &self.metrics_json).expect("vec write");
+        wire::write_u16(&mut b, self.slow_queries.len() as u16).expect("vec write");
+        for s in &self.slow_queries {
+            wire::write_u64(&mut b, s.request_id).expect("vec write");
+            wire::write_u64(&mut b, s.watermark).expect("vec write");
+            wire::write_str(&mut b, &s.plan).expect("vec write");
+            wire::write_u64(&mut b, s.queue_us).expect("vec write");
+            wire::write_u64(&mut b, s.exec_us).expect("vec write");
+            wire::write_u64(&mut b, s.total_us).expect("vec write");
+            write_counter_pairs(&mut b, &s.counters);
+            wire::write_u16(&mut b, s.phases.len() as u16).expect("vec write");
+            for p in &s.phases {
+                wire::write_str(&mut b, &p.name).expect("vec write");
+                wire::write_u64(&mut b, p.spans).expect("vec write");
+                wire::write_u64(&mut b, p.total_ns).expect("vec write");
+                write_counter_pairs(&mut b, &p.counters);
+            }
+        }
+        b
+    }
+
+    fn decode_body(r: &mut &[u8]) -> io::Result<StatsReport> {
+        let watermark = wire::read_u64(r)?;
+        let queue_depth = wire::read_u32(r)?;
+        let queue_high_water = wire::read_u32(r)?;
+        let workers = wire::read_u32(r)?;
+        let workers_busy = wire::read_u32(r)?;
+        let uptime_ms = wire::read_u64(r)?;
+        let metrics_json = wire::read_str(r)?;
+        let n_slow = wire::read_u16(r)? as usize;
+        let mut slow_queries = Vec::with_capacity(n_slow.min(64));
+        for _ in 0..n_slow {
+            let request_id = wire::read_u64(r)?;
+            let watermark = wire::read_u64(r)?;
+            let plan = wire::read_str(r)?;
+            let queue_us = wire::read_u64(r)?;
+            let exec_us = wire::read_u64(r)?;
+            let total_us = wire::read_u64(r)?;
+            let counters = read_counter_pairs(r)?;
+            let n_phases = wire::read_u16(r)? as usize;
+            let mut phases = Vec::with_capacity(n_phases.min(64));
+            for _ in 0..n_phases {
+                phases.push(SlowPhase {
+                    name: wire::read_str(r)?,
+                    spans: wire::read_u64(r)?,
+                    total_ns: wire::read_u64(r)?,
+                    counters: read_counter_pairs(r)?,
+                });
+            }
+            slow_queries.push(SlowQuery {
+                request_id,
+                watermark,
+                plan,
+                queue_us,
+                exec_us,
+                total_us,
+                counters,
+                phases,
+            });
+        }
+        Ok(StatsReport {
+            watermark,
+            queue_depth,
+            queue_high_water,
+            workers,
+            workers_busy,
+            uptime_ms,
+            metrics_json,
+            slow_queries,
+        })
+    }
+}
+
+impl HealthReport {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        wire::write_u8(&mut b, u8::from(self.healthy)).expect("vec write");
+        wire::write_u64(&mut b, self.watermark).expect("vec write");
+        wire::write_u32(&mut b, self.queue_depth).expect("vec write");
+        wire::write_u32(&mut b, self.queue_high_water).expect("vec write");
+        wire::write_u32(&mut b, self.workers).expect("vec write");
+        wire::write_u64(&mut b, self.uptime_ms).expect("vec write");
+        b
+    }
+
+    fn decode_body(r: &mut &[u8]) -> io::Result<HealthReport> {
+        Ok(HealthReport {
+            healthy: wire::read_u8(r)? != 0,
+            watermark: wire::read_u64(r)?,
+            queue_depth: wire::read_u32(r)?,
+            queue_high_water: wire::read_u32(r)?,
+            workers: wire::read_u32(r)?,
+            uptime_ms: wire::read_u64(r)?,
+        })
+    }
+}
+
 /// One server response, correlated to its request by the echoed id.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -299,6 +547,11 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Stats`] (boxed: it is much larger than the
+    /// query-path variants and must not tax their size).
+    Stats(Box<StatsReport>),
+    /// Answer to [`Request::Health`].
+    Health(HealthReport),
 }
 
 impl Response {
@@ -324,6 +577,8 @@ impl Response {
                 (response_kind::ERROR, b)
             }
             Response::Pong => (response_kind::PONG, Vec::new()),
+            Response::Stats(report) => (response_kind::STATS, report.encode_body()),
+            Response::Health(report) => (response_kind::HEALTH, report.encode_body()),
         }
     }
 
@@ -348,6 +603,8 @@ impl Response {
                 message: wire::read_str(r)?,
             },
             response_kind::PONG => Response::Pong,
+            response_kind::STATS => Response::Stats(Box::new(StatsReport::decode_body(r)?)),
+            response_kind::HEALTH => Response::Health(HealthReport::decode_body(r)?),
             other => return Err(bad(&format!("unknown response kind {other}"))),
         };
         if !r.is_empty() {
@@ -375,6 +632,11 @@ mod tests {
                 deadline_ms: 250,
             },
             Request::Ping,
+            Request::Stats { include_slow: true },
+            Request::Stats {
+                include_slow: false,
+            },
+            Request::Health,
         ] {
             let (kind, body) = req.encode();
             let mut buf = Vec::new();
@@ -401,6 +663,39 @@ mod tests {
                 message: "queue full".into(),
             },
             Response::Pong,
+            Response::Stats(Box::new(StatsReport {
+                watermark: 12,
+                queue_depth: 3,
+                queue_high_water: 256,
+                workers: 4,
+                workers_busy: 2,
+                uptime_ms: 5000,
+                metrics_json: "{\"spans\":[]}".into(),
+                slow_queries: vec![SlowQuery {
+                    request_id: 77,
+                    watermark: 12,
+                    plan: "a0∈[1,3] ∧ a2∈[0,9] (IsNotMatch)".into(),
+                    queue_us: 150,
+                    exec_us: 900,
+                    total_us: 1050,
+                    counters: vec![("bitmap_reads".into(), 6), ("ops".into(), 4)],
+                    phases: vec![SlowPhase {
+                        name: "db.shard".into(),
+                        spans: 2,
+                        total_ns: 880_000,
+                        counters: vec![("bitmap_reads".into(), 6), ("ops".into(), 4)],
+                    }],
+                }],
+            })),
+            Response::Stats(Box::default()),
+            Response::Health(HealthReport {
+                healthy: true,
+                watermark: 12,
+                queue_depth: 0,
+                queue_high_water: 256,
+                workers: 4,
+                uptime_ms: 9,
+            }),
         ] {
             let (kind, body) = resp.encode();
             let mut buf = Vec::new();
@@ -408,6 +703,19 @@ mod tests {
             let frame = read_frame(&mut buf.as_slice()).unwrap();
             assert_eq!(Response::decode(&frame).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn stats_request_rejects_bad_flag_softly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, request_kind::STATS, &[7]).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(Request::decode(&frame).unwrap_err().contains("slow flag"));
+        // And a health probe with a body is semantic damage, not framing.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, request_kind::HEALTH, &[0]).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(Request::decode(&frame).unwrap_err().contains("body"));
     }
 
     #[test]

@@ -30,14 +30,15 @@
 //! `case_budget_ms` (see [`ServerConfig::default`]).
 
 use crate::protocol::{
-    read_frame, read_handshake, write_frame, write_handshake, ErrorCode, Request, Response,
+    read_frame, read_handshake, write_frame, write_handshake, ErrorCode, HealthReport, Request,
+    Response, SlowPhase, SlowQuery, StatsReport,
 };
-use ibis_core::{coalesce_compatible, RangeQuery};
-use ibis_storage::ConcurrentDb;
-use std::collections::VecDeque;
+use ibis_core::{coalesce_compatible, RangeQuery, WorkCounters};
+use ibis_storage::{ConcurrentDb, DbSnapshot};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,17 +56,28 @@ pub struct ServerConfig {
     pub queue_high_water: usize,
     /// Deadline applied to requests that carry `deadline_ms = 0`.
     pub default_deadline_ms: u64,
+    /// Request tracing sample rate: every `trace_sample`-th admitted query
+    /// executes solo under a `server.request` root span whose tree feeds
+    /// the slow-query log. `0` disables tracing entirely; `1` traces every
+    /// query (and therefore disables batching).
+    pub trace_sample: u64,
+    /// Capacity of the slow-query log: the N worst traced requests by
+    /// total (queue + execute) latency are retained.
+    pub slow_log_size: usize,
 }
 
 impl Default for ServerConfig {
-    /// Defaults: 4 workers, batches of 8, a 256-deep queue, and the
-    /// oracle's per-case time budget as the request deadline.
+    /// Defaults: 4 workers, batches of 8, a 256-deep queue, the oracle's
+    /// per-case time budget as the request deadline, 1-in-8 request
+    /// tracing, and a 16-entry slow-query log.
     fn default() -> ServerConfig {
         ServerConfig {
             workers: 4,
             max_batch: 8,
             queue_high_water: 256,
             default_deadline_ms: ibis_oracle::OracleConfig::default().case_budget_ms,
+            trace_sample: 8,
+            slow_log_size: 16,
         }
     }
 }
@@ -77,6 +89,9 @@ struct Job {
     count_only: bool,
     deadline: Instant,
     enqueued: Instant,
+    /// Sampled for tracing: executes solo under a `server.request` root
+    /// span and feeds the slow-query log.
+    traced: bool,
     reply: mpsc::Sender<(u64, Response)>,
 }
 
@@ -87,6 +102,14 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// When the server started (feeds `uptime_ms` in reports).
+    started: Instant,
+    /// Workers currently executing a drained job set.
+    busy: AtomicUsize,
+    /// Admitted-query sequence number, drives trace sampling.
+    admitted_seq: AtomicU64,
+    /// The N worst traced requests, sorted worst-first.
+    slow_log: Mutex<Vec<SlowQuery>>,
 }
 
 /// The serving entry point; see the module docs for the thread layout.
@@ -104,6 +127,13 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // The telemetry plane (windowed metrics, latency histograms, span
+        // tracing) runs on the process-global obs recorder. Turn it on if
+        // the embedding process has not already — but never reset a
+        // recording someone else (a load generator, a profiler) installed.
+        if !ibis_obs::is_enabled() {
+            ibis_obs::Recorder::enabled().install();
+        }
         let shared = Arc::new(Shared {
             db,
             config: ServerConfig {
@@ -115,6 +145,10 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            busy: AtomicUsize::new(0),
+            admitted_seq: AtomicU64::new(0),
+            slow_log: Mutex::new(Vec::new()),
         });
         let conns: Arc<Mutex<Vec<Option<TcpStream>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -258,6 +292,17 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     Ok(Request::Ping) => {
                         let _ = reply_tx.send((request_id, Response::Pong));
                     }
+                    // STATS and HEALTH are answered right here on the
+                    // reader thread, never enqueued: telemetry must stay
+                    // observable while the worker pool is saturated.
+                    Ok(Request::Stats { include_slow }) => {
+                        ibis_obs::counter_add("server.stats_requests", 1);
+                        let report = build_stats(shared, include_slow);
+                        let _ = reply_tx.send((request_id, Response::Stats(Box::new(report))));
+                    }
+                    Ok(Request::Health) => {
+                        let _ = reply_tx.send((request_id, Response::Health(build_health(shared))));
+                    }
                     Ok(Request::Query {
                         query,
                         count_only,
@@ -346,12 +391,14 @@ fn admit(
         count_only,
         deadline: now + Duration::from_millis(budget),
         enqueued: now,
+        traced: false,
         reply: reply.clone(),
     };
     let mut q = shared.queue.lock().expect("work queue");
     if q.len() >= shared.config.queue_high_water {
         drop(q);
         ibis_obs::counter_add("server.shed_overload", 1);
+        ibis_obs::window_counter_add("server.shed", 1);
         let _ = reply.send((
             request_id,
             Response::Error {
@@ -364,6 +411,14 @@ fn admit(
         ));
         return;
     }
+    // Admission granted: count it, and sample for tracing. The sequence
+    // number only advances for admitted queries so a burst of shed load
+    // cannot starve the tracer.
+    let seq = shared.admitted_seq.fetch_add(1, Ordering::Relaxed);
+    let mut job = job;
+    job.traced = shared.config.trace_sample > 0 && seq.is_multiple_of(shared.config.trace_sample);
+    ibis_obs::counter_add("server.admitted", 1);
+    ibis_obs::window_counter_add("server.admitted", 1);
     q.push_back(job);
     ibis_obs::gauge_set("server.queue_depth", q.len() as f64);
     drop(q);
@@ -394,16 +449,23 @@ fn worker_loop(shared: &Shared) {
             ibis_obs::gauge_set("server.queue_depth", q.len() as f64);
             drained
         };
+        let busy = shared.busy.fetch_add(1, Ordering::SeqCst) + 1;
+        ibis_obs::gauge_set("server.workers_busy", busy as f64);
         execute_jobs(shared, jobs);
+        let busy = shared.busy.fetch_sub(1, Ordering::SeqCst) - 1;
+        ibis_obs::gauge_set("server.workers_busy", busy as f64);
     }
 }
 
 /// Deadline-checks, batches, executes, and answers one drained job set.
+/// Jobs sampled for tracing execute solo under a `server.request` root
+/// span (see [`execute_traced`]); the rest take the batch path.
 fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
     let now = Instant::now();
     let (live, expired): (Vec<Job>, Vec<Job>) = jobs.into_iter().partition(|j| j.deadline > now);
     for j in expired {
         ibis_obs::counter_add("server.shed_deadline", 1);
+        ibis_obs::window_counter_add("server.expired", 1);
         let _ = j.reply.send((
             j.request_id,
             Response::Error {
@@ -418,6 +480,21 @@ fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
     // One lock-free snapshot serves the whole drain: every query in every
     // batch below answers at the same watermark.
     let snap = shared.db.snapshot();
+    for j in &live {
+        let name = match j.query.policy() {
+            ibis_core::MissingPolicy::IsMatch => "server.policy_is_match",
+            ibis_core::MissingPolicy::IsNotMatch => "server.policy_is_not_match",
+        };
+        ibis_obs::counter_add(name, 1);
+        ibis_obs::window_counter_add(name, 1);
+    }
+    let (traced, live): (Vec<Job>, Vec<Job>) = live.into_iter().partition(|j| j.traced);
+    for j in traced {
+        execute_traced(shared, &snap, j);
+    }
+    if live.is_empty() {
+        return;
+    }
     let queries: Vec<RangeQuery> = live.iter().map(|j| j.query.clone()).collect();
     for batch in coalesce_compatible(&queries, shared.config.max_batch) {
         let batch_queries: Vec<RangeQuery> = batch.iter().map(|&i| queries[i].clone()).collect();
@@ -428,16 +505,16 @@ fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
         let done = Instant::now();
         ibis_obs::counter_add("server.batches", 1);
         ibis_obs::counter_add("server.batched_queries", batch.len() as u64);
-        ibis_obs::observe(
-            "server.exec_us",
-            done.duration_since(started).as_micros() as u64,
-        );
+        let exec_us = done.duration_since(started).as_micros() as u64;
+        ibis_obs::observe("server.exec_us", exec_us);
+        ibis_obs::window_observe("server.exec_us", exec_us);
         match result {
             Ok(rowsets) => {
                 for (&idx, rows) in batch.iter().zip(rowsets) {
                     let j = &live[idx];
                     let resp = if done > j.deadline {
                         ibis_obs::counter_add("server.shed_deadline", 1);
+                        ibis_obs::window_counter_add("server.expired", 1);
                         Response::Error {
                             code: ErrorCode::DeadlineExceeded,
                             message: "deadline expired during execution".into(),
@@ -457,11 +534,11 @@ fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
                         "server.queue_wait_us",
                         started.duration_since(j.enqueued).as_micros() as u64,
                     );
-                    ibis_obs::observe(
-                        "server.request_us",
-                        done.duration_since(j.enqueued).as_micros() as u64,
-                    );
+                    let request_us = done.duration_since(j.enqueued).as_micros() as u64;
+                    ibis_obs::observe("server.request_us", request_us);
+                    ibis_obs::window_observe("server.request_us", request_us);
                     ibis_obs::counter_add("server.responses", 1);
+                    ibis_obs::window_counter_add("server.responses", 1);
                     let _ = j.reply.send((j.request_id, resp));
                 }
             }
@@ -488,9 +565,202 @@ fn execute_jobs(shared: &Shared, jobs: Vec<Job>) {
                         }
                     };
                     ibis_obs::counter_add("server.responses", 1);
+                    ibis_obs::window_counter_add("server.responses", 1);
                     let _ = j.reply.send((j.request_id, resp));
                 }
             }
         }
+    }
+}
+
+/// Execute one traced job solo under a `server.request` root span, then
+/// drain exactly that span tree out of the recorder (bounding span memory
+/// to in-flight traced requests) and feed the slow-query log.
+///
+/// Degree 1 keeps the whole execution — and therefore every child span —
+/// on this worker thread, so the drained tree is complete. The per-phase
+/// counter-field deltas of that tree sum exactly to the execution's final
+/// `WorkCounters`: the PR 4 profile invariant, now visible over the wire.
+fn execute_traced(shared: &Shared, snap: &Arc<DbSnapshot>, j: Job) {
+    let started = Instant::now();
+    let mut root = ibis_obs::span("server.request");
+    let root_id = root.id();
+    root.add_field("request_id", j.request_id);
+    let result = snap.execute_with_cost_threads(&j.query, 1);
+    drop(root);
+    let done = Instant::now();
+    let spans = ibis_obs::drain_subtree(root_id);
+
+    let exec_us = done.duration_since(started).as_micros() as u64;
+    let queue_us = started.duration_since(j.enqueued).as_micros() as u64;
+    let request_us = done.duration_since(j.enqueued).as_micros() as u64;
+    ibis_obs::counter_add("server.traced", 1);
+    ibis_obs::observe("server.exec_us", exec_us);
+    ibis_obs::window_observe("server.exec_us", exec_us);
+    ibis_obs::observe("server.queue_wait_us", queue_us);
+
+    let resp = match result {
+        Ok((rows, counters)) => {
+            note_slow(
+                shared,
+                SlowQuery {
+                    request_id: j.request_id,
+                    watermark: snap.watermark(),
+                    plan: j.query.to_string(),
+                    queue_us,
+                    exec_us,
+                    total_us: request_us,
+                    counters: counters
+                        .fields()
+                        .iter()
+                        .filter(|&&(_, v)| v > 0)
+                        .map(|&(k, v)| (k.to_string(), v as u64))
+                        .collect(),
+                    phases: phases_from(&spans, root_id),
+                },
+            );
+            if done > j.deadline {
+                ibis_obs::counter_add("server.shed_deadline", 1);
+                ibis_obs::window_counter_add("server.expired", 1);
+                Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: "deadline expired during execution".into(),
+                }
+            } else if j.count_only {
+                Response::Count {
+                    watermark: snap.watermark(),
+                    count: rows.len() as u64,
+                }
+            } else {
+                Response::Rows {
+                    watermark: snap.watermark(),
+                    rows: rows.rows().to_vec(),
+                }
+            }
+        }
+        Err(e) => {
+            ibis_obs::counter_add("server.internal_errors", 1);
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("execution failed: {e}"),
+            }
+        }
+    };
+    ibis_obs::observe("server.request_us", request_us);
+    ibis_obs::window_observe("server.request_us", request_us);
+    ibis_obs::counter_add("server.responses", 1);
+    ibis_obs::window_counter_add("server.responses", 1);
+    let _ = j.reply.send((j.request_id, resp));
+}
+
+/// Aggregate a drained span tree (minus its root) into per-phase totals.
+/// Counter-field deltas are extracted with `WorkCounters::from_fields`, so
+/// non-counter span fields (`shards`, `rows`, …) never pollute the sums.
+///
+/// Aggregation layers re-record counters their children already carried
+/// (`db.shard` re-records its access method's span, for example), so a
+/// flat sum over-counts. Each span is therefore charged only its *self*
+/// delta — its own counter fields minus its direct children's — which puts
+/// every counted unit in exactly one phase and makes the per-phase totals
+/// sum back to the request's final [`WorkCounters`].
+fn phases_from(spans: &[ibis_obs::SpanRecord], root: u64) -> Vec<SlowPhase> {
+    let own = |s: &ibis_obs::SpanRecord| {
+        WorkCounters::from_fields(s.fields.iter().map(|(k, v)| (k.as_str(), *v)))
+    };
+    let mut child_sums: BTreeMap<u64, WorkCounters> = BTreeMap::new();
+    for s in spans {
+        child_sums
+            .entry(s.parent)
+            .or_insert_with(WorkCounters::zero)
+            .merge(own(s));
+    }
+    let mut by_name: BTreeMap<&str, (u64, u64, WorkCounters)> = BTreeMap::new();
+    for s in spans {
+        if s.id == root {
+            continue;
+        }
+        let children = child_sums
+            .get(&s.id)
+            .cloned()
+            .unwrap_or_else(WorkCounters::zero);
+        let self_delta = WorkCounters::from_fields(
+            own(s)
+                .fields()
+                .iter()
+                .zip(children.fields().iter())
+                .map(|(&(k, a), &(_, b))| (k, (a.saturating_sub(b)) as u64)),
+        );
+        let e = by_name
+            .entry(s.name.as_str())
+            .or_insert_with(|| (0, 0, WorkCounters::zero()));
+        e.0 += 1;
+        e.1 = e.1.saturating_add(s.elapsed_ns);
+        e.2.merge(self_delta);
+    }
+    let mut phases: Vec<SlowPhase> = by_name
+        .into_iter()
+        .map(|(name, (spans, total_ns, counters))| SlowPhase {
+            name: name.to_string(),
+            spans,
+            total_ns,
+            counters: counters
+                .fields()
+                .iter()
+                .filter(|&&(_, v)| v > 0)
+                .map(|&(k, v)| (k.to_string(), v as u64))
+                .collect(),
+        })
+        .collect();
+    phases.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    phases
+}
+
+/// Insert one traced request into the bounded slow-query log, keeping the
+/// worst `slow_log_size` entries by total latency, worst-first.
+fn note_slow(shared: &Shared, entry: SlowQuery) {
+    let mut log = shared.slow_log.lock().expect("slow log");
+    if log.len() >= shared.config.slow_log_size.max(1)
+        && entry.total_us <= log.last().map_or(0, |e| e.total_us)
+    {
+        return;
+    }
+    log.push(entry);
+    log.sort_by_key(|e| std::cmp::Reverse(e.total_us));
+    log.truncate(shared.config.slow_log_size.max(1));
+}
+
+/// Assemble a [`StatsReport`]: headline gauges read from the serving
+/// structures (correct even if the obs recorder is cold), the metric
+/// registry as canonical JSON, and optionally the slow-query log.
+fn build_stats(shared: &Shared, include_slow: bool) -> StatsReport {
+    let queue_depth = shared.queue.lock().expect("work queue").len() as u32;
+    StatsReport {
+        watermark: shared.db.snapshot().watermark(),
+        queue_depth,
+        queue_high_water: shared.config.queue_high_water as u32,
+        workers: shared.config.workers as u32,
+        workers_busy: shared.busy.load(Ordering::SeqCst) as u32,
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        metrics_json: ibis_obs::Registry::export().to_json(),
+        slow_queries: if include_slow {
+            shared.slow_log.lock().expect("slow log").clone()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// Assemble a [`HealthReport`]; "healthy" means admission control would
+/// accept a query arriving right now.
+fn build_health(shared: &Shared) -> HealthReport {
+    let queue_depth = shared.queue.lock().expect("work queue").len() as u32;
+    HealthReport {
+        healthy: !shared.shutdown.load(Ordering::SeqCst)
+            && (queue_depth as usize) < shared.config.queue_high_water,
+        watermark: shared.db.snapshot().watermark(),
+        queue_depth,
+        queue_high_water: shared.config.queue_high_water as u32,
+        workers: shared.config.workers as u32,
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
     }
 }

@@ -5,6 +5,7 @@
 
 use ibis_core::{MissingPolicy, Predicate, RangeQuery};
 use ibis_server::protocol::{read_frame, write_frame, Request, Response};
+use ibis_server::{SlowPhase, SlowQuery, StatsReport};
 use proptest::prelude::*;
 use std::sync::LazyLock;
 
@@ -42,6 +43,42 @@ fn response_image() -> Vec<u8> {
     BYTES.clone()
 }
 
+/// A populated STATS response — the richest message on the wire (nested
+/// slow-query list, counter pairs, embedded JSON), so the best fuzz bait.
+fn stats_image() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let (kind, body) = Response::Stats(Box::new(StatsReport {
+            watermark: 42,
+            queue_depth: 3,
+            queue_high_water: 64,
+            workers: 4,
+            workers_busy: 2,
+            uptime_ms: 9000,
+            metrics_json: "{\"counters\":{}}".into(),
+            slow_queries: vec![SlowQuery {
+                request_id: 17,
+                watermark: 42,
+                plan: "a0∈[1,3] (IsNotMatch)".into(),
+                queue_us: 120,
+                exec_us: 3400,
+                total_us: 3520,
+                counters: vec![("bitmaps_accessed".into(), 8)],
+                phases: vec![SlowPhase {
+                    name: "db.shard".into(),
+                    spans: 4,
+                    total_ns: 3_200_000,
+                    counters: vec![("bitmaps_accessed".into(), 8)],
+                }],
+            }],
+        }))
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, kind, &body).unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -68,12 +105,47 @@ proptest! {
     }
 
     #[test]
+    fn mutated_stats_frames_never_panic(pos in 0usize..4096, byte in any::<u8>()) {
+        let mut buf = stats_image();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        if let Ok(frame) = read_frame(&mut buf.as_slice()) {
+            let _ = Response::decode(&frame);
+        }
+    }
+
+    #[test]
     fn truncated_frames_always_error(cut_frac in 0.0f64..0.999) {
         // The frame is length-prefixed and checksummed: every strict
         // truncation must be rejected, never mis-parsed or blocked on.
-        for image in [request_image(), response_image()] {
+        for image in [request_image(), response_image(), stats_image()] {
             let cut = ((image.len() as f64) * cut_frac) as usize;
             prop_assert!(read_frame(&mut &image[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn lying_slow_query_counts_stay_capped(n in any::<u16>()) {
+        // Stamp an arbitrary slow-query count over a STATS body holding
+        // exactly one entry: decode must fail on the missing bytes, never
+        // reserve n entries up front.
+        let image = stats_image();
+        let frame = read_frame(&mut image.as_slice()).unwrap();
+        // Body layout: watermark u64, 4×u32, uptime u64, metrics string
+        // (u64 len + bytes), then the u16 slow-query count.
+        let json_len =
+            u64::from_le_bytes(frame.body[32..40].try_into().unwrap()) as usize;
+        let count_at = 40 + json_len;
+        let mut body = frame.body.clone();
+        body[count_at..count_at + 2].copy_from_slice(&n.to_le_bytes());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame.request_id, frame.kind, &body).unwrap();
+        let reread = read_frame(&mut buf.as_slice()).unwrap();
+        let decoded = Response::decode(&reread);
+        if n == 1 {
+            prop_assert!(decoded.is_ok());
+        } else {
+            prop_assert!(decoded.is_err(), "count {n} must not parse one entry");
         }
     }
 

@@ -420,7 +420,10 @@ impl IncompleteDb {
                 best = i;
             }
         }
-        span.add_field("candidates", candidates.len() as u64);
+        // Deliberately NOT named `candidates`: span fields that reuse a
+        // `WorkCounters` field name are treated as counter deltas by the
+        // profile/slow-log attribution, and this one is a plan-table size.
+        span.add_field("plan_candidates", candidates.len() as u64);
         Ok(Plan {
             chosen: candidates[best].name,
             candidates,
@@ -463,6 +466,9 @@ impl IncompleteDb {
         // Delta rows are scanned with the semantic definition directly.
         let mut span = ibis_obs::span("db.delta");
         span.add_field("delta_rows", self.delta.len() as u64);
+        // The delta scan is charged to `entries_scanned` above; record the
+        // same delta on this span so per-phase attribution stays exact.
+        span.add_field("entries_scanned", self.delta.len() as u64);
         let offset = self.base.n_rows() as u32;
         let policy = query.policy();
         let delta_hits = self.delta.iter().enumerate().filter_map(|(i, row)| {

@@ -159,6 +159,8 @@ impl DurableDb {
         ibis_obs::counter_add("recovery.replayed_records", replayed);
         span.add_field("replayed_records", replayed);
         span.add_field("generation", manifest.generation);
+        ibis_obs::gauge_set("storage.generation", manifest.generation as f64);
+        ibis_obs::gauge_set("wal.bytes", wal.bytes() as f64);
         Ok(DurableDb {
             dir: dir.to_path_buf(),
             db,
@@ -217,6 +219,8 @@ impl DurableDb {
         self.manifest = next;
         span.add_field("generation", generation);
         ibis_obs::observe("checkpoint.ms", start.elapsed().as_millis() as u64);
+        ibis_obs::counter_add("storage.checkpoints", 1);
+        ibis_obs::gauge_set("storage.generation", generation as f64);
         Ok(())
     }
 

@@ -188,6 +188,7 @@ impl WalWriter {
         self.next_seq += 1;
         ibis_obs::counter_add("wal.append_bytes", frame.len() as u64);
         ibis_obs::counter_add("wal.fsyncs", 1);
+        ibis_obs::gauge_set("wal.bytes", self.bytes as f64);
         Ok(seq)
     }
 
@@ -198,6 +199,7 @@ impl WalWriter {
         self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
         self.file.sync_all()?;
         self.bytes = WAL_HEADER_LEN;
+        ibis_obs::gauge_set("wal.bytes", self.bytes as f64);
         Ok(())
     }
 

@@ -90,6 +90,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("validate") => validate(&args[1..]),
         Some("crash") => crash(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -112,13 +113,24 @@ commands:
       write a dataset back out as CSV (numeric codes, missing = empty)
   stats FILE
       per-column stats and the Table-7 composition cross-tab
+  stats --addr HOST:PORT [--json | --prom | --slow]
+      one STATS request against a running `ibis serve`: by default a
+      human-readable summary (queue, workers, windowed throughput and
+      latency quantiles, shed/expired counts); --json prints the metric
+      registry as canonical JSON, --prom as Prometheus text exposition,
+      --slow the server's slow-query log (worst requests with queue/exec
+      split and per-phase work-counter deltas)
   index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
       build and save an index (va ignores --backend)
   query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
         [--threads N] [--shard-rows N] [--profile] [--profile-json FILE]
+        [--addr HOST:PORT [--deadline-ms MS]]
       run a textual query (e.g. \"age between 2 and 5 and q5 = 1\");
       uses a saved index when given, otherwise scans; --threads sets the
       parallel degree (default: IBIS_THREADS or the machine's cores);
+      --addr sends the parsed query to a running `ibis serve` over IBQP
+      instead of executing locally (FILE still supplies the schema;
+      --deadline-ms caps the request, 0 = the server's default);
       --shard-rows partitions the data into shards of N rows (per-shard
       indexes; synopsis pruning skips shards that cannot match);
       --profile prints the span tree with per-phase work-counter deltas,
@@ -177,7 +189,8 @@ commands:
       semantics, each thread degree)
   serve FILE.ibds [--addr HOST:PORT] [--shard-rows N] [--workers N]
         [--max-batch N] [--queue-high-water N] [--deadline-ms MS]
-        [--duration-secs N] [--addr-file PATH]
+        [--duration-secs N] [--addr-file PATH] [--trace-sample N]
+        [--slow-log N]
   serve --data-dir DIR [same flags except --shard-rows]
       expose the database over the IBQP binary wire protocol (default
       address 127.0.0.1:7431; --addr-file records the bound address,
@@ -186,7 +199,16 @@ commands:
       compatible queued queries are coalesced into batches, each request
       carries a deadline (default: the oracle's per-case budget), and a
       queue past the high-water mark sheds with an explicit Overloaded
-      error; runs until killed unless --duration-secs is given
+      error; runs until killed unless --duration-secs is given;
+      --trace-sample N traces every Nth admitted request into the
+      slow-query log (0 disables, default 8), --slow-log N keeps the N
+      worst traced requests (default 16)
+  top --addr HOST:PORT [--interval-ms MS] [--iterations N]
+      live dashboard over the STATS protocol: polls a running server
+      and redraws throughput, windowed p50/p99 latency, queue and
+      worker gauges, shed/expired counts, the missing-policy split, and
+      the worst slow queries; Ctrl-C to exit (or --iterations N to
+      stop after N polls)
 
 exit status: 0 on success, 1 on a command failure, 2 on a usage error
 (unknown command or flag value that does not parse)
@@ -202,7 +224,16 @@ fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Stri
             // Boolean flags take no value; detect by lookahead.
             let boolean = matches!(
                 name,
-                "count" | "not-match" | "match" | "no-header" | "profile" | "durable" | "no-writer"
+                "count"
+                    | "not-match"
+                    | "match"
+                    | "no-header"
+                    | "profile"
+                    | "durable"
+                    | "no-writer"
+                    | "json"
+                    | "prom"
+                    | "slow"
             );
             if boolean || i + 1 >= args.len() || args[i + 1].starts_with("--") {
                 flags.insert(name.to_string(), "true".to_string());
@@ -346,8 +377,18 @@ fn export(args: &[String]) -> Result<(), CliError> {
 }
 
 fn stats(args: &[String]) -> Result<(), CliError> {
-    let (pos, _) = parse_flags(args);
-    let path = pos.first().ok_or("usage: ibis stats FILE")?;
+    let (pos, flags) = parse_flags(args);
+    if let Some(addr) = flags.get("addr") {
+        if !pos.is_empty() {
+            return Err("--addr asks a running server; it cannot be combined \
+                        with a dataset file"
+                .into());
+        }
+        return server_stats(addr, &flags);
+    }
+    let path = pos
+        .first()
+        .ok_or("usage: ibis stats FILE | ibis stats --addr HOST:PORT [--json|--prom|--slow]")?;
     let d = load_dataset(path)?;
     println!("{}: {} rows × {} attrs\n", path, d.n_rows(), d.n_attrs());
     println!(
@@ -512,7 +553,24 @@ fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMeth
 fn query(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args);
     if flags.contains_key("data-dir") {
+        if flags.contains_key("addr") {
+            return Err(
+                "--addr sends the query to a running server; it cannot be combined \
+                 with --data-dir"
+                    .into(),
+            );
+        }
         return query_durable(&pos, &flags);
+    }
+    if flags.contains_key("addr") {
+        for local in ["index", "shard-rows", "profile", "profile-json", "threads"] {
+            if flags.contains_key(local) {
+                return Err(CliError::Usage(format!(
+                    "--addr sends the query to a running server; it cannot be \
+                     combined with --{local}"
+                )));
+            }
+        }
     }
     let (path, text) = match pos.as_slice() {
         [p, q] => (p, q),
@@ -539,6 +597,12 @@ fn query(args: &[String]) -> Result<(), CliError> {
         None => parse_query(&d, text, policy),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(addr) = flags.get("addr") {
+        let deadline_ms: u32 = flags
+            .get("deadline-ms")
+            .map_or(Ok(0), |s| num(s, "deadline"))?;
+        return server_query(addr, &q, deadline_ms, &flags);
+    }
     let threads = parse_threads(&flags)?;
     let shard_rows: Option<usize> = match flags.get("shard-rows") {
         Some(s) => {
@@ -1246,6 +1310,18 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             .map_or(Ok(defaults.default_deadline_ms), |s| {
                 num(s, "deadline milliseconds")
             })?,
+        trace_sample: flags
+            .get("trace-sample")
+            .map_or(Ok(defaults.trace_sample), |s| num(s, "trace sample rate"))?,
+        slow_log_size: {
+            let n: usize = flags
+                .get("slow-log")
+                .map_or(Ok(defaults.slow_log_size), |s| num(s, "slow log size"))?;
+            if n == 0 {
+                return Err("--slow-log must be at least 1".into());
+            }
+            n
+        },
     };
     let db = if let Some(dir) = flags.get("data-dir") {
         if !pos.is_empty() {
@@ -1301,6 +1377,268 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         },
     }
     Ok(())
+}
+
+/// `ibis query … --addr` — send an already-parsed query to a running
+/// server over IBQP. The local FILE supplies only the schema; answers
+/// come from (and are labelled with) the server's snapshot watermark, so
+/// row ids are printed without re-reading cells from the possibly-stale
+/// local file.
+fn server_query(
+    addr: &str,
+    q: &RangeQuery,
+    deadline_ms: u32,
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<(), CliError> {
+    let mut client = ibis::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr:?}: {e}"))?;
+    let response = if flags.contains_key("count") {
+        client.count(q, deadline_ms)
+    } else {
+        client.query(q, deadline_ms)
+    }
+    .map_err(|e| format!("query request to {addr:?} failed: {e}"))?;
+    match response {
+        ibis::server::Response::Count { watermark, count } => {
+            println!(
+                "{count} rows match under {} (server watermark {watermark})",
+                q.policy()
+            );
+        }
+        ibis::server::Response::Rows { watermark, rows } => {
+            println!(
+                "{} rows match under {} (server watermark {watermark})",
+                rows.len(),
+                q.policy()
+            );
+            let limit: usize = flags.get("limit").map_or(Ok(20), |s| num(s, "limit"))?;
+            for r in rows.iter().take(limit) {
+                println!("  row {r}");
+            }
+            if rows.len() > limit {
+                println!("  … {} more (use --limit)", rows.len() - limit);
+            }
+        }
+        ibis::server::Response::Error { code, message } => {
+            return Err(CliError::Runtime(format!(
+                "server refused the query ({code:?}): {message}"
+            )));
+        }
+        other => {
+            return Err(CliError::Runtime(format!(
+                "unexpected response from {addr:?}: {other:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `ibis stats --addr` — one `STATS` request against a running server,
+/// rendered in the requested view (summary, `--json`, `--prom`, `--slow`).
+fn server_stats(
+    addr: &str,
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<(), CliError> {
+    let mut client = ibis::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr:?}: {e}"))?;
+    let want_slow = flags.contains_key("slow");
+    let report = client
+        .stats(want_slow)
+        .map_err(|e| format!("STATS request to {addr:?} failed: {e}"))?;
+    if flags.contains_key("json") {
+        println!("{}", report.metrics_json);
+        return Ok(());
+    }
+    let snap = ibis::obs::Snapshot::from_json(&report.metrics_json)
+        .map_err(|e| format!("malformed metrics from {addr:?}: {e}"))?;
+    if flags.contains_key("prom") {
+        print!("{}", snap.to_prometheus());
+        return Ok(());
+    }
+    if want_slow {
+        print!("{}", render_slow_queries(&report.slow_queries));
+        return Ok(());
+    }
+    print!("{}", render_server_stats(addr, &report, &snap));
+    Ok(())
+}
+
+/// `ibis top` — poll `STATS` and redraw a terminal dashboard.
+fn top(args: &[String]) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args);
+    if !pos.is_empty() {
+        return Err("usage: ibis top --addr HOST:PORT [--interval-ms MS] [--iterations N]".into());
+    }
+    let addr = req(&flags, "addr")?;
+    let interval_ms: u64 = flags
+        .get("interval-ms")
+        .map_or(Ok(1000), |s| num(s, "interval milliseconds"))?;
+    if interval_ms == 0 {
+        return Err("--interval-ms must be at least 1".into());
+    }
+    let iterations: Option<u64> = flags
+        .get("iterations")
+        .map(|s| num(s, "iteration count"))
+        .transpose()?;
+    if iterations == Some(0) {
+        return Err("--iterations must be at least 1".into());
+    }
+    let mut client = ibis::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr:?}: {e}"))?;
+    let mut drawn = 0u64;
+    loop {
+        let report = client
+            .stats(true)
+            .map_err(|e| format!("STATS request to {addr:?} failed: {e}"))?;
+        let snap = ibis::obs::Snapshot::from_json(&report.metrics_json)
+            .map_err(|e| format!("malformed metrics from {addr:?}: {e}"))?;
+        // Clear the screen and park the cursor before every frame; a
+        // dumb-terminal consumer just sees frames separated by escapes.
+        print!("\x1b[2J\x1b[H{}", render_top(addr, &report, &snap));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        drawn += 1;
+        if iterations.is_some_and(|n| drawn >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    println!();
+    Ok(())
+}
+
+/// `12345` µs → `"12.3 ms"`; sub-millisecond values keep µs resolution.
+fn fmt_us(us: u64) -> String {
+    if us >= 1000 {
+        format!("{:.1} ms", us as f64 / 1000.0)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+/// The `ibis stats --addr` summary view: headline serving gauges plus the
+/// windowed (rolling) throughput and latency quantiles.
+fn render_server_stats(
+    addr: &str,
+    report: &ibis::server::StatsReport,
+    snap: &ibis::obs::Snapshot,
+) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "stats for {addr} — watermark {}, uptime {:.1}s",
+        report.watermark,
+        report.uptime_ms as f64 / 1000.0
+    );
+    let _ = writeln!(
+        out,
+        "queue {} (high-water {})   workers {}/{} busy",
+        report.queue_depth, report.queue_high_water, report.workers_busy, report.workers
+    );
+    let rate = snap
+        .window_counters
+        .get("server.responses")
+        .map_or(0.0, |w| w.rate_per_sec());
+    if let Some(w) = snap.windows.get("server.request_us") {
+        let h = w.merged();
+        let _ = writeln!(
+            out,
+            "window (last ~{}s): {rate:.1} req/s, p50 {}, p99 {}",
+            w.bucket_ms * u64::from(w.capacity) / 1000,
+            fmt_us(h.p50()),
+            fmt_us(h.p99()),
+        );
+    } else {
+        let _ = writeln!(out, "window: no requests yet ({rate:.1} req/s)");
+    }
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "lifetime: {} requests, {} admitted, {} shed, {} expired, {} traced",
+        c("server.requests"),
+        c("server.admitted"),
+        c("server.shed_overload"),
+        c("server.shed_deadline"),
+        c("server.traced"),
+    );
+    let wc = |name: &str| snap.window_counters.get(name).map_or(0, |w| w.total());
+    let (m, nm) = (
+        wc("server.policy_is_match"),
+        wc("server.policy_is_not_match"),
+    );
+    if m + nm > 0 {
+        let _ = writeln!(
+            out,
+            "policy split (window): is-match {:.1}%, is-not-match {:.1}%",
+            100.0 * m as f64 / (m + nm) as f64,
+            100.0 * nm as f64 / (m + nm) as f64,
+        );
+    }
+    out
+}
+
+/// The `ibis stats --addr --slow` view: the server's slow-query log,
+/// worst-first, with the queue/execute split and per-phase counter deltas.
+fn render_slow_queries(slow: &[ibis::server::SlowQuery]) -> String {
+    use std::fmt::Write as _;
+    if slow.is_empty() {
+        return "slow-query log is empty (is the server tracing? see serve --trace-sample)\n"
+            .to_string();
+    }
+    let mut out = String::new();
+    for (i, s) in slow.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>2}. request {}  total {} (queue {} + exec {})  watermark {}",
+            i + 1,
+            s.request_id,
+            fmt_us(s.total_us),
+            fmt_us(s.queue_us),
+            fmt_us(s.exec_us),
+            s.watermark
+        );
+        let _ = writeln!(out, "    plan: {}", s.plan);
+        let counters: Vec<String> = s.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "    counters: {}", counters.join(" "));
+        for p in &s.phases {
+            let pc: Vec<String> = p.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "      {:<12} ×{:<4} {:>10}  {}",
+                p.name,
+                p.spans,
+                fmt_us(p.total_ns / 1000),
+                pc.join(" ")
+            );
+        }
+    }
+    out
+}
+
+/// One `ibis top` frame: the stats summary plus the worst slow queries.
+fn render_top(
+    addr: &str,
+    report: &ibis::server::StatsReport,
+    snap: &ibis::obs::Snapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("ibis top — {addr}\n\n");
+    out.push_str(&render_server_stats(addr, report, snap));
+    if !report.slow_queries.is_empty() {
+        let _ = writeln!(out, "\nslow queries (worst {}):", report.slow_queries.len());
+        for s in report.slow_queries.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:>10}  (queue {} + exec {})  {}",
+                fmt_us(s.total_us),
+                fmt_us(s.queue_us),
+                fmt_us(s.exec_us),
+                s.plan
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1372,6 +1710,38 @@ mod tests {
             vec![s("crash"), s("--bit-flips"), s("2.5")],
             vec![s("serve"), s("--workers"), s("zero")],
             vec![s("serve")],
+            vec![s("serve"), s("x.ibds"), s("--slow-log"), s("0")],
+            vec![s("serve"), s("x.ibds"), s("--trace-sample"), s("often")],
+            vec![s("top")],
+            vec![s("top"), s("--addr"), s("h:1"), s("--interval-ms"), s("0")],
+            vec![s("top"), s("--addr"), s("h:1"), s("--iterations"), s("0")],
+            vec![s("top"), s("stray"), s("--addr"), s("h:1")],
+            vec![s("stats"), s("x.ibds"), s("--addr"), s("h:1")],
+            vec![
+                s("query"),
+                s("x.ibds"),
+                s("a = 1"),
+                s("--addr"),
+                s("h:1"),
+                s("--index"),
+                s("x.bre"),
+            ],
+            vec![
+                s("query"),
+                s("x.ibds"),
+                s("a = 1"),
+                s("--addr"),
+                s("h:1"),
+                s("--profile"),
+            ],
+            vec![
+                s("query"),
+                s("--data-dir"),
+                s("d"),
+                s("a = 1"),
+                s("--addr"),
+                s("h:1"),
+            ],
             vec![s("frobnicate")],
         ];
         for args in usage_cases {
@@ -1441,6 +1811,116 @@ mod tests {
         drop(client);
         server.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_views_and_top_poll_a_live_server() {
+        let s = |x: &str| x.to_string();
+        let data = census_scaled(500, 11);
+        let db = ConcurrentDb::from_sharded(ShardedDb::new(data.clone(), 128));
+        let config = ibis::server::ServerConfig {
+            workers: 2,
+            trace_sample: 1,
+            ..Default::default()
+        };
+        let handle = ibis::server::Server::start(Arc::new(db), "127.0.0.1:0", config).unwrap();
+        let addr = handle.addr().to_string();
+        let mut client = ibis::server::Client::connect(&addr).unwrap();
+        let q = RangeQuery::new(vec![Predicate::range(0, 1, 2)], MissingPolicy::IsMatch).unwrap();
+        for _ in 0..5 {
+            client.count(&q, 10_000).unwrap();
+        }
+        // `ibis query --addr` sends traffic through the CLI path: FILE
+        // supplies the schema, the answer comes from the server.
+        let dir = std::env::temp_dir().join(format!("ibis_cli_netq_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("d.ibds");
+        data.save(&file).unwrap();
+        let fpath = file.to_str().unwrap().to_string();
+        let query_text = format!("{} between 1 and 2", data.column(0).name());
+        run(&[
+            s("query"),
+            fpath.clone(),
+            query_text.clone(),
+            s("--addr"),
+            addr.clone(),
+            s("--count"),
+        ])
+        .unwrap();
+        run(&[
+            s("query"),
+            fpath,
+            query_text,
+            s("--addr"),
+            addr.clone(),
+            s("--limit"),
+            s("2"),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        for view in [None, Some("--json"), Some("--prom"), Some("--slow")] {
+            let mut args = vec![s("stats"), s("--addr"), addr.clone()];
+            if let Some(v) = view {
+                args.push(s(v));
+            }
+            run(&args).unwrap_or_else(|e| panic!("stats {view:?} failed: {e:?}"));
+        }
+        run(&[
+            s("top"),
+            s("--addr"),
+            addr.clone(),
+            s("--interval-ms"),
+            s("5"),
+            s("--iterations"),
+            s("2"),
+        ])
+        .unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn server_stat_views_render_the_wire_report() {
+        let report = ibis::server::StatsReport {
+            watermark: 42,
+            queue_depth: 3,
+            queue_high_water: 64,
+            workers: 4,
+            workers_busy: 2,
+            uptime_ms: 34_200,
+            metrics_json: String::new(),
+            slow_queries: vec![ibis::server::SlowQuery {
+                request_id: 17,
+                watermark: 42,
+                plan: "a0∈[1,3] (IsNotMatch)".into(),
+                queue_us: 120,
+                exec_us: 3400,
+                total_us: 3520,
+                counters: vec![("bitmaps_accessed".into(), 8)],
+                phases: vec![ibis::server::SlowPhase {
+                    name: "db.shard".into(),
+                    spans: 4,
+                    total_ns: 3_200_000,
+                    counters: vec![("bitmaps_accessed".into(), 8)],
+                }],
+            }],
+        };
+        let mut snap = ibis::obs::Snapshot::default();
+        snap.counters.insert("server.requests".into(), 100);
+        snap.counters.insert("server.admitted".into(), 95);
+        snap.counters.insert("server.shed_overload".into(), 5);
+        let summary = render_server_stats("h:1", &report, &snap);
+        assert!(summary.contains("watermark 42"), "{summary}");
+        assert!(summary.contains("queue 3 (high-water 64)"), "{summary}");
+        assert!(summary.contains("95 admitted, 5 shed"), "{summary}");
+        let slow = render_slow_queries(&report.slow_queries);
+        assert!(slow.contains("request 17"), "{slow}");
+        assert!(slow.contains("queue 120 µs + exec 3.4 ms"), "{slow}");
+        assert!(slow.contains("db.shard"), "{slow}");
+        assert!(slow.contains("bitmaps_accessed=8"), "{slow}");
+        let frame = render_top("h:1", &report, &snap);
+        assert!(frame.starts_with("ibis top — h:1"), "{frame}");
+        assert!(frame.contains("slow queries (worst 1):"), "{frame}");
+        assert!(render_slow_queries(&[]).contains("log is empty"));
     }
 
     #[test]

@@ -202,7 +202,13 @@ fn db_execution_emits_plan_and_delta_spans() {
     assert!(names.contains(&"db.plan"), "{names:?}");
     assert!(names.contains(&"db.delta"), "{names:?}");
     let delta = snap.spans.iter().find(|s| s.name == "db.delta").unwrap();
-    assert_eq!(delta.fields, vec![("delta_rows".to_string(), 1)]);
+    assert_eq!(
+        delta.fields,
+        vec![
+            ("delta_rows".to_string(), 1),
+            ("entries_scanned".to_string(), 1),
+        ]
+    );
     // Sanity: answers unaffected by recording.
     assert_eq!(db.execute_threads(&q, 2).unwrap(), expected);
 }
