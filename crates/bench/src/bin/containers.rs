@@ -1,0 +1,26 @@
+//! Regenerates the `containers` experiment (see DESIGN.md §17): the
+//! adaptive-container size + query-time ablation across bit-vector
+//! backends at varying missing rates. Honours IBIS_ROWS / IBIS_QUERIES /
+//! IBIS_SEED; `--test` runs the whole sweep once at smoke scale (seconds,
+//! not minutes) — the mode CI's bench-smoke job uses to keep
+//! `results/containers.csv` fresh without paying for full measurement.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => ibis_bench::run_experiment_main("containers"),
+        ["--test"] => {
+            let scale = ibis_bench::config::Scale::smoke();
+            eprintln!("running containers at smoke scale {scale:?}");
+            for table in ibis_bench::experiments::containers::run(&scale) {
+                table
+                    .emit(std::path::Path::new("results"))
+                    .expect("write results/");
+            }
+        }
+        _ => {
+            eprintln!("usage: containers [--test]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! ablations. See DESIGN.md §3 for the experiment index.
 
 pub mod ablations;
+pub mod containers;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
@@ -36,5 +37,6 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ablation_vaplus", ablations::vaplus),
         ("ablation_semantics", ablations::semantics),
         ("ablation_relatedwork", ablations::related_work),
+        ("containers", containers::run),
     ]
 }

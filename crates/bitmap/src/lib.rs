@@ -23,6 +23,9 @@
 //!
 //! Extras beyond the paper's core:
 //!
+//! * [`AdaptiveBitmapIndex`] — the equality encoding stored in
+//!   [`ibis_bitvec::Adaptive`] roaring-style containers, with a
+//!   container-exact work-accounting driver (see its module docs);
 //! * [`cost::QueryCost`] — machine-independent work counters (bitmaps
 //!   touched, logical ops) used by the benchmark harness alongside
 //!   wall-clock time;
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod bee;
 mod bie;
 mod bre;
@@ -62,6 +66,7 @@ pub mod rejected;
 pub mod reorder;
 pub mod size;
 
+pub use adaptive::AdaptiveBitmapIndex;
 pub use bee::EqualityBitmapIndex;
 pub use bie::IntervalBitmapIndex;
 pub use bre::RangeBitmapIndex;

@@ -1,0 +1,1189 @@
+//! Roaring-style adaptive container bitmaps.
+//!
+//! An [`Adaptive`] vector splits its bit space into chunks of 2^16
+//! positions and stores each chunk in whichever of three container shapes
+//! is smallest for that chunk's population (the per-chunk adaptation rule
+//! of Chambi et al.'s Roaring bitmaps, applied to the paper's
+//! missing-value bitmaps):
+//!
+//! * **array** — the sorted `u16` positions of the set bits; chosen for
+//!   sparse chunks (≤ [`ARRAY_MAX`] bits set) at 2 bytes per set bit;
+//! * **bitmap** — 1024 raw `u64` words; chosen for dense, incompressible
+//!   chunks at a flat 8 KiB, operated on by the [`crate::kernel`] wide
+//!   kernels;
+//! * **run** — sorted `(start, end)` intervals; chosen for clustered
+//!   chunks at 4 bytes per run.
+//!
+//! Logical operations dispatch on the container *pair* (array∩array is a
+//! sorted merge, array∩bitmap probes bits, bitmap∩bitmap is one u64×8
+//! kernel pass, runs intersect as intervals) and every result is
+//! re-optimized, so the representation keeps adapting as predicates
+//! combine. The `*_counted` variants report exactly which containers were
+//! touched — the [`OpTally`] feeds the per-container-kind work counters
+//! that `ibis query --profile` surfaces.
+//!
+//! ```
+//! use ibis_bitvec::{Adaptive, BitStore, BitVec64, ContainerKind, OpTally};
+//!
+//! // 2^20 bits: a sparse chunk, then a solid run — each chunk picks its
+//! // own shape.
+//! let mut plain = BitVec64::zeros(1 << 20);
+//! plain.set(40, true);
+//! for i in (1 << 16)..(1 << 16) + 50_000 {
+//!     plain.set(i, true);
+//! }
+//! let a = Adaptive::from_bitvec(&plain);
+//! assert_eq!(a.container_kind(0), Some(ContainerKind::Array));
+//! assert_eq!(a.container_kind(1), Some(ContainerKind::Run));
+//! assert!(a.size_bytes() < 200); // vs 128 KiB uncompressed
+//!
+//! // Counted operations say exactly what was read.
+//! let mut tally = OpTally::default();
+//! let both = a.and_counted(&a, &mut tally);
+//! assert_eq!(both.count_ones(), 50_001);
+//! assert_eq!(tally.containers(), 32); // 16 chunks × 2 operands
+//! ```
+
+use crate::{kernel, BitStore, BitVec64};
+
+/// Bits per chunk (one container covers this many positions).
+pub const CHUNK_BITS: usize = 1 << 16;
+/// `u64` words per fully-materialized chunk.
+const CHUNK_WORDS: usize = CHUNK_BITS / 64;
+/// Maximum set bits a chunk may hold in array form; above this a bitmap
+/// (8 KiB) is no larger than the array would be.
+pub const ARRAY_MAX: usize = 4096;
+
+/// The shape an [`Adaptive`] chunk is currently stored in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// Sorted `u16` positions (sparse chunks).
+    Array,
+    /// 1024 raw `u64` words (dense chunks).
+    Bitmap,
+    /// Sorted disjoint `(start, end)` intervals (clustered chunks).
+    Run,
+}
+
+/// Exact read accounting for counted container operations.
+///
+/// `words` is the number of `u64`-word-equivalents of container payload
+/// read (arrays and runs count their `u16` payload packed four / two to a
+/// word); the per-kind fields count operand containers touched, by their
+/// shape. These are the numbers behind the `containers_*` work counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpTally {
+    /// `u64`-word-equivalents of container payload read.
+    pub words: u64,
+    /// Array-shaped operand containers touched.
+    pub array: u64,
+    /// Bitmap-shaped operand containers touched.
+    pub bitmap: u64,
+    /// Run-shaped operand containers touched.
+    pub run: u64,
+}
+
+impl OpTally {
+    /// Total operand containers touched, over all three kinds.
+    pub fn containers(&self) -> u64 {
+        self.array + self.bitmap + self.run
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Container {
+    /// Sorted ascending, strictly increasing, `len ≤ ARRAY_MAX`.
+    Array(Vec<u16>),
+    /// Exactly `CHUNK_WORDS` words; padding past the chunk's valid bits is
+    /// zero.
+    Bitmap(Vec<u64>),
+    /// Sorted, disjoint `(start, end)` inclusive intervals.
+    Run(Vec<(u16, u16)>),
+}
+
+/// A bit vector stored as one adaptive container per 2^16-bit chunk.
+///
+/// Implements [`BitStore`], so every bitmap index in `ibis-bitmap` can be
+/// instantiated over it; the dedicated `AdaptiveBitmapIndex` additionally
+/// uses the `*_counted` operations for exact per-container profiling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adaptive {
+    n_bits: usize,
+    containers: Vec<Container>,
+}
+
+/// Runs of consecutive ones in a word slice (number of 0→1 transitions).
+fn count_run_starts(words: &[u64]) -> usize {
+    let mut prev = 0u64;
+    let mut runs = 0usize;
+    for &w in words {
+        runs += (w & !((w << 1) | prev)).count_ones() as usize;
+        prev = w >> 63;
+    }
+    runs
+}
+
+/// Representation chosen by the per-chunk adaptation rule: the smallest of
+/// `2·card` (array, only when `card ≤ ARRAY_MAX`), `4·runs` (run) and the
+/// flat 8 KiB bitmap; ties prefer array, then run.
+fn choose_kind(card: usize, runs: usize) -> ContainerKind {
+    let array = if card <= ARRAY_MAX {
+        2 * card
+    } else {
+        usize::MAX
+    };
+    let run = 4 * runs;
+    let bitmap = CHUNK_WORDS * 8;
+    if array <= run && array <= bitmap {
+        ContainerKind::Array
+    } else if run < bitmap {
+        ContainerKind::Run
+    } else {
+        ContainerKind::Bitmap
+    }
+}
+
+fn words_to_array(words: &[u64]) -> Vec<u16> {
+    let mut out = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            let b = w.trailing_zeros();
+            w &= w - 1;
+            out.push((wi * 64) as u16 + b as u16);
+        }
+    }
+    out
+}
+
+fn words_to_runs(words: &[u64]) -> Vec<(u16, u16)> {
+    let mut starts: Vec<u16> = Vec::new();
+    let mut prev = 0u64;
+    for (wi, &w) in words.iter().enumerate() {
+        let mut m = w & !((w << 1) | prev);
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            starts.push((wi * 64) as u16 + b as u16);
+        }
+        prev = w >> 63;
+    }
+    let mut ends: Vec<u16> = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let next_low = words.get(wi + 1).map_or(0, |n| n & 1);
+        let mut m = w & !(w >> 1);
+        if next_low == 1 {
+            m &= !(1u64 << 63);
+        }
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            ends.push((wi * 64) as u16 + b as u16);
+        }
+    }
+    debug_assert_eq!(starts.len(), ends.len());
+    starts.into_iter().zip(ends).collect()
+}
+
+fn set_range(words: &mut [u64], start: usize, end: usize) {
+    let (ws, we) = (start / 64, end / 64);
+    if ws == we {
+        words[ws] |= (!0u64 << (start % 64)) & (!0u64 >> (63 - end % 64));
+        return;
+    }
+    words[ws] |= !0u64 << (start % 64);
+    for w in &mut words[ws + 1..we] {
+        *w = !0;
+    }
+    words[we] |= !0u64 >> (63 - end % 64);
+}
+
+impl Container {
+    fn from_words(words: &[u64]) -> Container {
+        debug_assert_eq!(words.len(), CHUNK_WORDS);
+        let card = kernel::popcount_words(words);
+        let runs = count_run_starts(words);
+        match choose_kind(card, runs) {
+            ContainerKind::Array => Container::Array(words_to_array(words)),
+            ContainerKind::Run => Container::Run(words_to_runs(words)),
+            ContainerKind::Bitmap => Container::Bitmap(words.to_vec()),
+        }
+    }
+
+    /// Materializes into a full chunk's worth of words.
+    fn write_words(&self, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), CHUNK_WORDS);
+        out.fill(0);
+        match self {
+            Container::Array(v) => {
+                for &p in v {
+                    out[p as usize / 64] |= 1u64 << (p % 64);
+                }
+            }
+            Container::Bitmap(w) => out.copy_from_slice(w),
+            Container::Run(runs) => {
+                for &(s, e) in runs {
+                    set_range(out, s as usize, e as usize);
+                }
+            }
+        }
+    }
+
+    fn kind(&self) -> ContainerKind {
+        match self {
+            Container::Array(_) => ContainerKind::Array,
+            Container::Bitmap(_) => ContainerKind::Bitmap,
+            Container::Run(_) => ContainerKind::Run,
+        }
+    }
+
+    fn cardinality(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap(w) => kernel::popcount_words(w),
+            Container::Run(runs) => runs.iter().map(|&(s, e)| e as usize - s as usize + 1).sum(),
+        }
+    }
+
+    /// `u64`-word-equivalents of payload a reader touches.
+    fn size_words(&self) -> u64 {
+        match self {
+            Container::Array(v) => v.len().div_ceil(4) as u64,
+            Container::Bitmap(_) => CHUNK_WORDS as u64,
+            Container::Run(runs) => runs.len().div_ceil(2) as u64,
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            Container::Array(v) => 2 * v.len(),
+            Container::Bitmap(_) => 8 * CHUNK_WORDS,
+            Container::Run(runs) => 4 * runs.len(),
+        }
+    }
+
+    /// Re-applies the adaptation rule to an op result.
+    fn optimize(self) -> Container {
+        let (card, runs) = match &self {
+            Container::Array(v) => {
+                let mut runs = 0usize;
+                let mut prev: Option<u16> = None;
+                for &p in v {
+                    if prev != p.checked_sub(1) {
+                        runs += 1;
+                    }
+                    prev = Some(p);
+                }
+                (v.len(), runs)
+            }
+            Container::Run(r) => (
+                r.iter().map(|&(s, e)| e as usize - s as usize + 1).sum(),
+                r.len(),
+            ),
+            Container::Bitmap(w) => (kernel::popcount_words(w), count_run_starts(w)),
+        };
+        let want = choose_kind(card, runs);
+        if want == self.kind() {
+            return self;
+        }
+        let mut words = vec![0u64; CHUNK_WORDS];
+        self.write_words(&mut words);
+        match want {
+            ContainerKind::Array => Container::Array(words_to_array(&words)),
+            ContainerKind::Run => Container::Run(words_to_runs(&words)),
+            ContainerKind::Bitmap => Container::Bitmap(words),
+        }
+    }
+
+    fn and(&self, other: &Container) -> Container {
+        use Container::*;
+        match (self, other) {
+            (Array(a), Array(b)) => {
+                let (mut i, mut j) = (0, 0);
+                let mut out = Vec::new();
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                Array(out).optimize()
+            }
+            (Array(a), Bitmap(w)) | (Bitmap(w), Array(a)) => {
+                let out = a
+                    .iter()
+                    .copied()
+                    .filter(|&p| w[p as usize / 64] >> (p % 64) & 1 == 1)
+                    .collect();
+                Array(out).optimize()
+            }
+            (Array(a), Run(runs)) | (Run(runs), Array(a)) => {
+                let mut out = Vec::new();
+                let mut ri = 0usize;
+                for &p in a {
+                    while ri < runs.len() && runs[ri].1 < p {
+                        ri += 1;
+                    }
+                    if ri < runs.len() && runs[ri].0 <= p {
+                        out.push(p);
+                    }
+                }
+                Array(out).optimize()
+            }
+            (Bitmap(x), Bitmap(y)) => {
+                let mut out = vec![0u64; CHUNK_WORDS];
+                kernel::zip_words(x, y, &mut out, |a, b| a & b);
+                Container::from_words(&out)
+            }
+            (Bitmap(w), Run(runs)) | (Run(runs), Bitmap(w)) => {
+                let mut out = vec![0u64; CHUNK_WORDS];
+                for &(s, e) in runs {
+                    set_range(&mut out, s as usize, e as usize);
+                }
+                kernel::zip_words_in_place(&mut out, w, |a, b| a & b);
+                Container::from_words(&out)
+            }
+            (Run(a), Run(b)) => {
+                let (mut i, mut j) = (0, 0);
+                let mut out = Vec::new();
+                while i < a.len() && j < b.len() {
+                    let s = a[i].0.max(b[j].0);
+                    let e = a[i].1.min(b[j].1);
+                    if s <= e {
+                        out.push((s, e));
+                    }
+                    if a[i].1 <= b[j].1 {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                Run(out).optimize()
+            }
+        }
+    }
+
+    fn or(&self, other: &Container) -> Container {
+        use Container::*;
+        match (self, other) {
+            (Array(a), Array(b)) => {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() || j < b.len() {
+                    let next = match (a.get(i), b.get(j)) {
+                        (Some(&x), Some(&y)) if x == y => {
+                            i += 1;
+                            j += 1;
+                            x
+                        }
+                        (Some(&x), Some(&y)) if x < y => {
+                            i += 1;
+                            x
+                        }
+                        (_, Some(&y)) => {
+                            j += 1;
+                            y
+                        }
+                        (Some(&x), None) => {
+                            i += 1;
+                            x
+                        }
+                        (None, None) => unreachable!(),
+                    };
+                    out.push(next);
+                }
+                Array(out).optimize()
+            }
+            (Array(a), Bitmap(w)) | (Bitmap(w), Array(a)) => {
+                let mut out = w.clone();
+                for &p in a {
+                    out[p as usize / 64] |= 1u64 << (p % 64);
+                }
+                Container::from_words(&out)
+            }
+            (Run(a), Run(b)) => {
+                let mut merged: Vec<(u16, u16)> = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() || j < b.len() {
+                    let take_a = j >= b.len() || (i < a.len() && a[i].0 <= b[j].0);
+                    let (s, e) = if take_a {
+                        i += 1;
+                        a[i - 1]
+                    } else {
+                        j += 1;
+                        b[j - 1]
+                    };
+                    match merged.last_mut() {
+                        Some(last) if s as usize <= last.1 as usize + 1 => {
+                            last.1 = last.1.max(e);
+                        }
+                        _ => merged.push((s, e)),
+                    }
+                }
+                Run(merged).optimize()
+            }
+            (Bitmap(x), Bitmap(y)) => {
+                let mut out = vec![0u64; CHUNK_WORDS];
+                kernel::zip_words(x, y, &mut out, |a, b| a | b);
+                Container::from_words(&out)
+            }
+            (lhs, rhs) => {
+                // Remaining mixed shapes (run×array, run×bitmap): materialize
+                // and re-optimize.
+                let mut out = vec![0u64; CHUNK_WORDS];
+                lhs.write_words(&mut out);
+                let mut rhs_words = vec![0u64; CHUNK_WORDS];
+                rhs.write_words(&mut rhs_words);
+                kernel::zip_words_in_place(&mut out, &rhs_words, |a, b| a | b);
+                Container::from_words(&out)
+            }
+        }
+    }
+}
+
+impl Adaptive {
+    /// Encodes an uncompressed bit vector, picking each chunk's container
+    /// by the adaptation rule.
+    pub fn encode(bits: &BitVec64) -> Adaptive {
+        let n_bits = bits.len();
+        let words = bits.words();
+        let n_chunks = n_bits.div_ceil(CHUNK_BITS);
+        let mut containers = Vec::with_capacity(n_chunks);
+        let mut scratch = vec![0u64; CHUNK_WORDS];
+        for c in 0..n_chunks {
+            let lo = c * CHUNK_WORDS;
+            let hi = (lo + CHUNK_WORDS).min(words.len());
+            scratch[..hi - lo].copy_from_slice(&words[lo..hi]);
+            scratch[hi - lo..].fill(0);
+            containers.push(Container::from_words(&scratch));
+        }
+        Adaptive { n_bits, containers }
+    }
+
+    /// Decodes back to an uncompressed bit vector.
+    pub fn decode(&self) -> BitVec64 {
+        let mut words = vec![0u64; self.n_bits.div_ceil(64)];
+        let mut scratch = vec![0u64; CHUNK_WORDS];
+        for (c, cont) in self.containers.iter().enumerate() {
+            cont.write_words(&mut scratch);
+            let lo = c * CHUNK_WORDS;
+            let hi = (lo + CHUNK_WORDS).min(words.len());
+            words[lo..hi].copy_from_slice(&scratch[..hi - lo]);
+        }
+        BitVec64::from_raw_words(words, self.n_bits).expect("containers stay within bounds")
+    }
+
+    /// Number of chunk containers (`⌈len / 2^16⌉`).
+    pub fn n_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// The shape chunk `i` is stored in, or `None` past the end.
+    pub fn container_kind(&self, i: usize) -> Option<ContainerKind> {
+        self.containers.get(i).map(|c| c.kind())
+    }
+
+    /// How many chunks currently use each shape: `(array, bitmap, run)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.containers {
+            match c.kind() {
+                ContainerKind::Array => counts.0 += 1,
+                ContainerKind::Bitmap => counts.1 += 1,
+                ContainerKind::Run => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Accounts a full read of this vector (the fetch side of a query)
+    /// into `tally`.
+    pub fn tally_read(&self, tally: &mut OpTally) {
+        for c in &self.containers {
+            tally.words += c.size_words();
+            match c.kind() {
+                ContainerKind::Array => tally.array += 1,
+                ContainerKind::Bitmap => tally.bitmap += 1,
+                ContainerKind::Run => tally.run += 1,
+            }
+        }
+    }
+
+    fn binary_counted(
+        &self,
+        other: &Adaptive,
+        tally: &mut OpTally,
+        f: impl Fn(&Container, &Container) -> Container,
+    ) -> Adaptive {
+        assert_eq!(
+            self.n_bits, other.n_bits,
+            "bit vectors must have equal length"
+        );
+        let containers = self
+            .containers
+            .iter()
+            .zip(&other.containers)
+            .map(|(a, b)| {
+                for c in [a, b] {
+                    tally.words += c.size_words();
+                    match c.kind() {
+                        ContainerKind::Array => tally.array += 1,
+                        ContainerKind::Bitmap => tally.bitmap += 1,
+                        ContainerKind::Run => tally.run += 1,
+                    }
+                }
+                f(a, b)
+            })
+            .collect();
+        Adaptive {
+            n_bits: self.n_bits,
+            containers,
+        }
+    }
+
+    /// Bitwise AND, recording exactly which containers were read.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn and_counted(&self, other: &Adaptive, tally: &mut OpTally) -> Adaptive {
+        self.binary_counted(other, tally, Container::and)
+    }
+
+    /// Bitwise OR, recording exactly which containers were read.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn or_counted(&self, other: &Adaptive, tally: &mut OpTally) -> Adaptive {
+        self.binary_counted(other, tally, Container::or)
+    }
+
+    /// Valid bits in chunk `c`.
+    fn chunk_bits(&self, c: usize) -> usize {
+        (self.n_bits - c * CHUNK_BITS).min(CHUNK_BITS)
+    }
+
+    fn via_words(&self, other: Option<&Adaptive>, op: impl Fn(&mut [u64], &[u64])) -> Adaptive {
+        if let Some(o) = other {
+            assert_eq!(self.n_bits, o.n_bits, "bit vectors must have equal length");
+        }
+        let mut a = vec![0u64; CHUNK_WORDS];
+        let mut b = vec![0u64; CHUNK_WORDS];
+        let containers = self
+            .containers
+            .iter()
+            .enumerate()
+            .map(|(c, cont)| {
+                cont.write_words(&mut a);
+                match other {
+                    Some(o) => o.containers[c].write_words(&mut b),
+                    None => b.fill(0),
+                }
+                op(&mut a, &b);
+                // Mask padding past the final chunk's valid bits.
+                let valid = self.chunk_bits(c);
+                if valid < CHUNK_BITS {
+                    let (w, t) = (valid / 64, valid % 64);
+                    if t != 0 {
+                        a[w] &= (1u64 << t) - 1;
+                    }
+                    a[w + usize::from(t != 0)..].fill(0);
+                }
+                Container::from_words(&a)
+            })
+            .collect();
+        Adaptive {
+            n_bits: self.n_bits,
+            containers,
+        }
+    }
+}
+
+impl BitStore for Adaptive {
+    fn from_bitvec(bits: &BitVec64) -> Self {
+        Adaptive::encode(bits)
+    }
+
+    fn to_bitvec(&self) -> BitVec64 {
+        self.decode()
+    }
+
+    fn zeros(len: usize) -> Self {
+        Adaptive {
+            n_bits: len,
+            containers: vec![Container::Array(Vec::new()); len.div_ceil(CHUNK_BITS)],
+        }
+    }
+
+    fn ones(len: usize) -> Self {
+        let n_chunks = len.div_ceil(CHUNK_BITS);
+        let containers = (0..n_chunks)
+            .map(|c| {
+                let valid = (len - c * CHUNK_BITS).min(CHUNK_BITS);
+                Container::Run(vec![(0, (valid - 1) as u16)]).optimize()
+            })
+            .collect();
+        Adaptive {
+            n_bits: len,
+            containers,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.n_bits
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        self.and_counted(other, &mut OpTally::default())
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        self.or_counted(other, &mut OpTally::default())
+    }
+
+    fn xor(&self, other: &Self) -> Self {
+        self.via_words(Some(other), |a, b| {
+            kernel::zip_words_in_place(a, b, |x, y| x ^ y)
+        })
+    }
+
+    fn not(&self) -> Self {
+        self.via_words(None, |a, _| {
+            for w in a.iter_mut() {
+                *w = !*w;
+            }
+        })
+    }
+
+    fn count_ones(&self) -> usize {
+        self.containers.iter().map(Container::cardinality).sum()
+    }
+
+    fn ones_positions(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (c, cont) in self.containers.iter().enumerate() {
+            let base = (c * CHUNK_BITS) as u32;
+            match cont {
+                Container::Array(v) => out.extend(v.iter().map(|&p| base + p as u32)),
+                Container::Run(runs) => {
+                    for &(s, e) in runs {
+                        out.extend(base + s as u32..=base + e as u32);
+                    }
+                }
+                Container::Bitmap(w) => {
+                    for p in words_to_array(w) {
+                        out.push(base + p as u32);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Payload plus one kind tag per container — the honest encoded
+        // footprint, comparable with WAH/BBC word counts.
+        self.containers.iter().map(|c| c.payload_bytes() + 1).sum()
+    }
+
+    fn backend_name() -> &'static str {
+        "adaptive"
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        let pos = self.n_bits % CHUNK_BITS;
+        if pos == 0 {
+            // The chunk just completed stops growing: re-apply the
+            // adaptation rule to it once, then open a fresh chunk.
+            if let Some(last) = self.containers.last_mut() {
+                let prev = std::mem::replace(last, Container::Array(Vec::new()));
+                *last = prev.optimize();
+            }
+            self.containers.push(Container::Array(Vec::new()));
+        }
+        self.n_bits += 1;
+        if !bit {
+            return;
+        }
+        let last = self.containers.last_mut().expect("chunk opened above");
+        match last {
+            // Positions arrive in ascending order, so the array stays sorted.
+            Container::Array(v) if v.len() < ARRAY_MAX => v.push(pos as u16),
+            _ => {
+                let mut words = vec![0u64; CHUNK_WORDS];
+                last.write_words(&mut words);
+                words[pos / 64] |= 1u64 << (pos % 64);
+                *last = Container::Bitmap(words);
+            }
+        }
+    }
+
+    fn write_to(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        crate::io::write_u64(w, self.n_bits as u64)?;
+        crate::io::write_u64(w, self.containers.len() as u64)?;
+        for cont in &self.containers {
+            match cont {
+                Container::Array(v) => {
+                    w.write_all(&[0u8])?;
+                    crate::io::write_u32(w, v.len() as u32)?;
+                    for &p in v {
+                        w.write_all(&p.to_le_bytes())?;
+                    }
+                }
+                Container::Bitmap(words) => {
+                    w.write_all(&[1u8])?;
+                    crate::io::write_u32(w, words.len() as u32)?;
+                    for &word in words {
+                        crate::io::write_u64(w, word)?;
+                    }
+                }
+                Container::Run(runs) => {
+                    w.write_all(&[2u8])?;
+                    crate::io::write_u32(w, runs.len() as u32)?;
+                    for &(s, e) in runs {
+                        w.write_all(&s.to_le_bytes())?;
+                        w.write_all(&e.to_le_bytes())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_from(r: &mut dyn std::io::Read) -> std::io::Result<Self> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let read_u16 = |r: &mut dyn std::io::Read| -> std::io::Result<u16> {
+            let mut b = [0u8; 2];
+            r.read_exact(&mut b)?;
+            Ok(u16::from_le_bytes(b))
+        };
+        let n_bits = crate::io::read_u64(r)? as usize;
+        let n_containers = crate::io::read_u64(r)? as usize;
+        if n_containers != n_bits.div_ceil(CHUNK_BITS) {
+            return Err(bad("container count disagrees with bit length"));
+        }
+        // Every container is bounded (arrays ≤ 4096 entries, bitmaps exactly
+        // 1024 words, runs ≤ 2^15), so a lying count fails validation before
+        // any oversized allocation.
+        let mut containers = Vec::with_capacity(n_containers.min(1 << 16));
+        for c in 0..n_containers {
+            let valid = (n_bits - c * CHUNK_BITS).min(CHUNK_BITS);
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind)?;
+            let count = crate::io::read_u32(r)? as usize;
+            let cont = match kind[0] {
+                0 => {
+                    if count > ARRAY_MAX {
+                        return Err(bad("array container over capacity"));
+                    }
+                    let mut v = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        v.push(read_u16(r)?);
+                    }
+                    if v.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(bad("array container not strictly ascending"));
+                    }
+                    if v.last().is_some_and(|&p| p as usize >= valid) {
+                        return Err(bad("array position past the chunk's valid bits"));
+                    }
+                    Container::Array(v)
+                }
+                1 => {
+                    if count != CHUNK_WORDS {
+                        return Err(bad("bitmap container must hold exactly 1024 words"));
+                    }
+                    let mut words = Vec::with_capacity(CHUNK_WORDS);
+                    for _ in 0..CHUNK_WORDS {
+                        words.push(crate::io::read_u64(r)?);
+                    }
+                    if valid < CHUNK_BITS {
+                        let (w, t) = (valid / 64, valid % 64);
+                        let tail_ok = (t == 0 || words[w] >> t == 0)
+                            && words[w + usize::from(t != 0)..].iter().all(|&x| x == 0);
+                        if !tail_ok {
+                            return Err(bad("set bits past the chunk's valid bits"));
+                        }
+                    }
+                    Container::Bitmap(words)
+                }
+                2 => {
+                    if count > CHUNK_BITS / 2 {
+                        return Err(bad("run container over capacity"));
+                    }
+                    let mut runs = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let s = read_u16(r)?;
+                        let e = read_u16(r)?;
+                        if s > e {
+                            return Err(bad("run interval is inverted"));
+                        }
+                        runs.push((s, e));
+                    }
+                    if runs.windows(2).any(|w| w[0].1 >= w[1].0) {
+                        return Err(bad("run intervals unsorted or overlapping"));
+                    }
+                    if runs.last().is_some_and(|&(_, e)| e as usize >= valid) {
+                        return Err(bad("run interval past the chunk's valid bits"));
+                    }
+                    Container::Run(runs)
+                }
+                k => return Err(bad(&format!("unknown container kind {k}"))),
+            };
+            containers.push(cont);
+        }
+        Ok(Adaptive { n_bits, containers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(len: usize, ones: &[u32]) -> BitVec64 {
+        BitVec64::from_ones(len, ones.iter().copied())
+    }
+
+    #[test]
+    fn chunk_shapes_follow_the_adaptation_rule() {
+        let mut v = BitVec64::zeros(3 * CHUNK_BITS);
+        v.set(5, true); // chunk 0: 1 bit → array
+        for i in CHUNK_BITS..CHUNK_BITS + 10_000 {
+            v.set(i, true); // chunk 1: one long run
+        }
+        for i in (2 * CHUNK_BITS..3 * CHUNK_BITS).step_by(3) {
+            v.set(i, true); // chunk 2: ~21k scattered bits → bitmap
+        }
+        let a = Adaptive::encode(&v);
+        assert_eq!(a.container_kind(0), Some(ContainerKind::Array));
+        assert_eq!(a.container_kind(1), Some(ContainerKind::Run));
+        assert_eq!(a.container_kind(2), Some(ContainerKind::Bitmap));
+        assert_eq!(a.kind_counts(), (1, 1, 1));
+        assert_eq!(a.decode(), v);
+    }
+
+    #[test]
+    fn ops_match_plain_across_shape_pairs() {
+        // Build operands that pair every container shape with every other.
+        let len = 4 * CHUNK_BITS;
+        let mut a = BitVec64::zeros(len);
+        let mut b = BitVec64::zeros(len);
+        for c in 0..4 {
+            let base = c * CHUNK_BITS;
+            match c {
+                0 => {
+                    // array × run
+                    for i in 0..40 {
+                        a.set(base + i * 1000, true);
+                    }
+                    for i in 100..20_000 {
+                        b.set(base + i, true);
+                    }
+                }
+                1 => {
+                    // bitmap × bitmap
+                    for i in (0..CHUNK_BITS).step_by(3) {
+                        a.set(base + i, true);
+                    }
+                    for i in (0..CHUNK_BITS).step_by(5) {
+                        b.set(base + i, true);
+                    }
+                }
+                2 => {
+                    // run × bitmap
+                    for i in 1000..50_000 {
+                        a.set(base + i, true);
+                    }
+                    for i in (0..CHUNK_BITS).step_by(3) {
+                        b.set(base + i, true);
+                    }
+                }
+                _ => {
+                    // array × array
+                    for i in 0..30 {
+                        a.set(base + i * 7, true);
+                        b.set(base + i * 11, true);
+                    }
+                }
+            }
+        }
+        let (ea, eb) = (Adaptive::encode(&a), Adaptive::encode(&b));
+        assert_eq!(BitStore::and(&ea, &eb).decode(), a.and(&b));
+        assert_eq!(BitStore::or(&ea, &eb).decode(), a.or(&b));
+        assert_eq!(BitStore::xor(&ea, &eb).decode(), a.xor(&b));
+        assert_eq!(BitStore::not(&ea).decode(), a.not());
+    }
+
+    #[test]
+    fn results_readapt_their_shape() {
+        // Two dense bitmaps whose AND is empty: the result chunk must
+        // collapse back to an (empty) array, not stay a bitmap.
+        let len = CHUNK_BITS;
+        let mut a = BitVec64::zeros(len);
+        let mut b = BitVec64::zeros(len);
+        for i in (0..len).step_by(2) {
+            a.set(i, true);
+            b.set(i + 1, true);
+        }
+        let (ea, eb) = (Adaptive::encode(&a), Adaptive::encode(&b));
+        assert_eq!(ea.container_kind(0), Some(ContainerKind::Bitmap));
+        let anded = BitStore::and(&ea, &eb);
+        assert_eq!(anded.count_ones(), 0);
+        assert_eq!(anded.container_kind(0), Some(ContainerKind::Array));
+        // And their OR is all-ones → a single run.
+        let ored = BitStore::or(&ea, &eb);
+        assert_eq!(ored.container_kind(0), Some(ContainerKind::Run));
+        assert_eq!(ored.count_ones(), len);
+    }
+
+    #[test]
+    fn tallies_are_exact() {
+        let len = 2 * CHUNK_BITS;
+        let a = Adaptive::encode(&sparse(len, &[1, 9, 33, 70_000]));
+        let b = <Adaptive as BitStore>::ones(len);
+        let mut tally = OpTally::default();
+        let _ = a.and_counted(&b, &mut tally);
+        // a: two array containers (3 + 1 entries → 1 + 1 words);
+        // b: two run containers (1 run each → 1 + 1 words).
+        assert_eq!(tally.array, 2);
+        assert_eq!(tally.run, 2);
+        assert_eq!(tally.bitmap, 0);
+        assert_eq!(tally.words, 4);
+        assert_eq!(tally.containers(), 4);
+
+        let mut read = OpTally::default();
+        a.tally_read(&mut read);
+        assert_eq!((read.array, read.words), (2, 2));
+    }
+
+    #[test]
+    fn tail_chunk_is_masked() {
+        let len = CHUNK_BITS + 100;
+        let v = sparse(len, &[50, (CHUNK_BITS + 3) as u32]);
+        let a = Adaptive::encode(&v);
+        let n = BitStore::not(&a);
+        assert_eq!(n.count_ones(), len - 2);
+        assert_eq!(n.decode(), v.not());
+        let ones = <Adaptive as BitStore>::ones(len);
+        assert_eq!(ones.count_ones(), len);
+        assert_eq!(BitStore::xor(&ones, &a).count_ones(), len - 2);
+    }
+
+    #[test]
+    fn zero_length_and_empty() {
+        let z = <Adaptive as BitStore>::zeros(0);
+        assert!(BitStore::is_empty(&z));
+        assert_eq!(z.n_containers(), 0);
+        assert_eq!(BitStore::and(&z, &z).count_ones(), 0);
+        let z10 = <Adaptive as BitStore>::zeros(10);
+        assert_eq!(z10.count_ones(), 0);
+        assert_eq!(BitStore::not(&z10).count_ones(), 10);
+    }
+
+    #[test]
+    fn ones_positions_ascending_across_chunks() {
+        let pos = [0u32, 65_535, 65_536, 70_000, 200_000];
+        let a = Adaptive::encode(&sparse(3 * CHUNK_BITS + 7_000, &pos));
+        assert_eq!(BitStore::ones_positions(&a), pos.to_vec());
+        assert_eq!(BitStore::count_ones(&a), 5);
+    }
+
+    #[test]
+    fn size_favors_each_shape_where_it_should() {
+        // Sparse: array beats a raw bitmap by orders of magnitude.
+        let sparse_v = Adaptive::encode(&sparse(1 << 20, &[9, 100_000]));
+        assert!(BitStore::size_bytes(&sparse_v) < 100);
+        // Clustered: runs beat both.
+        let mut run_v = BitVec64::zeros(1 << 20);
+        for i in 10_000..600_000 {
+            run_v.set(i, true);
+        }
+        let run_e = Adaptive::encode(&run_v);
+        assert!(BitStore::size_bytes(&run_e) < 200);
+        // Alternating (incompressible): falls back to bitmaps ≈ raw size.
+        let mut alt = BitVec64::zeros(1 << 20);
+        for i in (0..1 << 20).step_by(2) {
+            alt.set(i, true);
+        }
+        let alt_e = Adaptive::encode(&alt);
+        assert!(BitStore::size_bytes(&alt_e) >= (1 << 20) / 8);
+    }
+
+    #[test]
+    fn push_bit_grows_via_reencode() {
+        let mut a = <Adaptive as BitStore>::zeros(0);
+        let mut plain = BitVec64::zeros(0);
+        for i in 0..200 {
+            let bit = i % 3 == 0;
+            BitStore::push_bit(&mut a, bit);
+            plain.push_bit(bit);
+        }
+        assert_eq!(a.decode(), plain);
+        assert_eq!(BitStore::len(&a), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let a = <Adaptive as BitStore>::zeros(10);
+        let b = <Adaptive as BitStore>::zeros(11);
+        let _ = BitStore::and(&a, &b);
+    }
+
+    #[test]
+    fn serialization_rejects_tampering() {
+        let v = sparse(2 * CHUNK_BITS, &[1, 2, 3, 70_000, 70_001]);
+        let a = Adaptive::encode(&v);
+        let mut buf: Vec<u8> = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        assert_eq!(
+            <Adaptive as BitStore>::read_from(&mut buf.as_slice()).unwrap(),
+            a
+        );
+        // Unknown container kind.
+        let mut bad = buf.clone();
+        bad[16] = 7;
+        assert!(<Adaptive as BitStore>::read_from(&mut bad.as_slice()).is_err());
+        // Lying container count.
+        let mut bad = buf.clone();
+        bad[8] = 9;
+        assert!(<Adaptive as BitStore>::read_from(&mut bad.as_slice()).is_err());
+        // Truncation.
+        let mut cut = buf.clone();
+        cut.truncate(buf.len() - 1);
+        assert!(<Adaptive as BitStore>::read_from(&mut cut.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_out_of_bounds_and_unsorted_payloads() {
+        // Hand-built image: 100 bits, one array container with position 100
+        // (past the valid 100 bits) must be rejected.
+        let mut buf: Vec<u8> = Vec::new();
+        crate::io::write_u64(&mut buf, 100).unwrap();
+        crate::io::write_u64(&mut buf, 1).unwrap();
+        buf.push(0u8);
+        crate::io::write_u32(&mut buf, 1).unwrap();
+        buf.extend_from_slice(&100u16.to_le_bytes());
+        assert!(<Adaptive as BitStore>::read_from(&mut buf.as_slice()).is_err());
+
+        // Unsorted array.
+        let mut buf: Vec<u8> = Vec::new();
+        crate::io::write_u64(&mut buf, 100).unwrap();
+        crate::io::write_u64(&mut buf, 1).unwrap();
+        buf.push(0u8);
+        crate::io::write_u32(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&3u16.to_le_bytes());
+        assert!(<Adaptive as BitStore>::read_from(&mut buf.as_slice()).is_err());
+
+        // Inverted run.
+        let mut buf: Vec<u8> = Vec::new();
+        crate::io::write_u64(&mut buf, 100).unwrap();
+        crate::io::write_u64(&mut buf, 1).unwrap();
+        buf.push(2u8);
+        crate::io::write_u32(&mut buf, 1).unwrap();
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&3u16.to_le_bytes());
+        assert!(<Adaptive as BitStore>::read_from(&mut buf.as_slice()).is_err());
+
+        // Array container claiming more than ARRAY_MAX entries: must fail
+        // on the cap, not allocate.
+        let mut buf: Vec<u8> = Vec::new();
+        crate::io::write_u64(&mut buf, 100).unwrap();
+        crate::io::write_u64(&mut buf, 1).unwrap();
+        buf.push(0u8);
+        crate::io::write_u32(&mut buf, u32::MAX).unwrap();
+        assert!(<Adaptive as BitStore>::read_from(&mut buf.as_slice()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Mixed-texture vectors: per-chunk biased fills, runs and scatters.
+    fn arb_textured() -> impl Strategy<Value = BitVec64> {
+        (
+            1usize..(2 * CHUNK_BITS + 1234),
+            proptest::collection::vec((0usize..3, any::<u64>()), 1..4),
+        )
+            .prop_map(|(len, chunks)| {
+                let mut v = BitVec64::zeros(len);
+                for (c, (texture, seed)) in chunks.into_iter().enumerate() {
+                    let base = c * CHUNK_BITS;
+                    if base >= len {
+                        break;
+                    }
+                    let top = (base + CHUNK_BITS).min(len);
+                    let mut x = seed | 1;
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    match texture {
+                        0 => {
+                            for _ in 0..(next() % 60) {
+                                v.set(base + (next() as usize % (top - base)), true);
+                            }
+                        }
+                        1 => {
+                            let s = base + next() as usize % (top - base);
+                            let e = (s + 1 + next() as usize % 30_000).min(top);
+                            for i in s..e {
+                                v.set(i, true);
+                            }
+                        }
+                        _ => {
+                            let step = 2 + (next() % 5) as usize;
+                            for i in (base..top).step_by(step) {
+                                v.set(i, true);
+                            }
+                        }
+                    }
+                }
+                v
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip(v in arb_textured()) {
+            let a = Adaptive::encode(&v);
+            prop_assert_eq!(a.decode(), v.clone());
+            prop_assert_eq!(BitStore::count_ones(&a), v.count_ones());
+            let mut buf: Vec<u8> = Vec::new();
+            a.write_to(&mut buf).unwrap();
+            prop_assert_eq!(<Adaptive as BitStore>::read_from(&mut buf.as_slice()).unwrap(), a);
+        }
+
+        #[test]
+        fn ops_agree_with_plain(a in arb_textured(), b in arb_textured()) {
+            let len = a.len().min(b.len());
+            let ta = BitVec64::from_ones(len, a.iter_ones().filter(|&p| (p as usize) < len));
+            let tb = BitVec64::from_ones(len, b.iter_ones().filter(|&p| (p as usize) < len));
+            let (ea, eb) = (Adaptive::encode(&ta), Adaptive::encode(&tb));
+            prop_assert_eq!(BitStore::and(&ea, &eb).decode(), ta.and(&tb));
+            prop_assert_eq!(BitStore::or(&ea, &eb).decode(), ta.or(&tb));
+            prop_assert_eq!(BitStore::xor(&ea, &eb).decode(), ta.xor(&tb));
+            prop_assert_eq!(BitStore::not(&ea).decode(), ta.not());
+        }
+
+        #[test]
+        fn mutated_image_never_panics(v in arb_textured(), pos in 0usize..4096, byte in any::<u8>()) {
+            let a = Adaptive::encode(&v);
+            let mut buf: Vec<u8> = Vec::new();
+            a.write_to(&mut buf).unwrap();
+            let i = pos % buf.len();
+            buf[i] ^= byte;
+            let _ = <Adaptive as BitStore>::read_from(&mut buf.as_slice());
+        }
+    }
+}

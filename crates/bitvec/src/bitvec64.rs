@@ -1,5 +1,6 @@
 //! Plain uncompressed bit vectors backed by `u64` words.
 
+use crate::kernel;
 use std::fmt;
 
 /// An uncompressed bit vector of fixed length with word-parallel logical
@@ -110,12 +111,8 @@ impl BitVec64 {
 
     fn zip_with(&self, other: &BitVec64, f: impl Fn(u64, u64) -> u64) -> BitVec64 {
         assert_eq!(self.len, other.len, "bit vectors must have equal length");
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut words = vec![0u64; self.words.len()];
+        kernel::zip_words(&self.words, &other.words, &mut words, f);
         let mut out = BitVec64 {
             words,
             len: self.len,
@@ -154,22 +151,18 @@ impl BitVec64 {
     /// accumulator on every dimension).
     pub fn and_assign(&mut self, other: &BitVec64) {
         assert_eq!(self.len, other.len, "bit vectors must have equal length");
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernel::zip_words_in_place(&mut self.words, &other.words, |a, b| a & b);
     }
 
     /// In-place OR.
     pub fn or_assign(&mut self, other: &BitVec64) {
         assert_eq!(self.len, other.len, "bit vectors must have equal length");
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernel::zip_words_in_place(&mut self.words, &other.words, |a, b| a | b);
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::popcount_words(&self.words)
     }
 
     /// Positions of set bits, ascending.

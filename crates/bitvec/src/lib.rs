@@ -12,12 +12,19 @@
 //! * [`Bbc`] — a byte-aligned bitmap code in the spirit of Antoshenkov's
 //!   BBC (the paper's future-work compression), likewise with
 //!   compressed-form operations;
+//! * [`Adaptive`] — a Roaring-style adaptive container backend: each
+//!   2^16-bit chunk is stored as a sorted position array, a raw bitmap, or
+//!   a run list — whichever is smallest — with container-vs-container
+//!   AND/OR kernels and exact per-container work accounting ([`OpTally`]);
+//! * [`kernel`] — the lane-unrolled word kernels (u64×8 with a portable
+//!   scalar fallback selected at build time) behind every bulk bitwise loop
+//!   in the crate;
 //! * [`BitStore`] — the trait the bitmap indexes are generic over, so every
 //!   index can be instantiated with any backend (the ablation benches sweep
-//!   all three).
+//!   all of them).
 //!
-//! All three stores agree bit-for-bit with each other; property tests in
-//! each module exercise that equivalence on random inputs.
+//! All stores agree bit-for-bit with each other; property tests in each
+//! module exercise that equivalence on random inputs.
 //!
 //! ```
 //! use ibis_bitvec::{BitStore, BitVec64, Wah};
@@ -36,12 +43,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod bbc;
 mod bitvec64;
 pub mod io;
+pub mod kernel;
 mod store;
 mod wah;
 
+pub use adaptive::{Adaptive, ContainerKind, OpTally, ARRAY_MAX, CHUNK_BITS};
 pub use bbc::Bbc;
 pub use bitvec64::BitVec64;
 pub use store::BitStore;

@@ -181,7 +181,7 @@ mod tests {
 #[cfg(test)]
 mod persist_tests {
     use super::*;
-    use crate::{Bbc, Wah};
+    use crate::{Adaptive, Bbc, Wah};
 
     fn sample() -> BitVec64 {
         let mut v = BitVec64::zeros(1000);
@@ -224,6 +224,11 @@ mod persist_tests {
     #[test]
     fn bbc_roundtrip() {
         roundtrip::<Bbc>();
+    }
+
+    #[test]
+    fn adaptive_roundtrip() {
+        roundtrip::<Adaptive>();
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! relies on ("Logical operations are performed over the compressed bitmaps
 //! resulting in another compressed bitmap").
 
-use crate::{BitStore, BitVec64};
+use crate::{kernel, BitStore, BitVec64};
 
 const GROUP_BITS: usize = 31;
 const LITERAL_MASK: u32 = 0x7FFF_FFFF;
@@ -176,6 +176,7 @@ impl Wah {
         let mut ca = Cursor::new(&self.words);
         let mut cb = Cursor::new(&other.words);
         let mut out = Builder::new();
+        let mut scratch: Vec<u32> = Vec::new();
         let mut remaining = self.n_bits.div_ceil(GROUP_BITS) as u64;
         while remaining > 0 {
             if ca.in_fill() && cb.in_fill() {
@@ -184,6 +185,22 @@ impl Wah {
                 out.push_run(w == LITERAL_MASK, w != 0 && w != LITERAL_MASK, w, n);
                 ca.consume(n);
                 cb.consume(n);
+                remaining -= n as u64;
+            } else if ca.on_literal() && cb.on_literal() {
+                // Both sides sit on a run of literal words: combine the
+                // whole common run in one lane-unrolled kernel pass instead
+                // of one group per loop iteration. This is the hot segment
+                // of fetch/AND-reduce on dense, incompressible bitmaps.
+                let ra = ca.literal_run();
+                let rb = cb.literal_run();
+                let n = ra.len().min(rb.len()).min(remaining as usize);
+                scratch.resize(n, 0);
+                kernel::zip_groups(&ra[..n], &rb[..n], &mut scratch, &op);
+                for &g in &scratch {
+                    out.push_group(g & LITERAL_MASK);
+                }
+                ca.advance_literals(n);
+                cb.advance_literals(n);
                 remaining -= n as u64;
             } else {
                 let ga = ca.take_group();
@@ -386,6 +403,12 @@ struct Cursor<'a> {
     fill_bit: bool,
     literal: u32,
     on_literal: bool,
+    /// One-past-the-end word index of the literal run containing the
+    /// current position, found lazily by [`Cursor::literal_run`] and cached
+    /// so a run truncated by the other operand is never rescanned (that
+    /// rescan is quadratic when a long literal run meets an alternating
+    /// fill/literal operand). Zero means "not computed for this run".
+    lit_run_end: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -397,6 +420,7 @@ impl<'a> Cursor<'a> {
             fill_bit: false,
             literal: 0,
             on_literal: false,
+            lit_run_end: 0,
         };
         c.load();
         c
@@ -436,6 +460,38 @@ impl<'a> Cursor<'a> {
     #[inline]
     fn fill_bit(&self) -> bool {
         self.fill_bit
+    }
+
+    #[inline]
+    fn on_literal(&self) -> bool {
+        self.on_literal
+    }
+
+    /// The run of consecutive literal words starting at the current
+    /// position (empty unless positioned on a literal). The slice borrows
+    /// the underlying encoding, not the cursor, so callers may keep it
+    /// across a subsequent [`Cursor::advance_literals`].
+    fn literal_run(&mut self) -> &'a [u32] {
+        if !self.on_literal {
+            return &[];
+        }
+        let start = self.idx - 1;
+        if self.lit_run_end <= start {
+            self.lit_run_end = self.words[start..]
+                .iter()
+                .position(|&w| w & FILL_FLAG != 0)
+                .map_or(self.words.len(), |p| start + p);
+        }
+        &self.words[start..self.lit_run_end]
+    }
+
+    /// Consumes `n ≥ 1` literal words previously observed via
+    /// [`Cursor::literal_run`].
+    #[inline]
+    fn advance_literals(&mut self, n: usize) {
+        debug_assert!(self.on_literal && n >= 1);
+        self.idx = self.idx - 1 + n;
+        self.load();
     }
 
     /// Consumes `n` groups from the current fill.

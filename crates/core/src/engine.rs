@@ -45,13 +45,19 @@ pub struct WorkCounters {
     pub rows_refined: usize,
     /// Refined candidates that turned out not to match.
     pub false_positives: usize,
+    /// Array-shaped containers touched (adaptive bitmap backend).
+    pub containers_array: usize,
+    /// Bitmap-shaped containers touched (adaptive bitmap backend).
+    pub containers_bitmap: usize,
+    /// Run-shaped containers touched (adaptive bitmap backend).
+    pub containers_run: usize,
 }
 
 impl WorkCounters {
     /// Counter field names, in declaration order — the shared vocabulary
     /// between [`WorkCounters::fields`], [`WorkCounters::field_mut`], the
     /// `Display` table, and the span fields profiles attach.
-    pub const FIELD_NAMES: [&'static str; 11] = [
+    pub const FIELD_NAMES: [&'static str; 14] = [
         "bitmaps_accessed",
         "logical_ops",
         "words_processed",
@@ -63,6 +69,9 @@ impl WorkCounters {
         "candidates",
         "rows_refined",
         "false_positives",
+        "containers_array",
+        "containers_bitmap",
+        "containers_run",
     ];
 
     /// All counters at zero.
@@ -103,7 +112,7 @@ impl WorkCounters {
     }
 
     /// Counter values in [`WorkCounters::FIELD_NAMES`] order.
-    pub fn fields(&self) -> [(&'static str, usize); 11] {
+    pub fn fields(&self) -> [(&'static str, usize); 14] {
         [
             ("bitmaps_accessed", self.bitmaps_accessed),
             ("logical_ops", self.logical_ops),
@@ -116,12 +125,15 @@ impl WorkCounters {
             ("candidates", self.candidates),
             ("rows_refined", self.rows_refined),
             ("false_positives", self.false_positives),
+            ("containers_array", self.containers_array),
+            ("containers_bitmap", self.containers_bitmap),
+            ("containers_run", self.containers_run),
         ]
     }
 
     /// Mutable access to a counter by its [`WorkCounters::FIELD_NAMES`]
     /// name; `None` for anything else. Lets profile readers rebuild a
-    /// counter set from named span fields without a 11-arm match at every
+    /// counter set from named span fields without a 14-arm match at every
     /// call site.
     pub fn field_mut(&mut self, name: &str) -> Option<&mut usize> {
         Some(match name {
@@ -136,6 +148,9 @@ impl WorkCounters {
             "candidates" => &mut self.candidates,
             "rows_refined" => &mut self.rows_refined,
             "false_positives" => &mut self.false_positives,
+            "containers_array" => &mut self.containers_array,
+            "containers_bitmap" => &mut self.containers_bitmap,
+            "containers_run" => &mut self.containers_run,
             _ => return None,
         })
     }
@@ -174,6 +189,13 @@ impl WorkCounters {
             candidates: self.candidates.saturating_sub(earlier.candidates),
             rows_refined: self.rows_refined.saturating_sub(earlier.rows_refined),
             false_positives: self.false_positives.saturating_sub(earlier.false_positives),
+            containers_array: self
+                .containers_array
+                .saturating_sub(earlier.containers_array),
+            containers_bitmap: self
+                .containers_bitmap
+                .saturating_sub(earlier.containers_bitmap),
+            containers_run: self.containers_run.saturating_sub(earlier.containers_run),
         }
     }
 
@@ -247,6 +269,9 @@ impl AddAssign for WorkCounters {
         self.candidates = self.candidates.saturating_add(rhs.candidates);
         self.rows_refined = self.rows_refined.saturating_add(rhs.rows_refined);
         self.false_positives = self.false_positives.saturating_add(rhs.false_positives);
+        self.containers_array = self.containers_array.saturating_add(rhs.containers_array);
+        self.containers_bitmap = self.containers_bitmap.saturating_add(rhs.containers_bitmap);
+        self.containers_run = self.containers_run.saturating_add(rhs.containers_run);
     }
 }
 

@@ -5,7 +5,8 @@
 use ibis_baseline::{BitstringAugmented, Mosaic, RTreeIncomplete, SequentialScan};
 use ibis_bitmap::rejected::{InBandMatchEquality, InBandNotMatchEquality};
 use ibis_bitmap::{
-    DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+    AdaptiveBitmapIndex, DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex,
+    RangeBitmapIndex,
 };
 use ibis_bitvec::{Bbc, BitVec64, Wah};
 use ibis_core::{AccessMethod, Column, Dataset};
@@ -25,6 +26,7 @@ pub fn methods(d: &Arc<Dataset>) -> Vec<Box<dyn AccessMethod>> {
         Box::new(RangeBitmapIndex::<Bbc>::build(d)),
         Box::new(IntervalBitmapIndex::<Wah>::build(d)),
         Box::new(DecomposedBitmapIndex::<Wah>::build(d)),
+        Box::new(AdaptiveBitmapIndex::build(d)),
         Box::new(InBandNotMatchEquality::<Wah>::build(d)),
         Box::new(VaFile::build(d).bind(Arc::clone(d))),
         Box::new(VaPlusFile::build(d).bind(Arc::clone(d))),
@@ -106,6 +108,15 @@ pub fn roundtripped(
             .map(|i| Box::new(i) as Box<dyn AccessMethod>),
         ),
         (
+            "adaptive/roundtrip",
+            roundtrip(
+                AdaptiveBitmapIndex::build(d),
+                |i, buf| i.write_to(buf),
+                |r| AdaptiveBitmapIndex::read_from(r),
+            )
+            .map(|i| Box::new(i) as Box<dyn AccessMethod>),
+        ),
+        (
             "va-file/roundtrip",
             roundtrip(
                 VaFile::build(d),
@@ -154,6 +165,13 @@ pub fn appended(d: &Arc<Dataset>) -> Vec<(&'static str, ibis_core::Result<Box<dy
         .try_for_each(|row| bre.append_row(row))
         .map(|()| Box::new(bre) as Box<dyn AccessMethod>);
     out.push(("bre-wah/appended", bre));
+
+    let mut adaptive = AdaptiveBitmapIndex::build(&empty);
+    let adaptive = rows
+        .iter()
+        .try_for_each(|row| adaptive.append_row(row))
+        .map(|()| Box::new(adaptive) as Box<dyn AccessMethod>);
+    out.push(("adaptive/appended", adaptive));
 
     let mut va = VaFile::build(&empty);
     let va = rows

@@ -123,29 +123,29 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
 
 /// Request kind tags.
 pub mod request_kind {
-    /// A [`Request::Query`].
+    /// A [`Request::Query`](super::Request::Query).
     pub const QUERY: u8 = 1;
-    /// A [`Request::Ping`].
+    /// A [`Request::Ping`](super::Request::Ping).
     pub const PING: u8 = 2;
-    /// A [`Request::Stats`].
+    /// A [`Request::Stats`](super::Request::Stats).
     pub const STATS: u8 = 3;
-    /// A [`Request::Health`].
+    /// A [`Request::Health`](super::Request::Health).
     pub const HEALTH: u8 = 4;
 }
 
 /// Response kind tags.
 pub mod response_kind {
-    /// A [`Response::Rows`].
+    /// A [`Response::Rows`](super::Response::Rows).
     pub const ROWS: u8 = 1;
-    /// A [`Response::Count`].
+    /// A [`Response::Count`](super::Response::Count).
     pub const COUNT: u8 = 2;
-    /// A [`Response::Error`].
+    /// A [`Response::Error`](super::Response::Error).
     pub const ERROR: u8 = 3;
-    /// A [`Response::Pong`].
+    /// A [`Response::Pong`](super::Response::Pong).
     pub const PONG: u8 = 4;
-    /// A [`Response::Stats`].
+    /// A [`Response::Stats`](super::Response::Stats).
     pub const STATS: u8 = 5;
-    /// A [`Response::Health`].
+    /// A [`Response::Health`](super::Response::Health).
     pub const HEALTH: u8 = 6;
 }
 

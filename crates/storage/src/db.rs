@@ -31,7 +31,8 @@
 
 use ibis_baseline::SequentialScan;
 use ibis_bitmap::{
-    DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+    AdaptiveBitmapIndex, DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex,
+    RangeBitmapIndex,
 };
 use ibis_bitvec::Wah;
 use ibis_core::synopsis::ShardSynopsis;
@@ -58,6 +59,11 @@ pub struct DbConfig {
     pub va: bool,
     /// Maintain a VA+-file (equi-depth bins for skewed data).
     pub vaplus: bool,
+    /// Maintain an adaptive-container equality index
+    /// ([`AdaptiveBitmapIndex`]): per-chunk array/bitmap/run containers
+    /// with container-exact work counters and a compression-scaled cost
+    /// estimate.
+    pub adaptive: bool,
 }
 
 impl Default for DbConfig {
@@ -85,6 +91,7 @@ impl DbConfig {
             decomposed: false,
             va: false,
             vaplus: false,
+            adaptive: false,
         }
     }
 
@@ -97,6 +104,7 @@ impl DbConfig {
             decomposed: true,
             va: true,
             vaplus: true,
+            adaptive: true,
         }
     }
 
@@ -117,12 +125,13 @@ impl DbConfig {
             | u8::from(self.decomposed) << 3
             | u8::from(self.va) << 4
             | u8::from(self.vaplus) << 5
+            | u8::from(self.adaptive) << 6
     }
 
     /// Inverse of [`DbConfig::to_bits`]; rejects unknown flag bits so a
     /// snapshot written by a future format can't silently misconfigure.
     pub(crate) fn from_bits(bits: u8) -> std::io::Result<DbConfig> {
-        if bits >= 1 << 6 {
+        if bits >= 1 << 7 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("unknown index-config bits {bits:#x}"),
@@ -135,6 +144,7 @@ impl DbConfig {
             decomposed: bits & 8 != 0,
             va: bits & 16 != 0,
             vaplus: bits & 32 != 0,
+            adaptive: bits & 64 != 0,
         })
     }
 }
@@ -236,6 +246,9 @@ fn build_methods(config: DbConfig, base: &Arc<Dataset>) -> Vec<Arc<dyn AccessMet
     }
     if config.decomposed {
         methods.push(Arc::new(DecomposedBitmapIndex::<Wah>::build(base)));
+    }
+    if config.adaptive {
+        methods.push(Arc::new(AdaptiveBitmapIndex::build(base)));
     }
     if config.va {
         methods.push(Arc::new(VaFile::build(base).bind(Arc::clone(base))));
@@ -1089,7 +1102,11 @@ mod tests {
     fn planner_prefers_interval_encoding_when_registered() {
         // The §6 acceptance case: interval encoding ties range encoding at
         // ≤ 3 bitmap reads per dimension but stores roughly half the
-        // bitmaps, so once registered it must win the size tie-break.
+        // bitmaps, so once registered it must win the size tie-break
+        // against range encoding. The adaptive index prices queries with
+        // its compression-scaled exact model rather than the uncompressed
+        // §6 bound, so with `all()` it undercuts both and takes the plan —
+        // the interval-vs-range ordering still shows in the candidates.
         let data = census_scaled(400, 407);
         let d = IncompleteDb::with_config(data, DbConfig::all());
         let attr = (0..d.n_attrs())
@@ -1102,7 +1119,7 @@ mod tests {
         )
         .unwrap();
         let plan = d.explain(&range).unwrap();
-        assert_eq!(plan.chosen, "bitmap-interval");
+        assert_eq!(plan.chosen, "bitmap-adaptive");
         let cost = |name: &str| {
             plan.candidates
                 .iter()
@@ -1111,9 +1128,59 @@ mod tests {
                 .estimated_cost
         };
         assert_eq!(cost("bitmap-interval"), cost("bitmap-range"));
-        // Points still go to equality encoding even with everything on.
+        assert!(cost("bitmap-adaptive") < cost("bitmap-interval"));
+        // Without the adaptive index the §6 winner is restored.
+        let derived = IncompleteDb::with_config(
+            census_scaled(400, 407),
+            DbConfig {
+                adaptive: false,
+                ..DbConfig::all()
+            },
+        );
+        assert_eq!(derived.explain(&range).unwrap().chosen, "bitmap-interval");
+        // Points still go to an equality encoding even with everything on
+        // (the adaptive index *is* equality-encoded).
         let point = RangeQuery::new(vec![Predicate::point(0, 1)], MissingPolicy::IsMatch).unwrap();
-        assert_eq!(d.explain(&point).unwrap().chosen, "bitmap-equality");
+        let chosen = d.explain(&point).unwrap().chosen;
+        assert!(
+            chosen == "bitmap-adaptive" || chosen == "bitmap-equality",
+            "point query planned on {chosen}"
+        );
+    }
+
+    #[test]
+    fn adaptive_config_plans_and_answers_like_the_rest() {
+        let data = census_scaled(300, 419);
+        let adaptive_only = IncompleteDb::with_config(
+            data.clone(),
+            DbConfig {
+                adaptive: true,
+                ..DbConfig::none()
+            },
+        );
+        assert_eq!(
+            adaptive_only.method_names(),
+            vec!["bitmap-adaptive", "sequential-scan"]
+        );
+        let reference = IncompleteDb::new(data.clone());
+        for policy in MissingPolicy::ALL {
+            let q = RangeQuery::new(
+                vec![Predicate::range(0, 1, 2), Predicate::range(1, 1, 3)],
+                policy,
+            )
+            .unwrap();
+            assert_eq!(adaptive_only.explain(&q).unwrap().chosen, "bitmap-adaptive");
+            assert_eq!(
+                adaptive_only.execute(&q).unwrap(),
+                reference.execute(&q).unwrap(),
+                "{policy}"
+            );
+            assert_eq!(
+                adaptive_only.execute(&q).unwrap(),
+                scan::execute(&data, &q),
+                "{policy}"
+            );
+        }
     }
 
     #[test]

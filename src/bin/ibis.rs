@@ -119,9 +119,15 @@ commands:
       latency quantiles, shed/expired counts); --json prints the metric
       registry as canonical JSON, --prom as Prometheus text exposition,
       --slow the server's slow-query log (worst requests with queue/exec
-      split and per-phase work-counter deltas)
-  index FILE --encoding bee|bre|bie|dec|va [--backend wah|bbc|plain] --out FILE
-      build and save an index (va ignores --backend)
+      split and per-phase work-counter deltas); the slow view is fed by
+      request tracing, so against a server running --trace-sample 0 it
+      is permanently empty
+  index FILE --encoding bee|bre|bie|dec|va|adaptive
+        [--backend wah|bbc|plain|adaptive] --out FILE
+      build and save an index (va ignores --backend; encoding adaptive
+      is the roaring-style container index with container-exact
+      counters and also ignores --backend, while backend adaptive
+      stores any bitmap encoding in adaptive containers)
   query FILE QUERY [--index IDXFILE] [--not-match] [--count] [--limit N]
         [--threads N] [--shard-rows N] [--profile] [--profile-json FILE]
         [--addr HOST:PORT [--deadline-ms MS]]
@@ -201,14 +207,18 @@ commands:
       queue past the high-water mark sheds with an explicit Overloaded
       error; runs until killed unless --duration-secs is given;
       --trace-sample N traces every Nth admitted request into the
-      slow-query log (0 disables, default 8), --slow-log N keeps the N
-      worst traced requests (default 16)
+      slow-query log (0 disables tracing — `stats --slow` and the top
+      dashboard's slow view then stay permanently empty, so an explicit
+      --slow-log alongside --trace-sample 0 is rejected as a usage
+      error), --slow-log N keeps the N worst traced requests
+      (default 16)
   top --addr HOST:PORT [--interval-ms MS] [--iterations N]
       live dashboard over the STATS protocol: polls a running server
       and redraws throughput, windowed p50/p99 latency, queue and
       worker gauges, shed/expired counts, the missing-policy split, and
       the worst slow queries; Ctrl-C to exit (or --iterations N to
-      stop after N polls)
+      stop after N polls); the slow-query panel mirrors `stats --slow`
+      and stays empty against a server running --trace-sample 0
 
 exit status: 0 on success, 1 on a command failure, 2 on a usage error
 (unknown command or flag value that does not parse)
@@ -423,8 +433,9 @@ fn index(args: &[String]) -> Result<(), CliError> {
                 "wah" => save_index(&$ty::<Wah>::build(&d), out),
                 "bbc" => save_index(&$ty::<Bbc>::build(&d), out),
                 "plain" => save_index(&$ty::<BitVec64>::build(&d), out),
+                "adaptive" => save_index(&$ty::<Adaptive>::build(&d), out),
                 other => Err(CliError::Usage(format!(
-                    "unknown backend {other:?} (wah|bbc|plain)"
+                    "unknown backend {other:?} (wah|bbc|plain|adaptive)"
                 ))),
             }
         };
@@ -439,13 +450,25 @@ fn index(args: &[String]) -> Result<(), CliError> {
         "bre" => save_bitmap!(RangeBitmapIndex)?,
         "bie" => save_bitmap!(IntervalBitmapIndex)?,
         "dec" => save_bitmap!(DecomposedBitmapIndex)?,
+        "adaptive" => {
+            let idx = AdaptiveBitmapIndex::build(&d);
+            idx.save(out).map_err(|e| e.to_string())?;
+            (idx.n_bitmaps(), idx.size_bytes())
+        }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown encoding {other:?} (bee|bre|bie|dec|va)"
+                "unknown encoding {other:?} (bee|bre|bie|dec|va|adaptive)"
             )))
         }
     };
     if n_bitmaps > 0 {
+        // Adaptive encoding carries its own container substrate; naming the
+        // (ignored) --backend default would mislabel the file.
+        let backend = if encoding == "adaptive" {
+            "containers"
+        } else {
+            backend
+        };
         println!(
             "wrote {encoding}/{backend} index: {n_bitmaps} bitmaps, {:.1} KB → {out}",
             bytes as f64 / 1024.0
@@ -532,6 +555,7 @@ fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMeth
                 "wah" => dispatch!($ty, Wah),
                 "bbc" => dispatch!($ty, Bbc),
                 "plain" => dispatch!($ty, BitVec64),
+                "adaptive" => dispatch!($ty, Adaptive),
                 other => Err(format!("unknown backend {other:?} recorded in {path:?}")),
             }
         }};
@@ -541,6 +565,11 @@ fn load_access_method(path: &str, d: &Arc<Dataset>) -> Result<Box<dyn AccessMeth
         b"IBRE" => dispatch!(RangeBitmapIndex),
         b"IBIE" => dispatch!(IntervalBitmapIndex),
         b"IBDX" => dispatch!(DecomposedBitmapIndex),
+        b"IBAD" => {
+            let idx = AdaptiveBitmapIndex::load(path).map_err(|e| e.to_string())?;
+            check_rows(idx.n_rows())?;
+            Ok(Box::new(idx) as Box<dyn AccessMethod>)
+        }
         b"IBVA" => {
             let va = VaFile::load(path).map_err(|e| e.to_string())?;
             check_rows(va.n_rows())?;
@@ -1323,6 +1352,14 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             n
         },
     };
+    if config.trace_sample == 0 && flags.contains_key("slow-log") {
+        return Err(
+            "--trace-sample 0 disables request tracing, so the slow-query \
+             log never fills and --slow-log is useless; drop --slow-log or \
+             use a non-zero --trace-sample"
+                .into(),
+        );
+    }
     let db = if let Some(dir) = flags.get("data-dir") {
         if !pos.is_empty() {
             return Err("--data-dir serves the durable directory; \
@@ -1712,6 +1749,16 @@ mod tests {
             vec![s("serve")],
             vec![s("serve"), s("x.ibds"), s("--slow-log"), s("0")],
             vec![s("serve"), s("x.ibds"), s("--trace-sample"), s("often")],
+            // Tracing disabled + an explicit slow-log size: the log could
+            // never fill, so the combination is rejected up front.
+            vec![
+                s("serve"),
+                s("x.ibds"),
+                s("--trace-sample"),
+                s("0"),
+                s("--slow-log"),
+                s("4"),
+            ],
             vec![s("top")],
             vec![s("top"), s("--addr"), s("h:1"), s("--interval-ms"), s("0")],
             vec![s("top"), s("--addr"), s("h:1"), s("--iterations"), s("0")],
@@ -2001,6 +2048,58 @@ mod tests {
             s("2"),
         ])
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_index_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("ibis_cli_adaptive_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.ibds").to_string_lossy().into_owned();
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--kind"),
+            s("census"),
+            s("--rows"),
+            s("300"),
+            s("--out"),
+            data.clone(),
+        ])
+        .unwrap();
+        let d = Dataset::load(&data).unwrap();
+        let text = format!("{} = 1", d.column(0).name());
+        // Both adaptive surfaces: the container-exact index (its own IBAD
+        // magic) and a paper encoding stored in adaptive containers (the
+        // generic bitmap format with backend name "adaptive").
+        for (encoding, backend) in [("adaptive", None), ("bre", Some("adaptive"))] {
+            let idx = dir
+                .join(format!("d.{encoding}.ad"))
+                .to_string_lossy()
+                .into_owned();
+            let mut args = vec![
+                s("index"),
+                data.clone(),
+                s("--encoding"),
+                s(encoding),
+                s("--out"),
+                idx.clone(),
+            ];
+            if let Some(b) = backend {
+                args.extend([s("--backend"), s(b)]);
+            }
+            run(&args).unwrap();
+            run(&[
+                s("query"),
+                data.clone(),
+                text.clone(),
+                s("--index"),
+                idx,
+                s("--count"),
+                s("--profile"),
+            ])
+            .unwrap();
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

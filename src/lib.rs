@@ -102,9 +102,10 @@ pub mod prelude {
         BPlusTree, BitstringAugmented, Mosaic, RTree, RTreeIncomplete, SequentialScan,
     };
     pub use ibis_bitmap::{
-        DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex, RangeBitmapIndex,
+        AdaptiveBitmapIndex, DecomposedBitmapIndex, EqualityBitmapIndex, IntervalBitmapIndex,
+        RangeBitmapIndex,
     };
-    pub use ibis_bitvec::{Bbc, BitVec64, Wah};
+    pub use ibis_bitvec::{Adaptive, Bbc, BitVec64, Wah};
     pub use ibis_core::{
         Cell, Column, Dataset, DatasetBuilder, Interval, MissingPolicy, Predicate, RangeQuery,
         RowSet,

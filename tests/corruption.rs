@@ -82,6 +82,16 @@ fn dec_bytes() -> Vec<u8> {
     BYTES.clone()
 }
 
+fn adaptive_bytes() -> Vec<u8> {
+    static BYTES: LazyLock<Vec<u8>> = LazyLock::new(|| {
+        let d = census_scaled(60, 509);
+        let mut buf = Vec::new();
+        AdaptiveBitmapIndex::build(&d).write_to(&mut buf).unwrap();
+        buf
+    });
+    BYTES.clone()
+}
+
 /// Byte images of every durable-engine format, in order: snapshot, WAL,
 /// MANIFEST, backup.
 type StorageImages = (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>);
@@ -171,6 +181,14 @@ proptest! {
     }
 
     #[test]
+    fn mutated_adaptive_never_panics(pos in 0usize..8192, byte in any::<u8>()) {
+        let mut buf = adaptive_bytes();
+        let i = pos % buf.len();
+        buf[i] ^= byte;
+        let _ = AdaptiveBitmapIndex::read_from(&mut buf.as_slice());
+    }
+
+    #[test]
     fn header_length_fields_never_cause_huge_preallocation(word in any::<u64>()) {
         // Overwrite each reader's length-bearing header fields (row count,
         // attr count, and the first per-attr count that drives the
@@ -187,6 +205,7 @@ proptest! {
             (bie_bytes, 6),
             (dec_bytes, 6),
             (va_bytes, 6),
+            (adaptive_bytes, 6),
         ] {
             let base = make();
             // Length fields start right after magic(4)+version(2); also hit
@@ -203,6 +222,7 @@ proptest! {
                 let _ = IntervalBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
                 let _ = DecomposedBitmapIndex::<Wah>::read_from(&mut buf.as_slice());
                 let _ = VaFile::read_from(&mut buf.as_slice());
+                let _ = AdaptiveBitmapIndex::read_from(&mut buf.as_slice());
             }
         }
     }
@@ -313,6 +333,40 @@ proptest! {
         let buf = va_bytes();
         let cut = ((buf.len() as f64) * cut_frac) as usize;
         prop_assert!(VaFile::read_from(&mut &buf[..cut]).is_err());
+        let buf = adaptive_bytes();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(AdaptiveBitmapIndex::read_from(&mut &buf[..cut]).is_err());
+    }
+}
+
+#[test]
+fn adaptive_lying_container_counts_and_kinds_fail_cleanly() {
+    // The adaptive container format carries a kind byte and a count per
+    // 2^16-row chunk. Stamp every kind byte with each invalid value and
+    // every count with huge/hostile values: reads must reject with a clean
+    // error (or, for a benign coincidence, a structurally valid index) —
+    // never panic, never reserve the claimed amount. The container payload
+    // starts after the IBAD header, backend name, row/attr counts, and the
+    // per-attr preamble, so rather than hand-computing offsets we sweep all
+    // plausible positions.
+    let base = adaptive_bytes();
+    // Kind bytes are 0/1/2 today; 3..=255 must all be rejected wherever a
+    // kind byte actually lives. Sweeping every offset also hits counts and
+    // payload bytes, which must be equally safe.
+    for off in (0..base.len()).step_by(97) {
+        for stamp in [3u8, 0x7F, 0xFF] {
+            let mut buf = base.clone();
+            buf[off] = stamp;
+            let _ = AdaptiveBitmapIndex::read_from(&mut buf.as_slice());
+        }
+    }
+    // Hostile 32-bit counts stamped across the image (aligned and not).
+    for off in (0..base.len().saturating_sub(4)).step_by(61) {
+        for n in [u32::MAX, 1 << 30, 65_537] {
+            let mut buf = base.clone();
+            buf[off..off + 4].copy_from_slice(&n.to_le_bytes());
+            let _ = AdaptiveBitmapIndex::read_from(&mut buf.as_slice());
+        }
     }
 }
 
